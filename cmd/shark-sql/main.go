@@ -1,0 +1,191 @@
+// Command shark-sql is an interactive SQL shell over an embedded
+// simulated Shark cluster.
+//
+// Usage:
+//
+//	shark-sql -demo                 # preload demo tables, then REPL
+//	shark-sql -e "SELECT ..."       # one-shot
+//	echo "SELECT 1+1" | shark-sql
+//
+// The -demo flag loads two Pavlo-benchmark tables (rankings,
+// uservisits) and caches them in the memstore as rankings_mem and
+// uservisits_mem.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"shark"
+	"shark/internal/data"
+	"shark/internal/row"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "preload demo tables")
+	oneShot := flag.String("e", "", "execute one statement and exit")
+	workers := flag.Int("workers", 8, "simulated workers")
+	flag.Parse()
+
+	s, err := shark.NewSession(shark.Config{Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer s.Close()
+
+	if *demo {
+		if err := loadDemo(s); err != nil {
+			fmt.Fprintln(os.Stderr, "demo load failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println("demo tables: rankings, uservisits (DFS); rankings_mem, uservisits_mem (memstore)")
+	}
+
+	if *oneShot != "" {
+		if err := runStatement(s, *oneShot); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<16), 1<<20)
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("shark-sql — enter SQL statements, 'exit' to quit")
+	}
+	var pending strings.Builder
+	for {
+		if interactive {
+			if pending.Len() == 0 {
+				fmt.Print("shark> ")
+			} else {
+				fmt.Print("    -> ")
+			}
+		}
+		if !in.Scan() {
+			return
+		}
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && (trimmed == "exit" || trimmed == "quit") {
+			return
+		}
+		pending.WriteString(line)
+		pending.WriteString(" ")
+		if !strings.HasSuffix(trimmed, ";") && interactive {
+			if trimmed != "" {
+				continue // accumulate until ';'
+			}
+		}
+		stmt := strings.TrimSpace(pending.String())
+		pending.Reset()
+		if stmt == "" {
+			continue
+		}
+		if err := runStatement(s, stmt); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func runStatement(s *shark.Session, sql string) error {
+	start := time.Now()
+	res, err := s.Exec(sql)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if res.Message != "" {
+		fmt.Println(res.Message)
+	}
+	if len(res.Schema) > 0 {
+		printTable(res.Schema, res.Rows)
+	}
+	fmt.Printf("(%d rows, %.3fs)\n", len(res.Rows), elapsed.Seconds())
+	return nil
+}
+
+func printTable(schema shark.Schema, rows []shark.Row) {
+	widths := make([]int, len(schema))
+	for i, f := range schema {
+		widths[i] = len(f.Name)
+	}
+	const maxRows = 50
+	shown := rows
+	if len(shown) > maxRows {
+		shown = shown[:maxRows]
+	}
+	cells := make([][]string, len(shown))
+	for ri, r := range shown {
+		cells[ri] = make([]string, len(r))
+		for ci := range r {
+			v := row.FormatValue(r[ci])
+			if schema[ci].Type == shark.TDate {
+				if d, ok := r[ci].(int64); ok {
+					v = row.FormatDate(d)
+				}
+			}
+			cells[ri][ci] = v
+			if len(v) > widths[ci] {
+				widths[ci] = len(v)
+			}
+		}
+	}
+	for i, f := range schema {
+		fmt.Printf("%-*s  ", widths[i], f.Name)
+	}
+	fmt.Println()
+	for i := range schema {
+		fmt.Print(strings.Repeat("-", widths[i]), "  ")
+	}
+	fmt.Println()
+	for _, r := range cells {
+		for ci, v := range r {
+			fmt.Printf("%-*s  ", widths[ci], v)
+		}
+		fmt.Println()
+	}
+	if len(rows) > maxRows {
+		fmt.Printf("... (%d more rows)\n", len(rows)-maxRows)
+	}
+}
+
+func loadDemo(s *shark.Session) error {
+	var rankings []shark.Row
+	data.Rankings(20000, func(r row.Row) error {
+		rankings = append(rankings, r)
+		return nil
+	})
+	if err := s.LoadRows("rankings", data.RankingsSchema, rankings); err != nil {
+		return err
+	}
+	var visits []shark.Row
+	data.UserVisits(60000, 20000, func(r row.Row) error {
+		visits = append(visits, r)
+		return nil
+	})
+	if err := s.LoadRows("uservisits", data.UserVisitsSchema, visits); err != nil {
+		return err
+	}
+	for _, stmt := range []string{
+		`CREATE TABLE rankings_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM rankings`,
+		`CREATE TABLE uservisits_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM uservisits`,
+	} {
+		if _, err := s.Exec(stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}

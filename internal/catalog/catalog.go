@@ -1,0 +1,155 @@
+// Package catalog is the system catalog (the paper's "metastore"):
+// table definitions, their storage bindings (DFS files or memstore
+// tables), table properties like shark.cache and copartition, and the
+// UDF registry.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"shark/internal/dfs"
+	"shark/internal/expr"
+	"shark/internal/memtable"
+	"shark/internal/row"
+)
+
+// Table describes one catalog entry. Exactly one of (File) or (Mem) is
+// set: external DFS-backed tables are re-read (and re-parsed) on every
+// scan; memstore tables are served from columnar cache.
+type Table struct {
+	Name   string
+	Schema row.Schema
+
+	// External storage.
+	File   string
+	Format dfs.Format
+
+	// Memstore storage.
+	Mem *memtable.Table
+
+	Props   map[string]string
+	EstRows int64 // row-count estimate available to the static optimizer
+
+	// DistKey / CopartitionWith record §3.4 co-partitioning DDL.
+	DistKey         string
+	CopartitionWith string
+}
+
+// Cached reports whether the table lives in the memstore.
+func (t *Table) Cached() bool { return t.Mem != nil }
+
+// Catalog is a concurrency-safe table and UDF registry.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	udfs   map[string]*expr.UDF
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		udfs:   make(map[string]*expr.UDF),
+	}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// Register adds a table; it fails if the name exists.
+func (c *Catalog) Register(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(t.Name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("catalog: table %q already exists", t.Name)
+	}
+	if t.Props == nil {
+		t.Props = map[string]string{}
+	}
+	c.tables[k] = t
+	return nil
+}
+
+// Replace adds or overwrites a table definition.
+func (c *Catalog) Replace(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Props == nil {
+		t.Props = map[string]string{}
+	}
+	c.tables[key(t.Name)] = t
+}
+
+// Get looks a table up (case-insensitive).
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Exists reports table existence.
+func (c *Catalog) Exists(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[key(name)]
+	return ok
+}
+
+// Drop removes a table, evicting memstore data if present. Returns
+// false when the table did not exist.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	t, ok := c.tables[key(name)]
+	delete(c.tables, key(name))
+	c.mu.Unlock()
+	if ok && t.Mem != nil {
+		t.Mem.Drop()
+	}
+	return ok
+}
+
+// List returns all table names, sorted.
+func (c *Catalog) List() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterUDF installs a user-defined scalar function. UDF names
+// shadow neither built-ins nor other UDFs: duplicates fail.
+func (c *Catalog) RegisterUDF(f *expr.UDF) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := strings.ToUpper(f.Name)
+	if _, ok := expr.LookupBuiltin(k); ok {
+		return fmt.Errorf("catalog: %q is a built-in function", f.Name)
+	}
+	if _, ok := c.udfs[k]; ok {
+		return fmt.Errorf("catalog: UDF %q already registered", f.Name)
+	}
+	c.udfs[k] = f
+	return nil
+}
+
+// LookupFunc resolves a function name: built-ins first, then UDFs.
+func (c *Catalog) LookupFunc(name string) (*expr.UDF, bool) {
+	if f, ok := expr.LookupBuiltin(name); ok {
+		return f, true
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.udfs[strings.ToUpper(name)]
+	return f, ok
+}

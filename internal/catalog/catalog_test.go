@@ -1,0 +1,84 @@
+package catalog
+
+import (
+	"testing"
+
+	"shark/internal/expr"
+	"shark/internal/row"
+)
+
+func testTable(name string) *Table {
+	return &Table{
+		Name:   name,
+		Schema: row.Schema{{Name: "a", Type: row.TInt}},
+		File:   "data/" + name,
+	}
+}
+
+func TestRegisterGetDrop(t *testing.T) {
+	c := New()
+	if err := c.Register(testTable("logs")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(testTable("logs")); err == nil {
+		t.Error("duplicate register must fail")
+	}
+	got, err := c.Get("LOGS") // case-insensitive
+	if err != nil || got.Name != "logs" {
+		t.Fatalf("Get: %v %v", got, err)
+	}
+	if !c.Exists("Logs") {
+		t.Error("Exists false negative")
+	}
+	if !c.Drop("logs") {
+		t.Error("Drop should report success")
+	}
+	if c.Drop("logs") {
+		t.Error("double drop should report false")
+	}
+	if _, err := c.Get("logs"); err == nil {
+		t.Error("Get after drop must fail")
+	}
+}
+
+func TestReplaceAndList(t *testing.T) {
+	c := New()
+	c.Replace(testTable("b"))
+	c.Replace(testTable("a"))
+	c.Replace(testTable("a")) // overwrite ok
+	list := c.List()
+	if len(list) != 2 || list[0] != "a" || list[1] != "b" {
+		t.Errorf("List = %v", list)
+	}
+}
+
+func TestUDFRegistry(t *testing.T) {
+	c := New()
+	udf := &expr.UDF{Name: "myfn", Ret: row.TInt, MinArgs: 1, MaxArgs: 1, RetFromArg: -1,
+		Fn: func(args []any) any { return int64(1) }}
+	if err := c.RegisterUDF(udf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterUDF(udf); err == nil {
+		t.Error("duplicate UDF must fail")
+	}
+	if err := c.RegisterUDF(&expr.UDF{Name: "substr"}); err == nil {
+		t.Error("shadowing a builtin must fail")
+	}
+	if f, ok := c.LookupFunc("MYFN"); !ok || f.Name != "myfn" {
+		t.Error("UDF lookup failed")
+	}
+	if f, ok := c.LookupFunc("upper"); !ok || f.Name != "UPPER" {
+		t.Error("builtin lookup through catalog failed")
+	}
+	if _, ok := c.LookupFunc("nope"); ok {
+		t.Error("unknown function lookup should fail")
+	}
+}
+
+func TestCachedFlag(t *testing.T) {
+	tbl := testTable("x")
+	if tbl.Cached() {
+		t.Error("file-backed table is not cached")
+	}
+}

@@ -1,0 +1,382 @@
+// Package cluster simulates the machines under the engines: a set of
+// worker nodes, each with a fixed number of task slots and a local
+// block store. It reproduces the *scheduling cost structure* the paper
+// analyzes (§7.1): per-task launch overhead, heartbeat-based vs.
+// event-driven task assignment, worker failures that wipe local state,
+// and injected stragglers.
+//
+// The cluster runs tasks for both the Spark-like engine (internal/rdd)
+// and the Hadoop-like engine (internal/mr); the two differ only in the
+// Profile they configure.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects how tasks are assigned to slots.
+type Mode int
+
+const (
+	// EventDriven assigns tasks immediately (Spark's fast RPC model).
+	EventDriven Mode = iota
+	// Heartbeat assigns at most one task per slot per heartbeat tick
+	// (Hadoop's polling model).
+	Heartbeat
+)
+
+// ErrWorkerLost marks a task that was running on a worker when the
+// worker was killed.
+var ErrWorkerLost = errors.New("cluster: worker lost")
+
+// Profile holds the simulated overhead constants. SimScale documents
+// the wall-clock compression relative to the paper's deployment.
+type Profile struct {
+	// Mode is the task-assignment discipline.
+	Mode Mode
+	// TaskLaunchOverhead is slept before each task body (process /
+	// JVM start cost).
+	TaskLaunchOverhead time.Duration
+	// HeartbeatInterval is the assignment poll period in Heartbeat
+	// mode.
+	HeartbeatInterval time.Duration
+}
+
+// SimScale is the wall-clock compression factor versus the paper's
+// cluster: all simulated overheads are paper values divided by this.
+const SimScale = 100
+
+// SparkProfile mirrors Spark's ~5 ms task launch (scaled).
+func SparkProfile() Profile {
+	return Profile{Mode: EventDriven, TaskLaunchOverhead: 5 * time.Millisecond / SimScale}
+}
+
+// HadoopProfile mirrors Hadoop's 3 s heartbeats and multi-second task
+// launch (scaled).
+func HadoopProfile() Profile {
+	return Profile{
+		Mode:               Heartbeat,
+		TaskLaunchOverhead: 5 * time.Second / SimScale,
+		HeartbeatInterval:  3 * time.Second / SimScale,
+	}
+}
+
+// Config sizes the simulated cluster.
+type Config struct {
+	// Workers is the number of simulated nodes. Default 8.
+	Workers int
+	// Slots is the number of concurrent tasks per node. Default 2.
+	Slots int
+	// Profile sets scheduling overheads. Default SparkProfile.
+	Profile Profile
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Slots <= 0 {
+		c.Slots = 2
+	}
+	return c
+}
+
+// Task is one unit of work submitted to the cluster.
+type Task struct {
+	// Fn runs on some worker. It must be a pure function of its
+	// inputs plus the worker's block store.
+	Fn func(w *Worker) (any, error)
+	// Preferred lists worker IDs that should run the task if
+	// possible (data locality). May be nil.
+	Preferred []int
+	// Excluded lists worker IDs that must not run the task
+	// (e.g. it already failed there).
+	Excluded []int
+
+	result chan Result
+}
+
+// Result is a completed task's outcome.
+type Result struct {
+	Worker int
+	Value  any
+	Err    error
+}
+
+// Worker is one simulated node.
+type Worker struct {
+	ID    int
+	store *BlockStore
+
+	alive    atomic.Bool
+	slowBy   atomic.Int64 // extra ns per task (straggler injection)
+	queue    chan *Task
+	busySlot atomic.Int32
+}
+
+// Store returns the worker's local block store.
+func (w *Worker) Store() *BlockStore { return w.store }
+
+// Alive reports whether the worker is up.
+func (w *Worker) Alive() bool { return w.alive.Load() }
+
+// Cluster is the simulated cluster.
+type Cluster struct {
+	cfg     Config
+	workers []*Worker
+	global  chan *Task
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	tick     chan struct{} // heartbeat broadcast (closed+replaced each tick)
+	tickMu   sync.Mutex
+	stopTick chan struct{}
+
+	tasksLaunched atomic.Int64
+}
+
+// New starts a simulated cluster.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:      cfg,
+		global:   make(chan *Task, 4096),
+		tick:     make(chan struct{}),
+		stopTick: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &Worker{ID: i, store: NewBlockStore(), queue: make(chan *Task, 4096)}
+		w.alive.Store(true)
+		c.workers = append(c.workers, w)
+		for s := 0; s < cfg.Slots; s++ {
+			c.wg.Add(1)
+			go c.slotLoop(w)
+		}
+	}
+	if cfg.Profile.Mode == Heartbeat {
+		go c.heartbeatLoop()
+	}
+	return c
+}
+
+// NumWorkers returns the configured worker count.
+func (c *Cluster) NumWorkers() int { return c.cfg.Workers }
+
+// Slots returns slots per worker.
+func (c *Cluster) Slots() int { return c.cfg.Slots }
+
+// TotalSlots returns cluster-wide slot count.
+func (c *Cluster) TotalSlots() int { return c.cfg.Workers * c.cfg.Slots }
+
+// Profile returns the active overhead profile.
+func (c *Cluster) Profile() Profile { return c.cfg.Profile }
+
+// Worker returns worker i.
+func (c *Cluster) Worker(i int) *Worker { return c.workers[i] }
+
+// TasksLaunched returns the number of task bodies started (for tests
+// and the task-overhead experiment).
+func (c *Cluster) TasksLaunched() int64 { return c.tasksLaunched.Load() }
+
+// AliveWorkers returns the IDs of live workers.
+func (c *Cluster) AliveWorkers() []int {
+	var out []int
+	for _, w := range c.workers {
+		if w.Alive() {
+			out = append(out, w.ID)
+		}
+	}
+	return out
+}
+
+func (c *Cluster) heartbeatLoop() {
+	iv := c.cfg.Profile.HeartbeatInterval
+	if iv <= 0 {
+		iv = 30 * time.Millisecond
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopTick:
+			return
+		case <-t.C:
+			c.tickMu.Lock()
+			close(c.tick)
+			c.tick = make(chan struct{})
+			c.tickMu.Unlock()
+		}
+	}
+}
+
+func (c *Cluster) waitTick() bool {
+	c.tickMu.Lock()
+	ch := c.tick
+	c.tickMu.Unlock()
+	select {
+	case <-ch:
+		return true
+	case <-c.stopTick:
+		return false
+	}
+}
+
+// Submit enqueues a task and returns a channel that will receive
+// exactly one Result.
+func (c *Cluster) Submit(t *Task) <-chan Result {
+	t.result = make(chan Result, 2) // 2: speculation may double-complete
+	if c.closed.Load() {
+		t.result <- Result{Err: errors.New("cluster: closed")}
+		return t.result
+	}
+	// Route to a preferred live worker's queue when possible.
+	for _, p := range t.Preferred {
+		if p >= 0 && p < len(c.workers) && c.workers[p].Alive() && !contains(t.Excluded, p) {
+			select {
+			case c.workers[p].queue <- t:
+				return t.result
+			default:
+			}
+		}
+	}
+	c.global <- t
+	return t.result
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cluster) slotLoop(w *Worker) {
+	defer c.wg.Done()
+	for {
+		var t *Task
+		select {
+		case <-c.stopTick:
+			return
+		case t = <-w.queue:
+		case t = <-c.global:
+		}
+		if t == nil {
+			return
+		}
+		if !w.Alive() || contains(t.Excluded, w.ID) {
+			// bounce to the global queue for someone else
+			select {
+			case c.global <- t:
+			case <-c.stopTick:
+				return
+			}
+			// avoid hot-looping when this worker is the only reader
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		c.runTask(w, t)
+	}
+}
+
+func (c *Cluster) runTask(w *Worker, t *Task) {
+	// Scheduling overheads.
+	if c.cfg.Profile.Mode == Heartbeat {
+		if !c.waitTick() {
+			return
+		}
+	}
+	if d := c.cfg.Profile.TaskLaunchOverhead; d > 0 {
+		time.Sleep(d)
+	}
+	c.tasksLaunched.Add(1)
+	w.busySlot.Add(1)
+	start := time.Now()
+	value, err := runSafely(t.Fn, w)
+	elapsed := time.Since(start)
+	w.busySlot.Add(-1)
+	if extra := w.slowBy.Load(); extra > 0 {
+		time.Sleep(time.Duration(extra))
+	} else if extra < 0 {
+		// negative means "multiply elapsed": straggler factor
+		factor := float64(-extra) / 1000
+		time.Sleep(time.Duration(float64(elapsed) * (factor - 1)))
+	}
+	if !w.Alive() {
+		// The worker died while the task ran: its output (local
+		// state) is gone, so the task did not really complete.
+		err = fmt.Errorf("%w (worker %d died mid-task)", ErrWorkerLost, w.ID)
+		value = nil
+	}
+	select {
+	case t.result <- Result{Worker: w.ID, Value: value, Err: err}:
+	default:
+	}
+}
+
+func runSafely(fn func(*Worker) (any, error), w *Worker) (value any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("cluster: task panic: %w", e)
+			} else {
+				err = fmt.Errorf("cluster: task panic: %v", r)
+			}
+		}
+	}()
+	return fn(w)
+}
+
+// Kill marks a worker dead, wiping its block store and failing its
+// in-flight tasks. Queued tasks are re-routed.
+func (c *Cluster) Kill(id int) {
+	w := c.workers[id]
+	if !w.alive.CompareAndSwap(true, false) {
+		return
+	}
+	w.store.Wipe()
+	// Drain its private queue into the global queue.
+	for {
+		select {
+		case t := <-w.queue:
+			c.global <- t
+		default:
+			return
+		}
+	}
+}
+
+// Restart brings a killed worker back with an empty store.
+func (c *Cluster) Restart(id int) {
+	w := c.workers[id]
+	w.store.Wipe()
+	w.alive.Store(true)
+}
+
+// SetStragglerFactor makes worker id take factor× as long per task
+// (factor 1 clears).
+func (c *Cluster) SetStragglerFactor(id int, factor float64) {
+	if factor <= 1 {
+		c.workers[id].slowBy.Store(0)
+		return
+	}
+	c.workers[id].slowBy.Store(-int64(factor * 1000))
+}
+
+// SetStragglerDelay adds a fixed delay to every task on worker id.
+func (c *Cluster) SetStragglerDelay(id int, d time.Duration) {
+	c.workers[id].slowBy.Store(int64(d))
+}
+
+// Close shuts the cluster down. Outstanding tasks are abandoned.
+func (c *Cluster) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(c.stopTick)
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BlockStore is a worker-local in-memory store keyed by string block
+// IDs. RDD cache partitions and shuffle map outputs both live here, so
+// killing a worker loses exactly the state a real node loss would.
+type BlockStore struct {
+	mu     sync.RWMutex
+	blocks map[string]any
+	bytes  atomic.Int64
+	epoch  atomic.Int64 // bumped on Wipe, lets holders detect loss
+}
+
+// NewBlockStore creates an empty store.
+func NewBlockStore() *BlockStore {
+	return &BlockStore{blocks: make(map[string]any)}
+}
+
+// Put stores a block with an approximate size for accounting.
+func (s *BlockStore) Put(key string, value any, sizeBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blocks[key] = value
+	s.bytes.Add(sizeBytes)
+}
+
+// Get fetches a block.
+func (s *BlockStore) Get(key string) (any, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.blocks[key]
+	return v, ok
+}
+
+// Delete removes a block.
+func (s *BlockStore) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blocks, key)
+}
+
+// Keys returns a snapshot of all block IDs.
+func (s *BlockStore) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.blocks))
+	for k := range s.blocks {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Len returns the number of blocks.
+func (s *BlockStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
+
+// ApproxBytes returns the accounted size of stored blocks.
+func (s *BlockStore) ApproxBytes() int64 { return s.bytes.Load() }
+
+// Epoch returns the wipe generation (incremented each Wipe).
+func (s *BlockStore) Epoch() int64 { return s.epoch.Load() }
+
+// Wipe clears the store (worker death).
+func (s *BlockStore) Wipe() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blocks = make(map[string]any)
+	s.bytes.Store(0)
+	s.epoch.Add(1)
+}

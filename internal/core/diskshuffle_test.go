@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"shark/internal/cluster"
+	"shark/internal/dfs"
+	"shark/internal/exec"
+	"shark/internal/rdd"
+	"shark/internal/shuffle"
+)
+
+// TestDiskShuffleQueries runs SQL (including aggregation states and
+// COUNT DISTINCT) over a disk-mode shuffle: partial aggregation states
+// must round-trip the on-disk bucket format.
+func TestDiskShuffleQueries(t *testing.T) {
+	c := cluster.New(cluster.Config{Workers: 4, Slots: 2})
+	t.Cleanup(c.Close)
+	svc := shuffle.NewService(c, shuffle.Disk, t.TempDir())
+	ctx := rdd.NewContext(c, svc, rdd.Options{})
+	fs, err := dfs.New(dfs.Config{Dir: t.TempDir(), BlockSize: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &testEnv{s: NewSession(ctx, fs, exec.Options{}), fs: fs}
+	setupVisits(t, e, 2000, true)
+
+	res := e.mustExec(t, `SELECT countryCode, COUNT(*) AS c, SUM(adRevenue),
+		AVG(adRevenue), MIN(adRevenue), MAX(adRevenue), COUNT(DISTINCT destURL)
+		FROM uservisits GROUP BY countryCode ORDER BY countryCode`)
+	if len(res.Rows) != 5 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	var total int64
+	for _, r := range res.Rows {
+		total += r[1].(int64)
+		if r[6].(int64) <= 0 || r[6].(int64) > 200 {
+			t.Errorf("distinct urls out of range: %v", r[6])
+		}
+	}
+	if total != 2000 {
+		t.Errorf("total = %d", total)
+	}
+
+	// join through disk shuffle too
+	e.writeDFS(t, "rankings_ext", rankingsSchema, genRankings(300))
+	e.mustExec(t, `CREATE TABLE rankings TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM rankings_ext`)
+	res = e.mustExec(t, `SELECT COUNT(*) FROM rankings JOIN uservisits ON rankings.pageURL = uservisits.destURL`)
+	if res.Rows[0][0].(int64) <= 0 {
+		t.Errorf("join count = %v", res.Rows[0][0])
+	}
+}

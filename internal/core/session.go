@@ -1,0 +1,393 @@
+// Package core implements the Shark session — the paper's primary
+// contribution assembled: SQL text is parsed, analyzed against the
+// metastore, optimized, and executed either on the Shark RDD engine
+// (with PDE, columnar memstore and map pruning) or handed to callers
+// as an RDD for mixed SQL + machine-learning pipelines (sql2rdd, §4).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"shark/internal/catalog"
+	"shark/internal/dfs"
+	"shark/internal/exec"
+	"shark/internal/expr"
+	"shark/internal/memtable"
+	"shark/internal/plan"
+	"shark/internal/rdd"
+	"shark/internal/row"
+	"shark/internal/sqlparse"
+)
+
+// Session is a connected Shark client: catalog + engine + cluster.
+type Session struct {
+	Ctx    *rdd.Context
+	FS     *dfs.FS
+	Cat    *catalog.Catalog
+	Engine *exec.Engine
+
+	// DefaultCacheParts is the partition count used when caching
+	// tables (0 = 4 × cluster slots).
+	DefaultCacheParts int
+}
+
+// NewSession assembles a session over an execution context.
+func NewSession(ctx *rdd.Context, fs *dfs.FS, opts exec.Options) *Session {
+	cat := catalog.New()
+	return &Session{
+		Ctx:    ctx,
+		FS:     fs,
+		Cat:    cat,
+		Engine: exec.New(ctx, cat, fs, opts),
+	}
+}
+
+func (s *Session) cacheParts() int {
+	if s.DefaultCacheParts > 0 {
+		return s.DefaultCacheParts
+	}
+	return 4 * s.Ctx.Cluster.TotalSlots()
+}
+
+// Result is a materialized statement result. DDL statements return a
+// Result with an informational message and no rows.
+type Result struct {
+	Schema  row.Schema
+	Rows    []row.Row
+	Stats   exec.QueryStats
+	Message string
+}
+
+// Exec parses and executes one SQL statement.
+func (s *Session) Exec(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch t := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		return s.runSelect(t)
+	case *sqlparse.CreateTableStmt:
+		return s.runCreate(t)
+	case *sqlparse.DropTableStmt:
+		if !s.Cat.Drop(t.Name) && !t.IfExists {
+			return nil, fmt.Errorf("core: unknown table %q", t.Name)
+		}
+		return &Result{Message: fmt.Sprintf("dropped %s", t.Name)}, nil
+	case *sqlparse.ExplainStmt:
+		return s.runExplain(t)
+	}
+	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+}
+
+func (s *Session) runSelect(sel *sqlparse.SelectStmt) (*Result, error) {
+	p, err := plan.Analyze(s.Cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Engine.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: res.Schema, Rows: res.Rows, Stats: res.Stats}, nil
+}
+
+func (s *Session) runExplain(e *sqlparse.ExplainStmt) (*Result, error) {
+	sel, ok := e.Stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("core: EXPLAIN supports SELECT only")
+	}
+	p, err := plan.Analyze(s.Cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	text := plan.Explain(p)
+	out := &Result{Schema: row.Schema{{Name: "plan", Type: row.TString}}}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		out.Rows = append(out.Rows, row.Row{line})
+	}
+	return out, nil
+}
+
+func (s *Session) runCreate(ct *sqlparse.CreateTableStmt) (*Result, error) {
+	if s.Cat.Exists(ct.Name) {
+		if ct.IfNotExists {
+			return &Result{Message: fmt.Sprintf("table %s exists", ct.Name)}, nil
+		}
+		return nil, fmt.Errorf("core: table %q already exists", ct.Name)
+	}
+	if ct.As == nil {
+		return s.createExternal(ct)
+	}
+	return s.createAsSelect(ct)
+}
+
+// createExternal registers a DFS-backed table.
+func (s *Session) createExternal(ct *sqlparse.CreateTableStmt) (*Result, error) {
+	if len(ct.Cols) == 0 || ct.Location == "" {
+		return nil, fmt.Errorf("core: external table needs columns and LOCATION")
+	}
+	schema := make(row.Schema, len(ct.Cols))
+	for i, c := range ct.Cols {
+		schema[i] = row.Field{Name: c.Name, Type: c.Type}
+	}
+	format := dfs.Text
+	if strings.EqualFold(ct.Format, "BINARY") {
+		format = dfs.Binary
+	}
+	meta, err := s.FS.Stat(ct.Location)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta.Schema) != len(schema) {
+		return nil, fmt.Errorf("core: file %s has %d columns, DDL declares %d",
+			ct.Location, len(meta.Schema), len(schema))
+	}
+	err = s.Cat.Register(&catalog.Table{
+		Name:    ct.Name,
+		Schema:  schema,
+		File:    ct.Location,
+		Format:  format,
+		Props:   ct.Props,
+		EstRows: meta.TotalRows(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("created external table %s (%d rows)", ct.Name, meta.TotalRows())}, nil
+}
+
+// createAsSelect runs CTAS. With TBLPROPERTIES("shark.cache"="true")
+// the result is loaded into the memstore (optionally DISTRIBUTE BY for
+// co-partitioning); otherwise it is written to a DFS file.
+func (s *Session) createAsSelect(ct *sqlparse.CreateTableStmt) (*Result, error) {
+	sel := ct.As
+	p, err := plan.Analyze(s.Cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	schema := p.Schema()
+
+	cached := strings.EqualFold(ct.Props["shark.cache"], "true")
+	if !cached {
+		return s.ctasToDFS(ct, p, schema)
+	}
+
+	// Build the row RDD for loading. Sort/Limit at the top of a CTAS
+	// is unusual; run through the engine and parallelize when present.
+	srcRDD, err := s.planToRDD(p)
+	if err != nil {
+		return nil, err
+	}
+
+	var mem *memtable.Table
+	if sel.DistributeBy != "" {
+		keyCol := schema.Index(sel.DistributeBy)
+		if keyCol < 0 {
+			return nil, fmt.Errorf("core: DISTRIBUTE BY column %q not in result", sel.DistributeBy)
+		}
+		numParts := s.cacheParts()
+		if other := ct.Props["copartition"]; other != "" {
+			ot, err := s.Cat.Get(other)
+			if err != nil {
+				return nil, fmt.Errorf("core: copartition target: %w", err)
+			}
+			if ot.Mem == nil || ot.Mem.Partitioner == nil {
+				return nil, fmt.Errorf("core: copartition target %q is not a distributed cached table", other)
+			}
+			numParts = ot.Mem.NumPartitions()
+		}
+		mem, err = memtable.LoadDistributed(ct.Name, schema, srcRDD, keyCol, numParts)
+	} else {
+		mem, err = memtable.Load(ct.Name, schema, srcRDD)
+	}
+	if err != nil {
+		return nil, err
+	}
+	entry := &catalog.Table{
+		Name:            ct.Name,
+		Schema:          schema,
+		Mem:             mem,
+		Props:           ct.Props,
+		EstRows:         mem.TotalRows(),
+		DistKey:         sel.DistributeBy,
+		CopartitionWith: ct.Props["copartition"],
+	}
+	if err := s.Cat.Register(entry); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("cached table %s (%d rows, %d partitions, %d bytes)",
+		ct.Name, mem.TotalRows(), mem.NumPartitions(), mem.TotalBytes())}, nil
+}
+
+func (s *Session) ctasToDFS(ct *sqlparse.CreateTableStmt, p plan.Node, schema row.Schema) (*Result, error) {
+	res, err := s.Engine.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	format := dfs.Text
+	if strings.EqualFold(ct.Format, "BINARY") {
+		format = dfs.Binary
+	}
+	file := "warehouse/" + strings.ToLower(ct.Name)
+	w, err := s.FS.Create(file, format, schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Rows {
+		if err := w.Write(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	err = s.Cat.Register(&catalog.Table{
+		Name:    ct.Name,
+		Schema:  schema,
+		File:    file,
+		Format:  format,
+		Props:   ct.Props,
+		EstRows: int64(len(res.Rows)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("created table %s (%d rows on DFS)", ct.Name, len(res.Rows))}, nil
+}
+
+// planToRDD lowers a plan to a row RDD without materializing at the
+// master, for CTAS loads and sql2rdd. Top-level Sort/Limit still
+// require materialization.
+func (s *Session) planToRDD(p plan.Node) (*rdd.RDD, error) {
+	switch p.(type) {
+	case *plan.Limit, *plan.Sort:
+		res, err := s.Engine.Run(p)
+		if err != nil {
+			return nil, err
+		}
+		data := make([]any, len(res.Rows))
+		for i, r := range res.Rows {
+			data[i] = r
+		}
+		return s.Ctx.Parallelize(data, s.Ctx.Cluster.TotalSlots()), nil
+	}
+	return s.Engine.CompileToRDD(p)
+}
+
+// TableRDD is a query result as a live RDD plus its schema — the
+// sql2rdd bridge of §4.1.
+type TableRDD struct {
+	RDD    *rdd.RDD
+	Schema row.Schema
+}
+
+// RowView wraps a row with its schema for by-name access (Listing 1's
+// row.getInt("age") style).
+type RowView struct {
+	Row    row.Row
+	Schema row.Schema
+}
+
+// GetInt returns an integer column by name (0 when NULL or absent).
+func (v RowView) GetInt(name string) int64 {
+	i := v.Schema.Index(name)
+	if i < 0 || v.Row[i] == nil {
+		return 0
+	}
+	n, _ := row.AsInt(v.Row[i])
+	return n
+}
+
+// GetFloat returns a float column by name.
+func (v RowView) GetFloat(name string) float64 {
+	i := v.Schema.Index(name)
+	if i < 0 || v.Row[i] == nil {
+		return 0
+	}
+	f, _ := row.AsFloat(v.Row[i])
+	return f
+}
+
+// GetStr returns a string column by name.
+func (v RowView) GetStr(name string) string {
+	i := v.Schema.Index(name)
+	if i < 0 || v.Row[i] == nil {
+		return ""
+	}
+	s, _ := v.Row[i].(string)
+	return s
+}
+
+// MapRows transforms each result row through f with schema-aware
+// access, returning a new RDD — the feature-extraction step of the §4
+// SQL-to-ML pipeline.
+func (t *TableRDD) MapRows(f func(RowView) any) *rdd.RDD {
+	schema := t.Schema.Clone()
+	return t.RDD.Map(func(v any) any {
+		return f(RowView{Row: v.(row.Row), Schema: schema})
+	})
+}
+
+// Cache marks the underlying RDD for in-memory caching.
+func (t *TableRDD) Cache() *TableRDD {
+	t.RDD.Cache()
+	return t
+}
+
+// Query compiles a SELECT and returns its result as a TableRDD without
+// collecting it, so ML code can keep processing in the cluster.
+func (s *Session) Query(sql string) (*TableRDD, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("core: sql2rdd requires a SELECT")
+	}
+	p, err := plan.Analyze(s.Cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.planToRDD(p)
+	if err != nil {
+		return nil, err
+	}
+	return &TableRDD{RDD: r, Schema: p.Schema()}, nil
+}
+
+// RegisterUDF installs a scalar UDF usable from SQL.
+func (s *Session) RegisterUDF(name string, ret row.Type, minArgs, maxArgs int, fn func(args []any) any) error {
+	return s.Cat.RegisterUDF(&expr.UDF{
+		Name: name, Ret: ret, MinArgs: minArgs, MaxArgs: maxArgs, RetFromArg: -1, Fn: fn,
+	})
+}
+
+// RegisterMemTable registers an already-loaded memstore table (used by
+// harness code that loads data programmatically).
+func (s *Session) RegisterMemTable(mem *memtable.Table, props map[string]string) error {
+	return s.Cat.Register(&catalog.Table{
+		Name:    mem.Name,
+		Schema:  mem.Schema,
+		Mem:     mem,
+		Props:   props,
+		EstRows: mem.TotalRows(),
+	})
+}
+
+// RegisterExternal registers a DFS file as a table.
+func (s *Session) RegisterExternal(name, file string, schema row.Schema) error {
+	meta, err := s.FS.Stat(file)
+	if err != nil {
+		return err
+	}
+	return s.Cat.Register(&catalog.Table{
+		Name:    name,
+		Schema:  schema,
+		File:    file,
+		Format:  meta.Format,
+		EstRows: meta.TotalRows(),
+	})
+}

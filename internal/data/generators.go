@@ -1,0 +1,349 @@
+// Package data generates the four datasets of the paper's evaluation
+// (§6), scaled by row count: the Pavlo et al. benchmark tables
+// (rankings, uservisits), a TPC-H dbgen-lite (lineitem, supplier,
+// orders), the video-analytics session warehouse with naturally
+// clustered columns (§3.5/§6.4), and synthetic ML points (§6.5).
+// All generators are deterministic given their seed.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shark/internal/dfs"
+	"shark/internal/row"
+)
+
+// RankingsSchema is the Pavlo benchmark rankings table (1 GB/node in
+// the paper).
+var RankingsSchema = row.Schema{
+	{Name: "pageURL", Type: row.TString},
+	{Name: "pageRank", Type: row.TInt},
+	{Name: "avgDuration", Type: row.TInt},
+}
+
+// UserVisitsSchema is the Pavlo benchmark uservisits table
+// (20 GB/node in the paper).
+var UserVisitsSchema = row.Schema{
+	{Name: "sourceIP", Type: row.TString},
+	{Name: "destURL", Type: row.TString},
+	{Name: "visitDate", Type: row.TDate},
+	{Name: "adRevenue", Type: row.TFloat},
+	{Name: "userAgent", Type: row.TString},
+	{Name: "countryCode", Type: row.TString},
+	{Name: "languageCode", Type: row.TString},
+	{Name: "searchWord", Type: row.TString},
+	{Name: "duration", Type: row.TInt},
+}
+
+// Rankings generates n rankings rows. pageRank follows a skewed
+// distribution as in the original generator.
+func Rankings(n int, emit func(row.Row) error) error {
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < n; i++ {
+		rank := int64(rng.Intn(10000))
+		if rng.Intn(10) == 0 {
+			rank = int64(rng.Intn(100)) // skew: few very popular pages
+		}
+		err := emit(row.Row{
+			fmt.Sprintf("url-%09d", i),
+			rank,
+			int64(rng.Intn(300) + 1),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var countries = []string{"USA", "CAN", "VNM", "DEU", "JPN", "BRA", "IND", "FRA", "GBR", "AUS"}
+var agents = []string{"Mozilla/5.0", "Chrome/24.0", "Safari/6.0", "Opera/12.1"}
+var words = []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+
+// UserVisits generates n uservisits rows referencing nURLs rankings
+// URLs. Visit dates span 2000-01-01 .. 2000-03-31. Source IPs draw
+// their first two octets from a constrained space so that
+// SUBSTR(sourceIP, 1, 7) has ~1K distinct values while whole IPs are
+// nearly unique — the two group cardinalities of the §6.2.2
+// aggregation queries.
+func UserVisits(n, nURLs int, emit func(row.Row) error) error {
+	rng := rand.New(rand.NewSource(202))
+	base, _ := row.ParseDate("2000-01-01")
+	for i := 0; i < n; i++ {
+		err := emit(row.Row{
+			fmt.Sprintf("%d.%d.%d.%d", rng.Intn(25)+100, rng.Intn(40)+10, rng.Intn(256), rng.Intn(256)),
+			fmt.Sprintf("url-%09d", rng.Intn(nURLs)),
+			base + int64(rng.Intn(90)),
+			rng.Float64() * 1000,
+			agents[rng.Intn(len(agents))],
+			countries[rng.Intn(len(countries))],
+			"en-US",
+			words[rng.Intn(len(words))],
+			int64(rng.Intn(600) + 1),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H dbgen-lite
+
+// LineitemSchema is a TPC-H lineitem subset with the columns the
+// micro-benchmarks group and join on.
+var LineitemSchema = row.Schema{
+	{Name: "L_ORDERKEY", Type: row.TInt},
+	{Name: "L_PARTKEY", Type: row.TInt},
+	{Name: "L_SUPPKEY", Type: row.TInt},
+	{Name: "L_QUANTITY", Type: row.TInt},
+	{Name: "L_EXTENDEDPRICE", Type: row.TFloat},
+	{Name: "L_DISCOUNT", Type: row.TFloat},
+	{Name: "L_RETURNFLAG", Type: row.TString},
+	{Name: "L_SHIPMODE", Type: row.TString},
+	{Name: "L_RECEIPTDATE", Type: row.TDate},
+}
+
+// SupplierSchema is a TPC-H supplier subset.
+var SupplierSchema = row.Schema{
+	{Name: "S_SUPPKEY", Type: row.TInt},
+	{Name: "S_NAME", Type: row.TString},
+	{Name: "S_ADDRESS", Type: row.TString},
+	{Name: "S_NATIONKEY", Type: row.TInt},
+}
+
+// OrdersSchema is a TPC-H orders subset.
+var OrdersSchema = row.Schema{
+	{Name: "O_ORDERKEY", Type: row.TInt},
+	{Name: "O_CUSTKEY", Type: row.TInt},
+	{Name: "O_TOTALPRICE", Type: row.TFloat},
+	{Name: "O_ORDERDATE", Type: row.TDate},
+}
+
+var shipModes = []string{"AIR", "MAIL", "RAIL", "SHIP", "TRUCK", "FOB", "REG AIR"}
+var returnFlags = []string{"A", "N", "R"}
+
+// Lineitem generates n lineitem rows over nSuppliers suppliers.
+// L_RECEIPTDATE spans ~2500 distinct days (the paper's 2.5K-group
+// aggregation column); L_ORDERKEY has ~n/4 distinct values (the
+// high-cardinality group column).
+func Lineitem(n, nSuppliers int, emit func(row.Row) error) error {
+	rng := rand.New(rand.NewSource(303))
+	base, _ := row.ParseDate("1992-01-01")
+	for i := 0; i < n; i++ {
+		err := emit(row.Row{
+			int64(i / 4),
+			int64(rng.Intn(n/2 + 1)),
+			int64(rng.Intn(nSuppliers)),
+			int64(rng.Intn(50) + 1),
+			rng.Float64() * 100000,
+			rng.Float64() * 0.1,
+			returnFlags[rng.Intn(len(returnFlags))],
+			shipModes[rng.Intn(len(shipModes))],
+			base + int64(rng.Intn(2500)),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Supplier generates n supplier rows.
+func Supplier(n int, emit func(row.Row) error) error {
+	rng := rand.New(rand.NewSource(404))
+	for i := 0; i < n; i++ {
+		err := emit(row.Row{
+			int64(i),
+			fmt.Sprintf("Supplier#%09d", i),
+			fmt.Sprintf("addr-%d-%d", rng.Intn(100000), i),
+			int64(rng.Intn(25)),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Orders generates n orders rows; O_ORDERKEY aligns with lineitem's
+// L_ORDERKEY (n/4 distinct keys in a lineitem of 4n rows).
+func Orders(n int, emit func(row.Row) error) error {
+	rng := rand.New(rand.NewSource(505))
+	base, _ := row.ParseDate("1992-01-01")
+	for i := 0; i < n; i++ {
+		err := emit(row.Row{
+			int64(i),
+			int64(rng.Intn(n/10 + 1)),
+			rng.Float64() * 500000,
+			base + int64(rng.Intn(2500)),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Video-analytics session warehouse (§6.4): a wide fact table whose
+// date and country columns are naturally clustered (logs land in
+// per-geo datacenters in roughly chronological order).
+
+// SessionsSchema is the warehouse fact table (a wide-table stand-in
+// for the user's 103-column table).
+var SessionsSchema = row.Schema{
+	{Name: "customer_id", Type: row.TInt},
+	{Name: "session_day", Type: row.TDate},
+	{Name: "country", Type: row.TString},
+	{Name: "client_id", Type: row.TInt},
+	{Name: "user_id", Type: row.TInt},
+	{Name: "session_id", Type: row.TInt},
+	{Name: "buffering_ms", Type: row.TInt},
+	{Name: "startup_ms", Type: row.TInt},
+	{Name: "bitrate_kbps", Type: row.TInt},
+	{Name: "play_time_s", Type: row.TInt},
+	{Name: "failures", Type: row.TInt},
+	{Name: "rebuffers", Type: row.TInt},
+	{Name: "bytes_sent", Type: row.TInt},
+	{Name: "cdn", Type: row.TString},
+	{Name: "player", Type: row.TString},
+	{Name: "os", Type: row.TString},
+	{Name: "device", Type: row.TString},
+	{Name: "city", Type: row.TString},
+	{Name: "isp", Type: row.TString},
+	{Name: "exit_state", Type: row.TString},
+	{Name: "avg_fps", Type: row.TFloat},
+	{Name: "quality_score", Type: row.TFloat},
+	{Name: "content_tags", Type: row.TString}, // stand-in for array<string>
+	{Name: "event_counts", Type: row.TString}, // stand-in for map<string,int>
+}
+
+var sessionCountries = []string{"US", "CA", "GB", "DE", "VN", "JP", "BR", "IN"}
+var cdns = []string{"cdnA", "cdnB", "cdnC"}
+var players = []string{"flash", "html5", "ios", "android"}
+var oses = []string{"windows", "macos", "linux", "ios", "android"}
+var devices = []string{"desktop", "phone", "tablet", "tv"}
+var exitStates = []string{"completed", "abandoned", "errored"}
+
+// Sessions generates n warehouse rows covering `days` days and
+// nCustomers customers. Rows are ordered by (country, day): within a
+// country's "datacenter" logs are appended chronologically, which is
+// exactly the natural clustering map pruning exploits.
+func Sessions(n, days, nCustomers int, emit func(row.Row) error) error {
+	rng := rand.New(rand.NewSource(606))
+	base, _ := row.ParseDate("2012-06-01")
+	perCountry := n / len(sessionCountries)
+	idx := 0
+	for _, country := range sessionCountries {
+		for i := 0; i < perCountry; i++ {
+			day := base + int64(i*days/perCountry)
+			err := emit(row.Row{
+				int64(rng.Intn(nCustomers)),
+				day,
+				country,
+				int64(rng.Intn(50)),
+				int64(rng.Intn(1000000)),
+				int64(idx),
+				int64(rng.Intn(30000)),
+				int64(rng.Intn(8000)),
+				int64(500 + rng.Intn(6000)),
+				int64(rng.Intn(7200)),
+				int64(rng.Intn(3)),
+				int64(rng.Intn(20)),
+				int64(rng.Intn(1 << 30)),
+				cdns[rng.Intn(len(cdns))],
+				players[rng.Intn(len(players))],
+				oses[rng.Intn(len(oses))],
+				devices[rng.Intn(len(devices))],
+				fmt.Sprintf("city-%d", rng.Intn(500)),
+				fmt.Sprintf("isp-%d", rng.Intn(80)),
+				exitStates[rng.Intn(len(exitStates))],
+				30 * rng.Float64(),
+				rng.Float64(),
+				fmt.Sprintf("[tag%d,tag%d]", rng.Intn(40), rng.Intn(40)),
+				fmt.Sprintf("{plays:%d,pauses:%d}", rng.Intn(10), rng.Intn(10)),
+			})
+			if err != nil {
+				return err
+			}
+			idx++
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// ML dataset (§6.5): labeled points in relational form.
+
+// PointsSchema returns the schema of an ML point table with dim
+// feature columns plus a label.
+func PointsSchema(dim int) row.Schema {
+	s := row.Schema{{Name: "label", Type: row.TFloat}}
+	for i := 0; i < dim; i++ {
+		s = append(s, row.Field{Name: fmt.Sprintf("x%d", i), Type: row.TFloat})
+	}
+	return s
+}
+
+// Points generates n linearly-separable labeled points of the given
+// dimension (label ±1).
+func Points(n, dim int, emit func(row.Row) error) error {
+	rng := rand.New(rand.NewSource(707))
+	trueW := make([]float64, dim)
+	for i := range trueW {
+		trueW[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		r := make(row.Row, dim+1)
+		var dot float64
+		for j := 0; j < dim; j++ {
+			x := rng.NormFloat64()
+			r[j+1] = x
+			dot += x * trueW[j]
+		}
+		label := 1.0
+		if dot < 0 {
+			label = -1.0
+		}
+		r[0] = label
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+// WriteFile streams a generator into a DFS file and returns row count.
+func WriteFile(fs *dfs.FS, name string, format dfs.Format, schema row.Schema, gen func(emit func(row.Row) error) error) (int64, error) {
+	w, err := fs.Create(name, format, schema)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	if err := gen(func(r row.Row) error {
+		n++
+		return w.Write(r)
+	}); err != nil {
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Collect materializes a generator into memory (tests, small inputs).
+func Collect(gen func(emit func(row.Row) error) error) []row.Row {
+	var out []row.Row
+	gen(func(r row.Row) error {
+		out = append(out, r)
+		return nil
+	})
+	return out
+}

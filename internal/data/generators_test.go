@@ -1,0 +1,132 @@
+package data
+
+import (
+	"testing"
+
+	"shark/internal/dfs"
+	"shark/internal/row"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Collect(func(emit func(row.Row) error) error { return Rankings(100, emit) })
+	b := Collect(func(emit func(row.Row) error) error { return Rankings(100, emit) })
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		for c := range a[i] {
+			if !row.Equal(a[i][c], b[i][c]) {
+				t.Fatalf("row %d differs", i)
+			}
+		}
+	}
+}
+
+func TestSchemasMatchRows(t *testing.T) {
+	check := func(name string, schema row.Schema, gen func(func(row.Row) error) error) {
+		rows := Collect(gen)
+		if len(rows) == 0 {
+			t.Fatalf("%s: no rows", name)
+		}
+		for _, r := range rows[:10] {
+			if len(r) != len(schema) {
+				t.Fatalf("%s: row width %d != schema %d", name, len(r), len(schema))
+			}
+			for c, f := range schema {
+				if r[c] == nil {
+					continue
+				}
+				got := row.TypeOf(r[c])
+				want := f.Type
+				if want == row.TDate {
+					want = row.TInt
+				}
+				if got != want {
+					t.Fatalf("%s col %s: %v != %v", name, f.Name, got, want)
+				}
+			}
+		}
+	}
+	check("rankings", RankingsSchema, func(e func(row.Row) error) error { return Rankings(50, e) })
+	check("uservisits", UserVisitsSchema, func(e func(row.Row) error) error { return UserVisits(50, 100, e) })
+	check("lineitem", LineitemSchema, func(e func(row.Row) error) error { return Lineitem(50, 10, e) })
+	check("supplier", SupplierSchema, func(e func(row.Row) error) error { return Supplier(50, e) })
+	check("orders", OrdersSchema, func(e func(row.Row) error) error { return Orders(50, e) })
+	check("sessions", SessionsSchema, func(e func(row.Row) error) error { return Sessions(80, 30, 10, e) })
+	check("points", PointsSchema(5), func(e func(row.Row) error) error { return Points(50, 5, e) })
+}
+
+func TestSessionsClustered(t *testing.T) {
+	rows := Collect(func(e func(row.Row) error) error { return Sessions(800, 30, 20, e) })
+	// within each country, days must be non-decreasing (append-only logs)
+	lastDay := map[string]int64{}
+	seen := map[string]bool{}
+	var order []string
+	for _, r := range rows {
+		c := r[2].(string)
+		d := r[1].(int64)
+		if last, ok := lastDay[c]; ok && d < last {
+			t.Fatalf("country %s days not monotone", c)
+		}
+		lastDay[c] = d
+		if !seen[c] {
+			seen[c] = true
+			order = append(order, c)
+		}
+	}
+	if len(order) < 4 {
+		t.Errorf("expected several countries, got %v", order)
+	}
+}
+
+func TestLineitemCardinalities(t *testing.T) {
+	rows := Collect(func(e func(row.Row) error) error { return Lineitem(10000, 100, e) })
+	modes := map[string]bool{}
+	dates := map[int64]bool{}
+	orders := map[int64]bool{}
+	for _, r := range rows {
+		modes[r[7].(string)] = true
+		dates[r[8].(int64)] = true
+		orders[r[0].(int64)] = true
+	}
+	if len(modes) != 7 {
+		t.Errorf("ship modes = %d, want 7", len(modes))
+	}
+	if len(dates) < 2000 {
+		t.Errorf("receipt dates = %d, want ~2500", len(dates))
+	}
+	if len(orders) != 2500 {
+		t.Errorf("order keys = %d, want n/4", len(orders))
+	}
+}
+
+func TestPointsSeparable(t *testing.T) {
+	rows := Collect(func(e func(row.Row) error) error { return Points(500, 4, e) })
+	pos := 0
+	for _, r := range rows {
+		if r[0].(float64) == 1.0 {
+			pos++
+		} else if r[0].(float64) != -1.0 {
+			t.Fatalf("bad label %v", r[0])
+		}
+	}
+	if pos < 100 || pos > 400 {
+		t.Errorf("label balance off: %d/500 positive", pos)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	fs, err := dfs.New(dfs.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := WriteFile(fs, "rankings", dfs.Text, RankingsSchema,
+		func(e func(row.Row) error) error { return Rankings(500, e) })
+	if err != nil || n != 500 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	rows, err := fs.ReadAll("rankings")
+	if err != nil || len(rows) != 500 {
+		t.Fatalf("read %d err=%v", len(rows), err)
+	}
+}

@@ -1,0 +1,199 @@
+package dfs
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"shark/internal/row"
+)
+
+var testSchema = row.Schema{{Name: "id", Type: row.TInt}, {Name: "name", Type: row.TString}, {Name: "score", Type: row.TFloat}}
+
+func newTestFS(t *testing.T, blockSize int) *FS {
+	t.Helper()
+	fs, err := New(Config{Dir: t.TempDir(), BlockSize: blockSize, ReplicationFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func writeRows(t *testing.T, fs *FS, name string, format Format, n int) {
+	t.Helper()
+	w, err := fs.Create(name, format, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Write(row.Row{int64(i), fmt.Sprintf("user-%d", i), float64(i) * 1.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, format := range []Format{Text, Binary} {
+		t.Run(format.String(), func(t *testing.T) {
+			fs := newTestFS(t, 1<<20)
+			writeRows(t, fs, "tbl", format, 1000)
+			rows, err := fs.ReadAll("tbl")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != 1000 {
+				t.Fatalf("got %d rows", len(rows))
+			}
+			if rows[7][0].(int64) != 7 || rows[7][1].(string) != "user-7" {
+				t.Errorf("row 7 = %v", rows[7])
+			}
+		})
+	}
+}
+
+func TestBlockSplitting(t *testing.T) {
+	fs := newTestFS(t, 256) // tiny blocks force splits
+	writeRows(t, fs, "tbl", Text, 500)
+	m, err := fs.Stat("tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Blocks) < 10 {
+		t.Fatalf("expected many blocks, got %d", len(m.Blocks))
+	}
+	if m.TotalRows() != 500 {
+		t.Errorf("TotalRows = %d", m.TotalRows())
+	}
+	// every block individually readable
+	var total int
+	for i := range m.Blocks {
+		r, err := fs.OpenBlock("tbl", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+		}
+		r.Close()
+	}
+	if total != 500 {
+		t.Errorf("sum over blocks = %d", total)
+	}
+}
+
+func TestReplicationAmplification(t *testing.T) {
+	fs := newTestFS(t, 1<<20)
+	writeRows(t, fs, "tbl", Binary, 2000)
+	m, _ := fs.Stat("tbl")
+	logical := m.TotalBytes()
+	physical := fs.PhysicalBytesWritten()
+	if physical != 3*logical {
+		t.Errorf("physical %d != 3 * logical %d", physical, logical)
+	}
+}
+
+func TestNamespace(t *testing.T) {
+	fs := newTestFS(t, 1<<20)
+	writeRows(t, fs, "warehouse/a/part-0", Text, 10)
+	writeRows(t, fs, "warehouse/a/part-1", Text, 10)
+	writeRows(t, fs, "warehouse/b/part-0", Text, 10)
+
+	if got := fs.List("warehouse/a/"); len(got) != 2 {
+		t.Errorf("List = %v", got)
+	}
+	if !fs.Exists("warehouse/b/part-0") {
+		t.Error("Exists false negative")
+	}
+	if fs.Exists("warehouse/c") {
+		t.Error("Exists false positive")
+	}
+
+	fs.DeletePrefix("warehouse/a/")
+	if got := fs.List("warehouse/"); len(got) != 1 {
+		t.Errorf("after delete List = %v", got)
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	fs := newTestFS(t, 1<<20)
+	writeRows(t, fs, "tbl", Text, 5)
+	if _, err := fs.Create("tbl", Text, testSchema); err == nil {
+		t.Error("duplicate create must fail")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := newTestFS(t, 1<<20)
+	w, err := fs.Create("empty", Binary, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fs.Stat("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalRows() != 0 || len(m.Blocks) != 1 {
+		t.Errorf("empty file meta: rows=%d blocks=%d", m.TotalRows(), len(m.Blocks))
+	}
+	rows, err := fs.ReadAll("empty")
+	if err != nil || len(rows) != 0 {
+		t.Errorf("ReadAll empty: %v, %v", rows, err)
+	}
+}
+
+func TestStatMissing(t *testing.T) {
+	fs := newTestFS(t, 1<<20)
+	if _, err := fs.Stat("nope"); err == nil {
+		t.Error("Stat missing must fail")
+	}
+	if _, err := fs.OpenBlock("nope", 0); err == nil {
+		t.Error("OpenBlock missing must fail")
+	}
+	writeRows(t, fs, "tbl", Text, 5)
+	if _, err := fs.OpenBlock("tbl", 99); err == nil {
+		t.Error("OpenBlock out of range must fail")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	// With full-precision floats (the ML workload shape) the binary
+	// format is more compact than text, matching the paper's
+	// Hadoop (binary) vs Hadoop (text) baseline relationship.
+	fs := newTestFS(t, 1<<20)
+	schema := row.Schema{{Name: "x0", Type: row.TFloat}, {Name: "x1", Type: row.TFloat}, {Name: "x2", Type: row.TFloat}}
+	write := func(name string, format Format) int64 {
+		w, err := fs.Create(name, format, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3000; i++ {
+			v := float64(i) * 0.123456789012345
+			if err := w.Write(row.Row{v, v * 2.718281828, v * 3.14159265358979}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		m, _ := fs.Stat(name)
+		return m.TotalBytes()
+	}
+	tb := write("t", Text)
+	bb := write("b", Binary)
+	if bb >= tb {
+		t.Errorf("binary (%d) should be smaller than text (%d) for float-heavy rows", bb, tb)
+	}
+}

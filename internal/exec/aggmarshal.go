@@ -1,0 +1,66 @@
+package exec
+
+import (
+	"shark/internal/row"
+	"shark/internal/shuffle"
+)
+
+// Disk-shuffle serialization for aggregation states (used when the
+// engine runs with shuffle.Disk, e.g. the §5 shuffle ablation or the
+// public DiskShuffle option). The encoding is self-describing — it
+// carries every accumulator field regardless of aggregate kind — so
+// decoding needs no aggregate specs.
+//
+// Layout: [nGroup, groupVals..., nAccs, acc0..., acc1...] where each
+// acc is [count, sumI, sumF, seen, min, max, nDistinct, distinct...].
+
+const aggStateTag = "exec.aggState"
+
+func init() {
+	shuffle.RegisterDiskDecoder(aggStateTag, unmarshalAggState)
+}
+
+// MarshalShuffle implements shuffle.DiskMarshaler.
+func (st *aggState) MarshalShuffle() (string, row.Row) {
+	out := row.Row{int64(len(st.groupVals))}
+	out = append(out, st.groupVals...)
+	out = append(out, int64(len(st.accs)))
+	for i := range st.accs {
+		a := &st.accs[i]
+		out = append(out, a.count, a.sumI, a.sumF, a.seen, a.min, a.max)
+		out = append(out, int64(len(a.distinct)))
+		for v := range a.distinct {
+			out = append(out, v)
+		}
+	}
+	return aggStateTag, out
+}
+
+func unmarshalAggState(r row.Row) any {
+	i := 0
+	next := func() any { v := r[i]; i++; return v }
+	nG := next().(int64)
+	st := &aggState{groupVals: make(row.Row, nG)}
+	for g := int64(0); g < nG; g++ {
+		st.groupVals[g] = next()
+	}
+	nA := next().(int64)
+	st.accs = make([]aggAcc, nA)
+	for a := int64(0); a < nA; a++ {
+		acc := &st.accs[a]
+		acc.count = next().(int64)
+		acc.sumI = next().(int64)
+		acc.sumF = next().(float64)
+		acc.seen = next().(bool)
+		acc.min = next()
+		acc.max = next()
+		nD := next().(int64)
+		if nD > 0 {
+			acc.distinct = make(map[any]struct{}, nD)
+			for d := int64(0); d < nD; d++ {
+				acc.distinct[next()] = struct{}{}
+			}
+		}
+	}
+	return st
+}

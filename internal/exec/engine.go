@@ -1,0 +1,662 @@
+// Package exec is Shark's physical engine: it compiles logical plans
+// into RDD pipelines on the simulated cluster. It implements the
+// paper's execution techniques — memstore scans with map pruning
+// (§3.5), two-phase hash aggregation whose reduce parallelism is
+// chosen at run time by PDE bin-packing (§3.1.2), and join execution
+// with static, adaptive (PDE) and co-partitioned strategies
+// (§3.1.1, §3.4).
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"shark/internal/catalog"
+	"shark/internal/dfs"
+	"shark/internal/expr"
+	"shark/internal/memtable"
+	"shark/internal/pde"
+	"shark/internal/plan"
+	"shark/internal/rdd"
+	"shark/internal/row"
+	"shark/internal/shuffle"
+)
+
+// StrategyMode selects how joins are planned.
+type StrategyMode int
+
+const (
+	// StrategyStaticAdaptive (default) uses static analysis to pick
+	// the likely-small side, pre-shuffles only that side, then decides
+	// with observed sizes — the paper's best configuration (Fig. 8).
+	StrategyStaticAdaptive StrategyMode = iota
+	// StrategyAdaptive pre-shuffles both sides, then decides.
+	StrategyAdaptive
+	// StrategyStatic decides purely from catalog estimates.
+	StrategyStatic
+)
+
+// String names the mode.
+func (m StrategyMode) String() string {
+	switch m {
+	case StrategyAdaptive:
+		return "adaptive"
+	case StrategyStatic:
+		return "static"
+	}
+	return "static+adaptive"
+}
+
+// Options tunes the engine.
+type Options struct {
+	// FineBucketsPerSlot controls shuffle granularity: fine buckets =
+	// slots × this factor (PDE coalesces them into reduce tasks).
+	// Default 4.
+	FineBucketsPerSlot int
+	// TargetPerReducerBytes sizes coalesced reduce partitions.
+	// Default 4 MiB.
+	TargetPerReducerBytes int64
+	// BroadcastThreshold is the map-join size cutoff. Default 2 MiB.
+	BroadcastThreshold int64
+	// JoinStrategy selects join planning. Default StrategyStaticAdaptive.
+	JoinStrategy StrategyMode
+	// CompileExprs uses closure-compiled expressions (default true via
+	// !DisableExprCompile).
+	DisableExprCompile bool
+	// DisablePruning turns off map pruning (ablation).
+	DisablePruning bool
+	// DisableCoalesce turns off PDE reducer coalescing: one reduce
+	// task per fine bucket (the paper's "just run many tasks" mode).
+	DisableCoalesce bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.FineBucketsPerSlot <= 0 {
+		o.FineBucketsPerSlot = 4
+	}
+	if o.TargetPerReducerBytes <= 0 {
+		o.TargetPerReducerBytes = 4 << 20
+	}
+	if o.BroadcastThreshold <= 0 {
+		o.BroadcastThreshold = 2 << 20
+	}
+	return o
+}
+
+// QueryStats reports what the engine did — the observability the
+// experiments rely on.
+type QueryStats struct {
+	ScannedPartitions int
+	PrunedPartitions  int
+	JoinStrategies    []string
+	ReducerCounts     []int
+	ShuffleBytes      int64
+}
+
+// Engine compiles and runs logical plans.
+type Engine struct {
+	Ctx  *rdd.Context
+	Cat  *catalog.Catalog
+	FS   *dfs.FS
+	opts Options
+}
+
+// New creates an engine.
+func New(ctx *rdd.Context, cat *catalog.Catalog, fs *dfs.FS, opts Options) *Engine {
+	return &Engine{Ctx: ctx, Cat: cat, FS: fs, opts: opts.withDefaults()}
+}
+
+// Options returns the engine's effective options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Result is a fully materialized query result.
+type Result struct {
+	Schema row.Schema
+	Rows   []row.Row
+	Stats  QueryStats
+}
+
+// CompileToRDD lowers a plan to a row RDD without running the final
+// collect — the sql2rdd path. Top-level Sort/Limit nodes are not
+// supported here (the session materializes those).
+func (e *Engine) CompileToRDD(n plan.Node) (*rdd.RDD, error) {
+	stats := &QueryStats{}
+	return e.compile(n, stats)
+}
+
+// Run executes a logical plan to completion.
+func (e *Engine) Run(n plan.Node) (*Result, error) {
+	stats := &QueryStats{}
+
+	limit := int64(-1)
+	if l, ok := n.(*plan.Limit); ok {
+		limit = l.N
+		n = l.Child
+	}
+	var sortKeys []plan.SortKey
+	if s, ok := n.(*plan.Sort); ok {
+		sortKeys = s.Keys
+		n = s.Child
+	}
+
+	schema := n.Schema()
+	r, err := e.compile(n, stats)
+	if err != nil {
+		return nil, err
+	}
+
+	// LIMIT pushdown: with no sort, each partition needs at most N rows.
+	if limit >= 0 && sortKeys == nil {
+		lim := limit
+		r = r.MapPartitions(func(part int, in rdd.Iter) rdd.Iter {
+			var taken int64
+			return rdd.FuncIter(func() (any, bool) {
+				if taken >= lim {
+					return nil, false
+				}
+				v, ok := in.Next()
+				if !ok {
+					return nil, false
+				}
+				taken++
+				return v, true
+			})
+		})
+	}
+
+	raw, err := r.Collect()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]row.Row, len(raw))
+	for i, v := range raw {
+		rows[i] = v.(row.Row)
+	}
+
+	if sortKeys != nil {
+		keyFns := make([]expr.EvalFn, len(sortKeys))
+		for i, k := range sortKeys {
+			keyFns[i] = e.evalFn(k.Expr)
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k, fn := range keyFns {
+				c := compareNullable(fn(rows[i]), fn(rows[j]))
+				if c == 0 {
+					continue
+				}
+				if sortKeys[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if limit >= 0 && int64(len(rows)) > limit {
+		rows = rows[:limit]
+	}
+	return &Result{Schema: schema, Rows: rows, Stats: *stats}, nil
+}
+
+func compareNullable(a, b any) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	return row.Compare(a, b)
+}
+
+// evalFn compiles or wraps an expression per engine options.
+func (e *Engine) evalFn(x expr.Expr) expr.EvalFn {
+	if e.opts.DisableExprCompile {
+		return x.Eval
+	}
+	return x.Compile()
+}
+
+// fineBuckets returns the shuffle bucket count (finer than the reduce
+// parallelism; PDE coalesces).
+func (e *Engine) fineBuckets() int {
+	return e.Ctx.Cluster.TotalSlots() * e.opts.FineBucketsPerSlot
+}
+
+// compile lowers a plan node to an RDD of row.Row.
+func (e *Engine) compile(n plan.Node, stats *QueryStats) (*rdd.RDD, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return e.compileScan(t, stats)
+	case *plan.Filter:
+		child, err := e.compile(t.Child, stats)
+		if err != nil {
+			return nil, err
+		}
+		pred := e.evalFn(t.Cond)
+		return child.Filter(func(v any) bool { return row.Truth(pred(v.(row.Row))) }), nil
+	case *plan.Project:
+		child, err := e.compile(t.Child, stats)
+		if err != nil {
+			return nil, err
+		}
+		fns := make([]expr.EvalFn, len(t.Exprs))
+		for i, x := range t.Exprs {
+			fns[i] = e.evalFn(x)
+		}
+		return child.Map(func(v any) any {
+			in := v.(row.Row)
+			out := make(row.Row, len(fns))
+			for i, f := range fns {
+				out[i] = f(in)
+			}
+			return out
+		}), nil
+	case *plan.Aggregate:
+		return e.compileAggregate(t, stats)
+	case *plan.Join:
+		return e.compileJoin(t, stats)
+	case *plan.Sort:
+		// Sort below the root (e.g. in a subquery): materialize and
+		// re-sort at the master; results at this position are small in
+		// every workload the paper evaluates.
+		child, err := e.compile(t.Child, stats)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := child.Collect()
+		if err != nil {
+			return nil, err
+		}
+		keyFns := make([]expr.EvalFn, len(t.Keys))
+		for i, k := range t.Keys {
+			keyFns[i] = e.evalFn(k.Expr)
+		}
+		sort.SliceStable(raw, func(i, j int) bool {
+			for k, fn := range keyFns {
+				c := compareNullable(fn(raw[i].(row.Row)), fn(raw[j].(row.Row)))
+				if c == 0 {
+					continue
+				}
+				if t.Keys[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		return e.Ctx.Parallelize(raw, e.Ctx.Cluster.TotalSlots()), nil
+	case *plan.Limit:
+		child, err := e.compile(t.Child, stats)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := child.Take(int(t.N))
+		if err != nil {
+			return nil, err
+		}
+		return e.Ctx.Parallelize(raw, 1), nil
+	case plan.OneRow:
+		return e.Ctx.Parallelize([]any{row.Row{}}, 1), nil
+	}
+	return nil, fmt.Errorf("exec: cannot compile %T", n)
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+
+func (e *Engine) compileScan(s *plan.Scan, stats *QueryStats) (*rdd.RDD, error) {
+	var r *rdd.RDD
+	if s.Table.Cached() {
+		mem := s.Table.Mem
+		parts := make([]int, mem.NumPartitions())
+		for i := range parts {
+			parts[i] = i
+		}
+		if !e.opts.DisablePruning && len(s.Pruning) > 0 {
+			// Pruning predicates use scan-projected column positions;
+			// the table statistics use full-schema positions. Remap.
+			preds := make([]memtable.ColPredicate, 0, len(s.Pruning))
+			for _, p := range s.Pruning {
+				if p.Col < 0 || p.Col >= len(s.NeededCols) {
+					continue
+				}
+				p.Col = s.NeededCols[p.Col]
+				preds = append(preds, p)
+			}
+			surviving := mem.Prune(preds)
+			stats.PrunedPartitions += len(parts) - len(surviving)
+			parts = surviving
+		}
+		stats.ScannedPartitions += len(parts)
+		r = mem.Scan(parts, s.NeededCols)
+	} else {
+		var err error
+		r, err = e.dfsScan(s)
+		if err != nil {
+			return nil, err
+		}
+		stats.ScannedPartitions += r.NumPartitions()
+	}
+	if len(s.Filters) > 0 {
+		pred := e.evalFn(conjoinAll(s.Filters))
+		r = r.Filter(func(v any) bool { return row.Truth(pred(v.(row.Row))) })
+	}
+	return r, nil
+}
+
+func conjoinAll(es []expr.Expr) expr.Expr {
+	out := es[0]
+	for _, x := range es[1:] {
+		out = &expr.And{L: out, R: x}
+	}
+	return out
+}
+
+// dfsScan reads an external table: one partition per DFS block, each
+// task re-reading and re-parsing from disk (schema-on-read cost).
+func (e *Engine) dfsScan(s *plan.Scan) (*rdd.RDD, error) {
+	meta, err := e.FS.Stat(s.Table.File)
+	if err != nil {
+		return nil, err
+	}
+	file := s.Table.File
+	fs := e.FS
+	needed := append([]int(nil), s.NeededCols...)
+	return e.Ctx.Source(
+		fmt.Sprintf("dfsscan(%s)", s.Table.Name),
+		len(meta.Blocks),
+		func(tc *rdd.TaskContext, part int) rdd.Iter {
+			rd, err := fs.OpenBlock(file, part)
+			if err != nil {
+				rdd.Fail(err)
+			}
+			return rdd.FuncIter(func() (any, bool) {
+				rr, err := rd.Next()
+				if err == io.EOF {
+					rd.Close()
+					return nil, false
+				}
+				if err != nil {
+					rd.Close()
+					rdd.Fail(err)
+				}
+				out := make(row.Row, len(needed))
+				for i, c := range needed {
+					out[i] = rr[c]
+				}
+				return out, true
+			})
+		},
+		nil,
+	), nil
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation: two-phase hash aggregation. Map tasks pre-aggregate
+// locally (the map-side combine), shuffle partial states by group key,
+// and PDE picks the reduce parallelism by bin-packing observed bucket
+// sizes.
+
+func (e *Engine) compileAggregate(a *plan.Aggregate, stats *QueryStats) (*rdd.RDD, error) {
+	child, err := e.compile(a.Child, stats)
+	if err != nil {
+		return nil, err
+	}
+	groupFns := make([]expr.EvalFn, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		groupFns[i] = e.evalFn(g)
+	}
+	argFns := make([]expr.EvalFn, len(a.Aggs))
+	for i, spec := range a.Aggs {
+		if spec.Arg != nil {
+			argFns[i] = e.evalFn(spec.Arg)
+		}
+	}
+	specs := a.Aggs
+
+	// Partial aggregation per input partition.
+	partial := child.MapPartitions(func(part int, in rdd.Iter) rdd.Iter {
+		groups := make(map[any]*aggState)
+		for {
+			v, ok := in.Next()
+			if !ok {
+				break
+			}
+			r := v.(row.Row)
+			key, groupVals := groupKey(groupFns, r)
+			st := groups[key]
+			if st == nil {
+				st = newAggState(groupVals, specs)
+				groups[key] = st
+			}
+			st.update(specs, argFns, r)
+		}
+		// Global aggregation must produce a row even over empty input
+		// (COUNT(*) = 0, SUM = NULL), so emit an identity state.
+		if len(groupFns) == 0 && len(groups) == 0 {
+			groups[""] = newAggState(nil, specs)
+		}
+		out := make([]any, 0, len(groups))
+		for key, st := range groups {
+			out = append(out, shuffle.Pair{K: key, V: st})
+		}
+		return rdd.SliceIter(out)
+	})
+
+	nBuckets := e.fineBuckets()
+	dep := e.Ctx.NewShuffleDep(partial, shuffle.HashPartitioner{N: nBuckets},
+		func(x, y any) any { return x.(*aggState).merge(y.(*aggState), specs) })
+
+	// PDE: materialize the map side, observe bucket sizes, coalesce.
+	shufStats, err := e.Ctx.Scheduler().MaterializeShuffle(dep)
+	if err != nil {
+		return nil, err
+	}
+	stats.ShuffleBytes += shufStats.TotalBytes
+	var groups [][]int
+	if e.opts.DisableCoalesce {
+		groups = nil // identity: one reduce task per fine bucket
+		stats.ReducerCounts = append(stats.ReducerCounts, nBuckets)
+	} else {
+		target := pde.TargetReducers(shufStats.TotalBytes, e.opts.TargetPerReducerBytes,
+			1, nBuckets)
+		if target < e.Ctx.Cluster.TotalSlots() && shufStats.TotalRecords > int64(e.Ctx.Cluster.TotalSlots()) {
+			target = e.Ctx.Cluster.TotalSlots()
+		}
+		groups = pde.Coalesce(shufStats.BucketBytes, target)
+		stats.ReducerCounts = append(stats.ReducerCounts, len(groups))
+	}
+
+	merged := e.Ctx.Shuffled(dep, groups, rdd.ReadCombine)
+	nGroupCols := len(a.GroupBy)
+	return merged.MapPartitions(func(part int, in rdd.Iter) rdd.Iter {
+		return rdd.FuncIter(func() (any, bool) {
+			v, ok := in.Next()
+			if !ok {
+				return nil, false
+			}
+			st := v.(shuffle.Pair).V.(*aggState)
+			out := make(row.Row, nGroupCols+len(specs))
+			copy(out, st.groupVals)
+			for i, spec := range specs {
+				out[nGroupCols+i] = st.finalize(i, spec)
+			}
+			return out, true
+		})
+	}), nil
+}
+
+// groupKey derives the shuffle key and the group values for a row.
+// Single scalar keys are used directly; composite keys are encoded to
+// a string (comparable, hashable).
+func groupKey(groupFns []expr.EvalFn, r row.Row) (any, row.Row) {
+	if len(groupFns) == 0 {
+		return "", nil
+	}
+	vals := make(row.Row, len(groupFns))
+	for i, f := range groupFns {
+		vals[i] = f(r)
+	}
+	if len(vals) == 1 {
+		return normalizeGroupKey(vals[0]), vals
+	}
+	return string(row.EncodeBinary(nil, vals)), vals
+}
+
+func normalizeGroupKey(v any) any {
+	if v == nil {
+		return "\x00null\x00" // map keys must be comparable; nil is, but keep it distinct from ""
+	}
+	return v
+}
+
+// aggState is the partial-aggregation accumulator shipped through the
+// shuffle (memory mode keeps it as a pointer; the MR baseline uses its
+// own row-encodable states).
+type aggState struct {
+	groupVals row.Row
+	accs      []aggAcc
+}
+
+type aggAcc struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	seen     bool
+	min, max any
+	distinct map[any]struct{}
+}
+
+func newAggState(groupVals row.Row, specs []plan.AggSpec) *aggState {
+	st := &aggState{groupVals: groupVals, accs: make([]aggAcc, len(specs))}
+	for i, s := range specs {
+		if s.Kind == plan.AggCountDistinct {
+			st.accs[i].distinct = make(map[any]struct{})
+		}
+	}
+	return st
+}
+
+func (st *aggState) update(specs []plan.AggSpec, argFns []expr.EvalFn, r row.Row) {
+	for i, spec := range specs {
+		acc := &st.accs[i]
+		switch spec.Kind {
+		case plan.AggCount:
+			if argFns[i] == nil {
+				acc.count++
+			} else if argFns[i](r) != nil {
+				acc.count++
+			}
+		case plan.AggCountDistinct:
+			if v := argFns[i](r); v != nil {
+				acc.distinct[normalizeGroupKey(v)] = struct{}{}
+			}
+		case plan.AggSum, plan.AggAvg:
+			v := argFns[i](r)
+			if v == nil {
+				continue
+			}
+			acc.seen = true
+			acc.count++
+			switch x := v.(type) {
+			case int64:
+				acc.sumI += x
+				acc.sumF += float64(x)
+			case float64:
+				acc.sumF += x
+			}
+		case plan.AggMin:
+			if v := argFns[i](r); v != nil {
+				if acc.min == nil || row.Compare(v, acc.min) < 0 {
+					acc.min = v
+				}
+			}
+		case plan.AggMax:
+			if v := argFns[i](r); v != nil {
+				if acc.max == nil || row.Compare(v, acc.max) > 0 {
+					acc.max = v
+				}
+			}
+		}
+	}
+}
+
+// clone deep-copies the state. Merging never mutates its inputs:
+// states live in shuffle buckets that retried or speculative reduce
+// tasks may re-read, so in-place merging would double-count.
+func (st *aggState) clone(specs []plan.AggSpec) *aggState {
+	out := &aggState{groupVals: st.groupVals, accs: append([]aggAcc(nil), st.accs...)}
+	for i, s := range specs {
+		if s.Kind == plan.AggCountDistinct {
+			m := make(map[any]struct{}, len(st.accs[i].distinct))
+			for v := range st.accs[i].distinct {
+				m[v] = struct{}{}
+			}
+			out.accs[i].distinct = m
+		}
+	}
+	return out
+}
+
+// merge returns a fresh state holding st ⊕ other.
+func (st *aggState) merge(other *aggState, specs []plan.AggSpec) *aggState {
+	st = st.clone(specs)
+	for i, spec := range specs {
+		a, b := &st.accs[i], &other.accs[i]
+		switch spec.Kind {
+		case plan.AggCount:
+			a.count += b.count
+		case plan.AggCountDistinct:
+			for v := range b.distinct {
+				a.distinct[v] = struct{}{}
+			}
+		case plan.AggSum, plan.AggAvg:
+			a.count += b.count
+			a.sumI += b.sumI
+			a.sumF += b.sumF
+			a.seen = a.seen || b.seen
+		case plan.AggMin:
+			if b.min != nil && (a.min == nil || row.Compare(b.min, a.min) < 0) {
+				a.min = b.min
+			}
+		case plan.AggMax:
+			if b.max != nil && (a.max == nil || row.Compare(b.max, a.max) > 0) {
+				a.max = b.max
+			}
+		}
+	}
+	return st
+}
+
+func (st *aggState) finalize(i int, spec plan.AggSpec) any {
+	acc := &st.accs[i]
+	switch spec.Kind {
+	case plan.AggCount:
+		return acc.count
+	case plan.AggCountDistinct:
+		return int64(len(acc.distinct))
+	case plan.AggSum:
+		if !acc.seen {
+			return nil
+		}
+		if spec.Out == row.TInt {
+			return acc.sumI
+		}
+		return acc.sumF
+	case plan.AggAvg:
+		if acc.count == 0 {
+			return nil
+		}
+		return acc.sumF / float64(acc.count)
+	case plan.AggMin:
+		return acc.min
+	case plan.AggMax:
+		return acc.max
+	}
+	return nil
+}

@@ -1,0 +1,465 @@
+package exec
+
+import (
+	"fmt"
+
+	"shark/internal/expr"
+	"shark/internal/pde"
+	"shark/internal/plan"
+	"shark/internal/rdd"
+	"shark/internal/row"
+	"shark/internal/shuffle"
+)
+
+// compileJoin lowers an equi-join, choosing among (paper §3.1.1, §3.4):
+//
+//   - co-partitioned map join: both sides are memstore tables
+//     DISTRIBUTEd BY the join keys with identical partitioners — no
+//     shuffle at all, ZipPartitions + local hash join;
+//   - map (broadcast) join: one side observed or estimated small —
+//     collect it, broadcast the hash table, map over the other side;
+//   - shuffle join: hash-repartition both sides into fine buckets and
+//     join bucket-wise, with the local build side chosen per bucket
+//     from run-time statistics.
+//
+// In adaptive modes the decision uses sizes observed by PDE after
+// running pre-shuffle map stages.
+func (e *Engine) compileJoin(j *plan.Join, stats *QueryStats) (*rdd.RDD, error) {
+	// Co-partitioned fast path.
+	if r, ok, err := e.tryCopartitionedJoin(j, stats); err != nil || ok {
+		return r, err
+	}
+
+	left, err := e.compile(j.Left, stats)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.compile(j.Right, stats)
+	if err != nil {
+		return nil, err
+	}
+	lKey := e.evalFn(j.LeftKey)
+	rKey := e.evalFn(j.RightKey)
+
+	switch e.opts.JoinStrategy {
+	case StrategyStatic:
+		return e.staticJoin(j, left, right, lKey, rKey, stats)
+	case StrategyAdaptive:
+		return e.adaptiveJoin(left, right, lKey, rKey, stats)
+	default:
+		return e.staticAdaptiveJoin(j, left, right, lKey, rKey, stats)
+	}
+}
+
+// estimateSide statically estimates a child's output bytes: catalog
+// sizes discounted per simple filter conjunct. Predicates containing
+// function calls (UDFs) get no discount — the static optimizer has no
+// selectivity estimate for them, which is exactly the blind spot PDE
+// closes (§3.1, §6.3.2).
+func estimateSide(n plan.Node) int64 {
+	switch t := n.(type) {
+	case *plan.Scan:
+		est := t.EstBytes()
+		for _, f := range t.Filters {
+			if !containsCall(f) {
+				est = est * 3 / 10
+			}
+		}
+		return est
+	case *plan.Filter:
+		if containsCall(t.Cond) {
+			return estimateSide(t.Child)
+		}
+		return estimateSide(t.Child) * 3 / 10
+	case *plan.Project:
+		return estimateSide(t.Child)
+	case *plan.Aggregate:
+		return estimateSide(t.Child) / 4
+	case *plan.Join:
+		return estimateSide(t.Left) + estimateSide(t.Right)
+	}
+	return 1 << 30
+}
+
+// containsCall reports whether an expression tree invokes any function
+// (built-in or UDF) — treated as unestimatable by the static planner.
+func containsCall(e expr.Expr) bool {
+	switch t := e.(type) {
+	case *expr.Call:
+		return true
+	case *expr.Arith:
+		return containsCall(t.L) || containsCall(t.R)
+	case *expr.Cmp:
+		return containsCall(t.L) || containsCall(t.R)
+	case *expr.And:
+		return containsCall(t.L) || containsCall(t.R)
+	case *expr.Or:
+		return containsCall(t.L) || containsCall(t.R)
+	case *expr.Not:
+		return containsCall(t.E)
+	case *expr.Neg:
+		return containsCall(t.E)
+	case *expr.In:
+		if containsCall(t.E) {
+			return true
+		}
+		for _, item := range t.List {
+			if containsCall(item) {
+				return true
+			}
+		}
+		return false
+	case *expr.Like:
+		return containsCall(t.E)
+	case *expr.IsNull:
+		return containsCall(t.E)
+	case *expr.Cast:
+		return containsCall(t.E)
+	case *expr.Case:
+		for _, w := range t.Whens {
+			if containsCall(w.Cond) || containsCall(w.Then) {
+				return true
+			}
+		}
+		return t.Else != nil && containsCall(t.Else)
+	}
+	return false
+}
+
+// staticJoin decides from estimates only: broadcast if an estimated
+// side is under threshold, else full shuffle join.
+func (e *Engine) staticJoin(j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
+	lEst, rEst := estimateSide(j.Left), estimateSide(j.Right)
+	switch pde.ChooseJoinStrategy(lEst, rEst, e.opts.BroadcastThreshold) {
+	case pde.MapJoinLeft:
+		stats.JoinStrategies = append(stats.JoinStrategies, "static:map-join(left)")
+		return e.broadcastJoin(left, right, lKey, rKey, true)
+	case pde.MapJoinRight:
+		stats.JoinStrategies = append(stats.JoinStrategies, "static:map-join(right)")
+		return e.broadcastJoin(right, left, rKey, lKey, false)
+	}
+	stats.JoinStrategies = append(stats.JoinStrategies, "static:shuffle-join")
+	lDep, lStats, err := e.preShuffle(left, lKey)
+	if err != nil {
+		return nil, err
+	}
+	rDep, rStats, err := e.preShuffle(right, rKey)
+	if err != nil {
+		return nil, err
+	}
+	return e.shuffleJoinRead(lDep, rDep, lStats, rStats, stats), nil
+}
+
+// adaptiveJoin pre-shuffles both sides, then decides from observed
+// sizes (the paper's "Adaptive" bar in Fig. 8).
+func (e *Engine) adaptiveJoin(left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
+	lDep, lStats, err := e.preShuffle(left, lKey)
+	if err != nil {
+		return nil, err
+	}
+	rDep, rStats, err := e.preShuffle(right, rKey)
+	if err != nil {
+		return nil, err
+	}
+	switch pde.ChooseJoinStrategy(lStats.TotalBytes, rStats.TotalBytes, e.opts.BroadcastThreshold) {
+	case pde.MapJoinLeft:
+		stats.JoinStrategies = append(stats.JoinStrategies, "adaptive:map-join(left)")
+		return e.broadcastJoinFromShuffle(lDep, right, rKey, true)
+	case pde.MapJoinRight:
+		stats.JoinStrategies = append(stats.JoinStrategies, "adaptive:map-join(right)")
+		return e.broadcastJoinFromShuffle(rDep, left, lKey, false)
+	}
+	stats.JoinStrategies = append(stats.JoinStrategies, "adaptive:shuffle-join")
+	return e.shuffleJoinRead(lDep, rDep, lStats, rStats, stats), nil
+}
+
+// staticAdaptiveJoin uses the static prior to pick the likely-small
+// side, pre-shuffles only that side, and avoids ever shuffling the big
+// side when the observation confirms the prior (Fig. 8's best plan).
+func (e *Engine) staticAdaptiveJoin(j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
+	lEst, rEst := estimateSide(j.Left), estimateSide(j.Right)
+	probeLeft := lEst <= rEst // side more likely to be small
+	var smallSide, bigSide *rdd.RDD
+	var smallKey, bigKey expr.EvalFn
+	if probeLeft {
+		smallSide, bigSide, smallKey, bigKey = left, right, lKey, rKey
+	} else {
+		smallSide, bigSide, smallKey, bigKey = right, left, rKey, lKey
+	}
+	smallDep, smallStats, err := e.preShuffle(smallSide, smallKey)
+	if err != nil {
+		return nil, err
+	}
+	if smallStats.TotalBytes <= e.opts.BroadcastThreshold {
+		side := "right"
+		if probeLeft {
+			side = "left"
+		}
+		stats.JoinStrategies = append(stats.JoinStrategies,
+			fmt.Sprintf("static+adaptive:map-join(%s)", side))
+		return e.broadcastJoinFromShuffle(smallDep, bigSide, bigKey, probeLeft)
+	}
+	// Prior was wrong: fall back to a full shuffle join.
+	stats.JoinStrategies = append(stats.JoinStrategies, "static+adaptive:shuffle-join")
+	bigDep, bigStats, err := e.preShuffle(bigSide, bigKey)
+	if err != nil {
+		return nil, err
+	}
+	if probeLeft {
+		return e.shuffleJoinRead(smallDep, bigDep, smallStats, bigStats, stats), nil
+	}
+	return e.shuffleJoinRead(bigDep, smallDep, bigStats, smallStats, stats), nil
+}
+
+// preShuffle materializes the map side of a shuffle keyed by keyFn and
+// returns the dependency plus observed statistics (the PDE primitive).
+func (e *Engine) preShuffle(r *rdd.RDD, keyFn expr.EvalFn) (*rdd.ShuffleDep, *pde.StageStats, error) {
+	pairs := r.Map(func(v any) any {
+		rr := v.(row.Row)
+		return shuffle.Pair{K: normalizeGroupKey(keyFn(rr)), V: rr}
+	})
+	dep := e.Ctx.NewShuffleDep(pairs, shuffle.HashPartitioner{N: e.fineBuckets()}, nil)
+	st, err := e.Ctx.Scheduler().MaterializeShuffle(dep)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dep, st, nil
+}
+
+// shuffleJoinRead joins two materialized shuffles bucket-by-bucket.
+// Buckets are coalesced into reduce partitions by bin-packing the
+// combined observed sizes; within each bucket the hash table is built
+// over whichever input is locally smaller (run-time choice, §3.1.1).
+func (e *Engine) shuffleJoinRead(lDep, rDep *rdd.ShuffleDep, lStats, rStats *pde.StageStats, stats *QueryStats) *rdd.RDD {
+	n := lDep.Partitioner.NumPartitions()
+	combined := make([]int64, n)
+	for i := 0; i < n; i++ {
+		combined[i] = lStats.BucketBytes[i] + rStats.BucketBytes[i]
+	}
+	var total int64
+	for _, b := range combined {
+		total += b
+	}
+	stats.ShuffleBytes += total
+	var groups [][]int
+	if e.opts.DisableCoalesce {
+		groups = nil
+		stats.ReducerCounts = append(stats.ReducerCounts, n)
+	} else {
+		target := pde.TargetReducers(total, e.opts.TargetPerReducerBytes, e.Ctx.Cluster.TotalSlots(), n)
+		groups = pde.Coalesce(combined, target)
+		stats.ReducerCounts = append(stats.ReducerCounts, len(groups))
+	}
+	if groups == nil {
+		groups = make([][]int, n)
+		for i := range groups {
+			groups[i] = []int{i}
+		}
+	}
+	lRecs := append([]int64(nil), lStats.BucketRecords...)
+	rRecs := append([]int64(nil), rStats.BucketRecords...)
+	ctx := e.Ctx
+	return joinSource(ctx, lDep, rDep, groups, lRecs, rRecs)
+}
+
+// joinSource builds the reduce-side RDD of a shuffle join.
+func joinSource(ctx *rdd.Context, lDep, rDep *rdd.ShuffleDep, groups [][]int, lRecs, rRecs []int64) *rdd.RDD {
+	return ctx.Source("shuffle-join", len(groups), func(tc *rdd.TaskContext, part int) rdd.Iter {
+		var out []any
+		for _, b := range groups[part] {
+			lPairs := fetchBucket(tc, lDep, b)
+			rPairs := fetchBucket(tc, rDep, b)
+			// Run-time local algorithm choice: build on the smaller
+			// side of this bucket.
+			if lRecs[b] <= rRecs[b] {
+				out = joinBucket(out, lPairs, rPairs, false)
+			} else {
+				out = joinBucket(out, rPairs, lPairs, true)
+			}
+		}
+		return rdd.SliceIter(out)
+	}, nil)
+}
+
+func fetchBucket(tc *rdd.TaskContext, dep *rdd.ShuffleDep, bucket int) []shuffle.Pair {
+	locs := tc.Ctx.Tracker().Locations(dep.ID)
+	pairs, err := tc.Ctx.Shuffle.Fetch(dep.ID, bucket, locs)
+	if err != nil {
+		rdd.Fail(err)
+	}
+	return pairs
+}
+
+// joinBucket hash-joins build×probe. swapped means build came from the
+// right side, so output column order must flip back to left++right.
+func joinBucket(out []any, build, probe []shuffle.Pair, swapped bool) []any {
+	ht := make(map[any][]row.Row, len(build))
+	for _, p := range build {
+		ht[p.K] = append(ht[p.K], p.V.(row.Row))
+	}
+	for _, p := range probe {
+		if p.K == nil {
+			continue
+		}
+		for _, b := range ht[p.K] {
+			pr := p.V.(row.Row)
+			if swapped {
+				out = append(out, concatRows(pr, b))
+			} else {
+				out = append(out, concatRows(b, pr))
+			}
+		}
+	}
+	return out
+}
+
+func concatRows(a, b row.Row) row.Row {
+	out := make(row.Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// broadcastJoin collects the small side (an ordinary job), builds a
+// hash table, and probes it from map tasks over the big side — no
+// shuffle of the big side.
+func (e *Engine) broadcastJoin(small, big *rdd.RDD, smallKey, bigKey expr.EvalFn, smallIsLeft bool) (*rdd.RDD, error) {
+	rows, err := small.Collect()
+	if err != nil {
+		return nil, err
+	}
+	ht := make(map[any][]row.Row, len(rows))
+	for _, v := range rows {
+		r := v.(row.Row)
+		k := normalizeGroupKey(smallKey(r))
+		ht[k] = append(ht[k], r)
+	}
+	return e.probeBroadcast(ht, big, bigKey, smallIsLeft), nil
+}
+
+// broadcastJoinFromShuffle is broadcastJoin where the small side was
+// already materialized as shuffle map output: its rows are fetched
+// from the buckets instead of recomputed.
+func (e *Engine) broadcastJoinFromShuffle(smallDep *rdd.ShuffleDep, big *rdd.RDD, bigKey expr.EvalFn, smallIsLeft bool) (*rdd.RDD, error) {
+	locs := e.Ctx.Tracker().Locations(smallDep.ID)
+	ht := make(map[any][]row.Row)
+	for b := 0; b < smallDep.Partitioner.NumPartitions(); b++ {
+		pairs, err := e.Ctx.Shuffle.Fetch(smallDep.ID, b, locs)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pairs {
+			ht[p.K] = append(ht[p.K], p.V.(row.Row))
+		}
+	}
+	return e.probeBroadcast(ht, big, bigKey, smallIsLeft), nil
+}
+
+func (e *Engine) probeBroadcast(ht map[any][]row.Row, big *rdd.RDD, bigKey expr.EvalFn, buildIsLeft bool) *rdd.RDD {
+	bc := e.Ctx.NewBroadcast(ht)
+	return big.FlatMap(func(v any) []any {
+		r := v.(row.Row)
+		k := normalizeGroupKey(bigKey(r))
+		table := bc.Value.(map[any][]row.Row)
+		matches := table[k]
+		if len(matches) == 0 {
+			return nil
+		}
+		out := make([]any, 0, len(matches))
+		for _, m := range matches {
+			if buildIsLeft {
+				out = append(out, concatRows(m, r))
+			} else {
+				out = append(out, concatRows(r, m))
+			}
+		}
+		return out
+	})
+}
+
+// tryCopartitionedJoin detects the §3.4 case: both children are scans
+// of cached tables DISTRIBUTEd BY the join keys with identical
+// partitioning. The join then runs as map tasks only.
+func (e *Engine) tryCopartitionedJoin(j *plan.Join, stats *QueryStats) (*rdd.RDD, bool, error) {
+	ls, lok := j.Left.(*plan.Scan)
+	rs, rok := j.Right.(*plan.Scan)
+	if !lok || !rok || !ls.Table.Cached() || !rs.Table.Cached() {
+		return nil, false, nil
+	}
+	lm, rm := ls.Table.Mem, rs.Table.Mem
+	if lm.Partitioner == nil || rm.Partitioner == nil {
+		return nil, false, nil
+	}
+	lp, lok2 := lm.Partitioner.(shuffle.HashPartitioner)
+	rp, rok2 := rm.Partitioner.(shuffle.HashPartitioner)
+	if !lok2 || !rok2 || lp.N != rp.N {
+		return nil, false, nil
+	}
+	// Join keys must be exactly the distribution columns.
+	if !keyIsDistCol(j.LeftKey, ls) || !keyIsDistCol(j.RightKey, rs) {
+		return nil, false, nil
+	}
+	stats.JoinStrategies = append(stats.JoinStrategies, "copartitioned:map-join")
+	stats.ScannedPartitions += lm.NumPartitions() + rm.NumPartitions()
+
+	leftScan := lm.Scan(nil, ls.NeededCols)
+	rightScan := rm.Scan(nil, rs.NeededCols)
+	lKey := e.evalFn(j.LeftKey)
+	rKey := e.evalFn(j.RightKey)
+	lFilter := scanFilterFn(e, ls)
+	rFilter := scanFilterFn(e, rs)
+
+	joined := leftScan.ZipPartitions(rightScan, func(part int, a, b rdd.Iter) rdd.Iter {
+		ht := make(map[any][]row.Row)
+		for {
+			v, ok := a.Next()
+			if !ok {
+				break
+			}
+			r := v.(row.Row)
+			if lFilter != nil && !lFilter(r) {
+				continue
+			}
+			k := normalizeGroupKey(lKey(r))
+			ht[k] = append(ht[k], r)
+		}
+		var out []any
+		for {
+			v, ok := b.Next()
+			if !ok {
+				break
+			}
+			r := v.(row.Row)
+			if rFilter != nil && !rFilter(r) {
+				continue
+			}
+			k := normalizeGroupKey(rKey(r))
+			for _, m := range ht[k] {
+				out = append(out, concatRows(m, r))
+			}
+		}
+		return rdd.SliceIter(out)
+	})
+	return joined, true, nil
+}
+
+func scanFilterFn(e *Engine, s *plan.Scan) func(row.Row) bool {
+	if len(s.Filters) == 0 {
+		return nil
+	}
+	pred := e.evalFn(conjoinAll(s.Filters))
+	return func(r row.Row) bool { return row.Truth(pred(r)) }
+}
+
+// keyIsDistCol reports whether key is a bare column reference to the
+// scan's DISTRIBUTE BY column (in scan-projected coordinates).
+func keyIsDistCol(key expr.Expr, s *plan.Scan) bool {
+	col, ok := key.(*expr.Col)
+	if !ok {
+		return false
+	}
+	dist := s.Table.Mem.DistKeyCol
+	if dist < 0 || col.Idx >= len(s.NeededCols) {
+		return false
+	}
+	return s.NeededCols[col.Idx] == dist
+}

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps harness tests fast.
+func tinyScale() Scale {
+	return Scale{
+		Rankings: 3000, UserVisits: 8000,
+		Lineitem: 6000, LineitemBig: 16000, Supplier: 2000,
+		Sessions: 8000, MLPoints: 4000, MLDim: 5, MLIters: 2,
+		Workers: 4, Slots: 2, Reps: 1,
+	}
+}
+
+func runOne(t *testing.T, id string) *Report {
+	t.Helper()
+	r := &Report{}
+	if err := Run(id, tinyScale(), r); err != nil {
+		t.Fatalf("experiment %s: %v", id, err)
+	}
+	if len(r.Entries) == 0 {
+		t.Fatalf("experiment %s produced no entries", id)
+	}
+	return r
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig5_selection", "fig5_agg", "fig6_join", "loading",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"tbl_columnar", "abl_shuffle", "abl_compile", "abl_binpack", "pruning",
+	}
+	have := map[string]bool{}
+	for _, id := range ExperimentIDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := Run("nope", tinyScale(), &Report{}); err == nil {
+		t.Error("unknown id must fail")
+	}
+}
+
+func TestFig5Selection(t *testing.T) {
+	r := runOne(t, "fig5_selection")
+	series := map[string]float64{}
+	for _, e := range r.Entries {
+		series[e.Series] = e.Seconds
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %v", series)
+	}
+	// Shape: Shark (mem) beats Hive.
+	if series["Shark"] >= series["Hive"] {
+		t.Errorf("Shark (%.3fs) should beat Hive (%.3fs)", series["Shark"], series["Hive"])
+	}
+}
+
+func TestFig8Strategies(t *testing.T) {
+	r := runOne(t, "fig8")
+	if len(r.Entries) != 3 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	notes := map[string]string{}
+	secs := map[string]float64{}
+	for _, e := range r.Entries {
+		notes[e.Series] = e.Notes
+		secs[e.Series] = e.Seconds
+	}
+	if !strings.Contains(notes["Static"], "shuffle-join") {
+		t.Errorf("static should shuffle-join: %q", notes["Static"])
+	}
+	if !strings.Contains(notes["Adaptive"], "map-join") {
+		t.Errorf("adaptive should map-join: %q", notes["Adaptive"])
+	}
+	if !strings.Contains(notes["Static + Adaptive"], "map-join") {
+		t.Errorf("static+adaptive should map-join: %q", notes["Static + Adaptive"])
+	}
+	// Shape: static+adaptive fastest (paper: 3x over static).
+	if secs["Static + Adaptive"] >= secs["Static"] {
+		t.Errorf("static+adaptive (%.3f) should beat static (%.3f)",
+			secs["Static + Adaptive"], secs["Static"])
+	}
+}
+
+func TestFig9FaultTolerance(t *testing.T) {
+	r := runOne(t, "fig9")
+	secs := map[string]float64{}
+	for _, e := range r.Entries {
+		secs[e.Series] = e.Seconds
+	}
+	if len(secs) != 4 {
+		t.Fatalf("series: %v", secs)
+	}
+	// Shape: recovery is cheaper than a full reload.
+	if secs["Single failure (recovery in-query)"] >= secs["Full reload (load + query)"] {
+		t.Errorf("recovery (%.3f) should beat full reload (%.3f)",
+			secs["Single failure (recovery in-query)"], secs["Full reload (load + query)"])
+	}
+}
+
+func TestColumnarFootprint(t *testing.T) {
+	r := runOne(t, "tbl_columnar")
+	vals := map[string]float64{}
+	for _, e := range r.Entries {
+		vals[e.Series] = e.Value
+	}
+	boxed := vals["boxed rows (MB)"]
+	ser := vals["serialized (MB)"]
+	col := vals["columnar+compressed (MB)"]
+	if !(col < ser && ser < boxed) {
+		t.Errorf("expected columnar < serialized < boxed, got %.2f / %.2f / %.2f", col, ser, boxed)
+	}
+	// §3.2: roughly 3x between boxed and serialized
+	if boxed/ser < 1.5 {
+		t.Errorf("boxed/serialized ratio too small: %.2f", boxed/ser)
+	}
+}
+
+func TestPruningExperiment(t *testing.T) {
+	r := runOne(t, "pruning")
+	if len(r.Entries) != 2 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	on, off := r.Entries[0], r.Entries[1]
+	if !strings.Contains(on.Notes, "/") {
+		t.Errorf("notes should contain scan fractions: %q", on.Notes)
+	}
+	_ = off
+}
+
+func TestLoadingThroughput(t *testing.T) {
+	// Loading needs enough data for I/O cost to dominate fixed
+	// scheduling overhead, so this test uses a larger input.
+	sc := tinyScale()
+	sc.UserVisits = 60000
+	r := &Report{}
+	if err := Run("loading", sc, r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 2 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	dfsT, memT := r.Entries[0].Seconds, r.Entries[1].Seconds
+	// Shape: memstore ingest faster than replicated DFS ingest.
+	if memT >= dfsT {
+		t.Errorf("memstore load (%.3f) should beat DFS load (%.3f)", memT, dfsT)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{}
+	r.Add("exp1", "A", 1.5, "note")
+	r.Add("exp1", "B", 3.0, "")
+	r.AddValue("exp2", "bytes", 42, "")
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"exp1", "A", "2.0x", "42.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	r.Markdown(&buf)
+	if !strings.Contains(buf.String(), "| series |") {
+		t.Error("markdown header missing")
+	}
+}

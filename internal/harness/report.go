@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Entry is one measured series point of an experiment.
+type Entry struct {
+	Experiment string
+	Series     string  // e.g. "Shark", "Shark (disk)", "Hive"
+	Seconds    float64 // primary measurement (negative = not a time)
+	Value      float64 // secondary value (throughput, ratio, count)
+	Notes      string
+}
+
+// Report accumulates experiment results.
+type Report struct {
+	Entries []Entry
+}
+
+// Add records a timing entry.
+func (r *Report) Add(exp, series string, seconds float64, notes string) {
+	r.Entries = append(r.Entries, Entry{Experiment: exp, Series: series, Seconds: seconds, Notes: notes})
+}
+
+// AddValue records a non-timing entry (bytes, ratios, counts).
+func (r *Report) AddValue(exp, series string, value float64, notes string) {
+	r.Entries = append(r.Entries, Entry{Experiment: exp, Series: series, Seconds: -1, Value: value, Notes: notes})
+}
+
+// Fprint renders the report as an aligned text table grouped by
+// experiment, with speedup ratios versus the slowest series in each
+// experiment.
+func (r *Report) Fprint(w io.Writer) {
+	byExp := map[string][]Entry{}
+	var order []string
+	for _, e := range r.Entries {
+		if _, ok := byExp[e.Experiment]; !ok {
+			order = append(order, e.Experiment)
+		}
+		byExp[e.Experiment] = append(byExp[e.Experiment], e)
+	}
+	for _, exp := range order {
+		entries := byExp[exp]
+		fmt.Fprintf(w, "\n== %s ==\n", exp)
+		slowest := 0.0
+		for _, e := range entries {
+			if e.Seconds > slowest {
+				slowest = e.Seconds
+			}
+		}
+		for _, e := range entries {
+			if e.Seconds >= 0 {
+				ratio := ""
+				if slowest > 0 && e.Seconds > 0 {
+					ratio = fmt.Sprintf("  %6.1fx vs slowest", slowest/e.Seconds)
+				}
+				fmt.Fprintf(w, "  %-38s %9.3fs%s", e.Series, e.Seconds, ratio)
+			} else {
+				fmt.Fprintf(w, "  %-38s %12.2f", e.Series, e.Value)
+			}
+			if e.Notes != "" {
+				fmt.Fprintf(w, "   [%s]", e.Notes)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Markdown renders the report as Markdown tables (EXPERIMENTS.md).
+func (r *Report) Markdown(w io.Writer) {
+	byExp := map[string][]Entry{}
+	var order []string
+	for _, e := range r.Entries {
+		if _, ok := byExp[e.Experiment]; !ok {
+			order = append(order, e.Experiment)
+		}
+		byExp[e.Experiment] = append(byExp[e.Experiment], e)
+	}
+	for _, exp := range order {
+		entries := byExp[exp]
+		fmt.Fprintf(w, "\n### %s\n\n", exp)
+		fmt.Fprintln(w, "| series | seconds | value | notes |")
+		fmt.Fprintln(w, "|---|---|---|---|")
+		for _, e := range entries {
+			secs := ""
+			if e.Seconds >= 0 {
+				secs = fmt.Sprintf("%.3f", e.Seconds)
+			}
+			val := ""
+			if e.Value != 0 {
+				val = fmt.Sprintf("%.2f", e.Value)
+			}
+			fmt.Fprintf(w, "| %s | %s | %s | %s |\n", e.Series, secs, val, e.Notes)
+		}
+	}
+}
+
+// ExperimentIDs lists the registered experiments, sorted.
+func ExperimentIDs() []string {
+	out := make([]string, 0, len(experiments))
+	for id := range experiments {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id into the report.
+func Run(id string, sc Scale, r *Report) error {
+	f, ok := experiments[strings.ToLower(id)]
+	if !ok {
+		return fmt.Errorf("harness: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	return f(sc, r)
+}
+
+// RunAll executes every experiment.
+func RunAll(sc Scale, r *Report) error {
+	for _, id := range ExperimentIDs() {
+		if err := Run(id, sc, r); err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+	}
+	return nil
+}

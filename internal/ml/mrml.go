@@ -1,0 +1,244 @@
+package ml
+
+import (
+	"fmt"
+	"time"
+
+	"shark/internal/dfs"
+	"shark/internal/mr"
+	"shark/internal/row"
+)
+
+// The Hadoop baselines of §6.5: each gradient-descent / Lloyd
+// iteration is a full MapReduce job that re-reads the training data
+// from the DFS (text or binary format — the two baseline bars in
+// Figures 11 and 12) because Hadoop has no cross-job in-memory cache.
+
+// LogisticRegressionMR runs logistic regression where every iteration
+// is one MapReduce job over the DFS file (rows: label, features...).
+func LogisticRegressionMR(eng *mr.Engine, file string, dim, iters int, lr float64, timer *IterTimer) (Vector, error) {
+	w := InitWeights(dim, 42)
+	gradSchema := gradientSchema(dim)
+	for it := 0; it < iters; it++ {
+		step := func() error {
+			wCur := w.Clone()
+			job := &mr.Job{
+				Name: "logreg-iter",
+				Inputs: []mr.InputGroup{{
+					Files: []string{file},
+					Map: func(r row.Row, emit func(any, row.Row)) {
+						p, err := RowToLabeledPoint(r)
+						if err != nil {
+							return
+						}
+						grad := Zeros(dim)
+						logisticGradient(grad, wCur, p)
+						emit(int64(0), vectorToRow(grad))
+					},
+				}},
+				Combine:      sumVectorsCombine(dim),
+				Reduce:       sumVectorsReduce(dim),
+				NumReduces:   1,
+				Output:       fmt.Sprintf("tmp/logreg-%d-%d", time.Now().UnixNano(), it),
+				OutputSchema: gradSchema,
+				OutputFormat: dfs.Binary,
+			}
+			res, err := eng.Run(job)
+			if err != nil {
+				return err
+			}
+			defer eng.FS.DeletePrefix(job.Output)
+			rows, err := eng.ReadOutput(res)
+			if err != nil {
+				return err
+			}
+			if len(rows) != 1 {
+				return fmt.Errorf("ml: expected one gradient row, got %d", len(rows))
+			}
+			grad, err := RowToVector(rows[0])
+			if err != nil {
+				return err
+			}
+			w.AddScaled(grad, -lr)
+			return nil
+		}
+		var err error
+		if timer != nil {
+			err = timer.time(step)
+		} else {
+			err = step()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// KMeansMR runs k-means where every iteration is one MapReduce job
+// over the DFS file (rows: features...).
+func KMeansMR(eng *mr.Engine, file string, k, dim, iters int, timer *IterTimer) ([]Vector, error) {
+	// Seed centers from the first k rows of the file.
+	first, err := readFirstRows(eng, file, k)
+	if err != nil {
+		return nil, err
+	}
+	centers := make([]Vector, k)
+	for i, r := range first {
+		v, err := RowToVector(r)
+		if err != nil {
+			return nil, err
+		}
+		centers[i] = v
+	}
+
+	// output rows: center id, per-dim sums, count
+	sumSchema := append(row.Schema{{Name: "center", Type: row.TInt}}, gradientSchema(dim+1)...)
+	for it := 0; it < iters; it++ {
+		step := func() error {
+			cur := make([]Vector, k)
+			for i := range centers {
+				cur[i] = centers[i].Clone()
+			}
+			job := &mr.Job{
+				Name: "kmeans-iter",
+				Inputs: []mr.InputGroup{{
+					Files: []string{file},
+					Map: func(r row.Row, emit func(any, row.Row)) {
+						x, err := RowToVector(r)
+						if err != nil {
+							return
+						}
+						c := NearestCenter(x, cur)
+						payload := make(row.Row, dim+1)
+						for i, f := range x {
+							payload[i] = f
+						}
+						payload[dim] = float64(1)
+						emit(int64(c), payload)
+					},
+				}},
+				Combine:      sumVectorsCombine(dim + 1),
+				Reduce:       keyedSumReduce(dim + 1),
+				NumReduces:   min(k, eng.Cluster.TotalSlots()),
+				Output:       fmt.Sprintf("tmp/kmeans-%d-%d", time.Now().UnixNano(), it),
+				OutputSchema: sumSchema,
+				OutputFormat: dfs.Binary,
+			}
+			res, err := eng.Run(job)
+			if err != nil {
+				return err
+			}
+			defer eng.FS.DeletePrefix(job.Output)
+			rows, err := eng.ReadOutput(res)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				c, _ := row.AsInt(r[0])
+				sum, err := RowToVector(r[1:])
+				if err != nil {
+					return err
+				}
+				count := sum[dim]
+				if count > 0 {
+					centers[c] = Vector(sum[:dim]).Scale(1 / count)
+				}
+			}
+			return nil
+		}
+		var err error
+		if timer != nil {
+			err = timer.time(step)
+		} else {
+			err = step()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return centers, nil
+}
+
+func gradientSchema(dim int) row.Schema {
+	s := make(row.Schema, dim)
+	for i := range s {
+		s[i] = row.Field{Name: fmt.Sprintf("g%d", i), Type: row.TFloat}
+	}
+	return s
+}
+
+func vectorToRow(v Vector) row.Row {
+	out := make(row.Row, len(v))
+	for i, f := range v {
+		out[i] = f
+	}
+	return out
+}
+
+// sumVectorsCombine merges same-key vector rows map-side.
+func sumVectorsCombine(dim int) func(any, []row.Row) []row.Row {
+	return func(key any, vals []row.Row) []row.Row {
+		return []row.Row{sumRows(vals, dim)}
+	}
+}
+
+// sumVectorsReduce emits the summed vector, dropping the key (used by
+// logistic regression, which shuffles everything to one key).
+func sumVectorsReduce(dim int) func(any, []row.Row, func(row.Row)) {
+	return func(key any, vals []row.Row, emit func(row.Row)) {
+		emit(sumRows(vals, dim))
+	}
+}
+
+// keyedSumReduce emits (key, summed vector); k-means needs the center
+// id carried through.
+func keyedSumReduce(dim int) func(any, []row.Row, func(row.Row)) {
+	return func(key any, vals []row.Row, emit func(row.Row)) {
+		sum := sumRows(vals, dim)
+		out := make(row.Row, 0, dim+1)
+		out = append(out, key)
+		out = append(out, sum...)
+		emit(out)
+	}
+}
+
+func sumRows(vals []row.Row, dim int) row.Row {
+	sum := make(row.Row, dim)
+	for i := range sum {
+		sum[i] = float64(0)
+	}
+	for _, v := range vals {
+		for i := 0; i < dim && i < len(v); i++ {
+			f, _ := row.AsFloat(v[i])
+			sum[i] = sum[i].(float64) + f
+		}
+	}
+	return sum
+}
+
+func readFirstRows(eng *mr.Engine, file string, n int) ([]row.Row, error) {
+	meta, err := eng.FS.Stat(file)
+	if err != nil {
+		return nil, err
+	}
+	var out []row.Row
+	for b := 0; b < len(meta.Blocks) && len(out) < n; b++ {
+		rd, err := eng.FS.OpenBlock(file, b)
+		if err != nil {
+			return nil, err
+		}
+		for len(out) < n {
+			r, err := rd.Next()
+			if err != nil {
+				break
+			}
+			out = append(out, r)
+		}
+		rd.Close()
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("ml: file %s has fewer than %d rows", file, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,337 @@
+package mr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"shark/internal/catalog"
+	"shark/internal/cluster"
+	"shark/internal/dfs"
+	"shark/internal/plan"
+	"shark/internal/row"
+	"shark/internal/sqlparse"
+)
+
+var visitsSchema = row.Schema{
+	{Name: "sourceIP", Type: row.TString},
+	{Name: "destURL", Type: row.TString},
+	{Name: "adRevenue", Type: row.TFloat},
+	{Name: "countryCode", Type: row.TString},
+}
+
+var rankingsSchema = row.Schema{
+	{Name: "pageURL", Type: row.TString},
+	{Name: "pageRank", Type: row.TInt},
+}
+
+type env struct {
+	eng *Engine
+	fs  *dfs.FS
+	cat *catalog.Catalog
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	// Fast profile for unit tests; benchmarks use HadoopProfile.
+	c := cluster.New(cluster.Config{Workers: 4, Slots: 2, Profile: cluster.Profile{Mode: cluster.EventDriven}})
+	t.Cleanup(c.Close)
+	fs, err := dfs.New(dfs.Config{Dir: t.TempDir(), BlockSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{eng: NewEngine(c, fs, t.TempDir()), fs: fs, cat: catalog.New()}
+}
+
+func (e *env) writeTable(t *testing.T, name string, schema row.Schema, rows []row.Row) {
+	t.Helper()
+	w, err := e.fs.Create("data/"+name, dfs.Text, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.cat.Register(&catalog.Table{
+		Name: name, Schema: schema, File: "data/" + name, Format: dfs.Text,
+		EstRows: int64(len(rows)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func genVisits(n int) []row.Row {
+	countries := []string{"US", "CA", "VN", "DE", "JP"}
+	out := make([]row.Row, n)
+	for i := 0; i < n; i++ {
+		out[i] = row.Row{
+			fmt.Sprintf("10.0.%d.%d", i%64, (i*7)%64),
+			fmt.Sprintf("url-%d", i%100),
+			float64(i%50) * 0.5,
+			countries[i%len(countries)],
+		}
+	}
+	return out
+}
+
+func genRankings(n int) []row.Row {
+	out := make([]row.Row, n)
+	for i := 0; i < n; i++ {
+		out[i] = row.Row{fmt.Sprintf("url-%d", i), int64((i * 37) % 1000)}
+	}
+	return out
+}
+
+func (e *env) hiveQuery(t *testing.T, sql string, opts HiveOptions) *Result {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Analyze(e.cat, stmt.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewHive(e.eng, opts).Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRawMapReduceJob(t *testing.T) {
+	e := newEnv(t)
+	e.writeTable(t, "visits", visitsSchema, genVisits(1000))
+	job := &Job{
+		Name: "wordcount-ish",
+		Inputs: []InputGroup{{
+			Files: []string{"data/visits"},
+			Map: func(r row.Row, emit func(any, row.Row)) {
+				emit(r[3], row.Row{int64(1)})
+			},
+		}},
+		Combine: func(key any, vals []row.Row) []row.Row {
+			var n int64
+			for _, v := range vals {
+				n += v[0].(int64)
+			}
+			return []row.Row{{n}}
+		},
+		Reduce: func(key any, vals []row.Row, emit func(row.Row)) {
+			var n int64
+			for _, v := range vals {
+				n += v[0].(int64)
+			}
+			emit(row.Row{key, n})
+		},
+		NumReduces:   3,
+		Output:       "out/counts",
+		OutputSchema: row.Schema{{Name: "country", Type: row.TString}, {Name: "n", Type: row.TInt}},
+		OutputFormat: dfs.Binary,
+	}
+	res, err := e.eng.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := e.eng.ReadOutput(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	total := int64(0)
+	for _, r := range rows {
+		total += r[1].(int64)
+	}
+	if total != 1000 {
+		t.Errorf("total = %d", total)
+	}
+	if res.MapTasks < 2 {
+		t.Errorf("expected multiple map tasks, got %d", res.MapTasks)
+	}
+}
+
+func TestHiveSelection(t *testing.T) {
+	e := newEnv(t)
+	e.writeTable(t, "rankings", rankingsSchema, genRankings(2000))
+	res := e.hiveQuery(t, "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 900", HiveOptions{})
+	want := 0
+	for _, r := range genRankings(2000) {
+		if r[1].(int64) > 900 {
+			want++
+		}
+	}
+	if len(res.Rows) != want {
+		t.Errorf("rows = %d, want %d", len(res.Rows), want)
+	}
+	if res.Jobs != 1 {
+		t.Errorf("selection should be one map-only job, got %d", res.Jobs)
+	}
+}
+
+func TestHiveAggregation(t *testing.T) {
+	e := newEnv(t)
+	e.writeTable(t, "visits", visitsSchema, genVisits(2500))
+	res := e.hiveQuery(t, `SELECT countryCode, COUNT(*) AS c, SUM(adRevenue) AS rev, AVG(adRevenue)
+		FROM visits GROUP BY countryCode ORDER BY countryCode`, HiveOptions{NumReduces: 4})
+
+	type agg struct {
+		n   int64
+		sum float64
+	}
+	ref := map[string]*agg{}
+	for _, r := range genVisits(2500) {
+		a := ref[r[3].(string)]
+		if a == nil {
+			a = &agg{}
+			ref[r[3].(string)] = a
+		}
+		a.n++
+		a.sum += r[2].(float64)
+	}
+	if len(res.Rows) != len(ref) {
+		t.Fatalf("groups = %d, want %d", len(res.Rows), len(ref))
+	}
+	for _, r := range res.Rows {
+		a := ref[r[0].(string)]
+		if r[1].(int64) != a.n {
+			t.Errorf("%v count = %v, want %d", r[0], r[1], a.n)
+		}
+		if math.Abs(r[2].(float64)-a.sum) > 1e-6 {
+			t.Errorf("%v sum = %v, want %v", r[0], r[2], a.sum)
+		}
+		if math.Abs(r[3].(float64)-a.sum/float64(a.n)) > 1e-9 {
+			t.Errorf("%v avg = %v", r[0], r[3])
+		}
+	}
+}
+
+func TestHiveCountDistinct(t *testing.T) {
+	e := newEnv(t)
+	e.writeTable(t, "visits", visitsSchema, genVisits(1000))
+	res := e.hiveQuery(t, `SELECT COUNT(*), COUNT(DISTINCT destURL) FROM visits`, HiveOptions{})
+	if res.Rows[0][0].(int64) != 1000 || res.Rows[0][1].(int64) != 100 {
+		t.Errorf("counts = %v", res.Rows[0])
+	}
+}
+
+func TestHiveJoinThenAggregate(t *testing.T) {
+	e := newEnv(t)
+	e.writeTable(t, "rankings", rankingsSchema, genRankings(300))
+	e.writeTable(t, "visits", visitsSchema, genVisits(1500))
+	res := e.hiveQuery(t, `SELECT visits.countryCode, SUM(visits.adRevenue) AS rev
+		FROM rankings, visits WHERE rankings.pageURL = visits.destURL
+		GROUP BY visits.countryCode ORDER BY visits.countryCode`, HiveOptions{NumReduces: 4})
+	// two MR jobs: join then aggregate
+	if res.Jobs < 2 {
+		t.Errorf("join+agg should be >= 2 jobs, got %d", res.Jobs)
+	}
+
+	ranks := map[string]bool{}
+	for _, r := range genRankings(300) {
+		ranks[r[0].(string)] = true
+	}
+	ref := map[string]float64{}
+	for _, v := range genVisits(1500) {
+		if ranks[v[1].(string)] {
+			ref[v[3].(string)] += v[2].(float64)
+		}
+	}
+	if len(res.Rows) != len(ref) {
+		t.Fatalf("groups = %d, want %d", len(res.Rows), len(ref))
+	}
+	for _, r := range res.Rows {
+		if math.Abs(r[1].(float64)-ref[r[0].(string)]) > 1e-6 {
+			t.Errorf("%v: %v != %v", r[0], r[1], ref[r[0].(string)])
+		}
+	}
+}
+
+func TestHiveOrderByLimit(t *testing.T) {
+	e := newEnv(t)
+	e.writeTable(t, "visits", visitsSchema, genVisits(800))
+	res := e.hiveQuery(t, `SELECT countryCode, COUNT(*) AS c FROM visits
+		GROUP BY countryCode ORDER BY c DESC LIMIT 2`, HiveOptions{})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][1].(int64) < res.Rows[1][1].(int64) {
+		t.Error("not descending")
+	}
+}
+
+func TestHiveRejectsCachedTables(t *testing.T) {
+	e := newEnv(t)
+	e.writeTable(t, "visits", visitsSchema, genVisits(10))
+	// register a fake memstore table
+	e.cat.Replace(&catalog.Table{Name: "cached", Schema: visitsSchema})
+	stmt, _ := sqlparse.Parse("SELECT COUNT(*) FROM cached")
+	p, err := plan.Analyze(e.cat, stmt.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHive(e.eng, HiveOptions{}).Run(p); err == nil {
+		t.Error("hive over non-DFS table must fail")
+	}
+}
+
+func TestAutoReducerEstimate(t *testing.T) {
+	h := NewHive(nil, HiveOptions{PerReducerBytes: 100})
+	if got := h.numReduces(1000); got != 10 {
+		t.Errorf("auto reducers = %d", got)
+	}
+	if got := h.numReduces(5); got != 1 {
+		t.Errorf("min clamp = %d", got)
+	}
+	h2 := NewHive(nil, HiveOptions{NumReduces: 7})
+	if got := h2.numReduces(1 << 40); got != 7 {
+		t.Errorf("tuned = %d", got)
+	}
+}
+
+func TestIntermediatesCleanedUp(t *testing.T) {
+	e := newEnv(t)
+	e.writeTable(t, "visits", visitsSchema, genVisits(500))
+	e.hiveQuery(t, `SELECT countryCode, COUNT(*) FROM visits GROUP BY countryCode`, HiveOptions{})
+	leftovers := e.fs.List("tmp/")
+	if len(leftovers) != 0 {
+		t.Errorf("intermediates not cleaned: %v", leftovers)
+	}
+}
+
+func TestHiveSortedOutputStable(t *testing.T) {
+	e := newEnv(t)
+	e.writeTable(t, "visits", visitsSchema, genVisits(600))
+	a := e.hiveQuery(t, `SELECT destURL, COUNT(*) FROM visits GROUP BY destURL ORDER BY destURL`, HiveOptions{NumReduces: 3})
+	b := e.hiveQuery(t, `SELECT destURL, COUNT(*) FROM visits GROUP BY destURL ORDER BY destURL`, HiveOptions{NumReduces: 5})
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ across reducer counts: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i][0] != b.Rows[i][0] || a.Rows[i][1] != b.Rows[i][1] {
+			t.Errorf("row %d differs: %v vs %v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+	sort.SliceIsSorted(a.Rows, func(i, j int) bool {
+		return a.Rows[i][0].(string) < a.Rows[j][0].(string)
+	})
+}
+
+func TestHiveEmptyGlobalAggregate(t *testing.T) {
+	e := newEnv(t)
+	e.writeTable(t, "visits", visitsSchema, genVisits(100))
+	res := e.hiveQuery(t, `SELECT COUNT(*), SUM(adRevenue) FROM visits WHERE adRevenue > 1e12`, HiveOptions{})
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].(int64) != 0 || res.Rows[0][1] != nil {
+		t.Errorf("empty agg = %v", res.Rows[0])
+	}
+}

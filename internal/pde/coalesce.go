@@ -1,0 +1,116 @@
+package pde
+
+import "sort"
+
+// Coalesce assigns fine-grained shuffle buckets to at most maxGroups
+// coarse reduce partitions using the greedy longest-processing-time
+// bin-packing heuristic the paper describes (§3.1.2): buckets are
+// taken largest-first and each is placed in the currently least-loaded
+// group, which equalizes coalesced partition sizes even under skew.
+//
+// Empty result groups are dropped, so fewer than maxGroups groups may
+// be returned when there are fewer non-trivial buckets.
+func Coalesce(sizes []int64, maxGroups int) [][]int {
+	if maxGroups < 1 {
+		maxGroups = 1
+	}
+	if maxGroups > len(sizes) {
+		maxGroups = len(sizes)
+	}
+	order := make([]int, len(sizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sizes[order[a]] != sizes[order[b]] {
+			return sizes[order[a]] > sizes[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	groups := make([][]int, maxGroups)
+	loads := make([]int64, maxGroups)
+	for _, idx := range order {
+		g := 0
+		for j := 1; j < maxGroups; j++ {
+			if loads[j] < loads[g] {
+				g = j
+			}
+		}
+		groups[g] = append(groups[g], idx)
+		loads[g] += sizes[idx]
+	}
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			sort.Ints(g)
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// TargetReducers picks a reduce-task count from observed shuffle
+// volume: enough tasks that each handles about perReducerBytes, within
+// [minR, maxR].
+func TargetReducers(totalBytes, perReducerBytes int64, minR, maxR int) int {
+	if perReducerBytes <= 0 {
+		perReducerBytes = 1
+	}
+	n := int(totalBytes / perReducerBytes)
+	if totalBytes%perReducerBytes != 0 {
+		n++
+	}
+	if n < minR {
+		n = minR
+	}
+	if n > maxR {
+		n = maxR
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// JoinStrategy is the runtime join decision (§3.1.1).
+type JoinStrategy int
+
+const (
+	// ShuffleJoin repartitions both sides by the join key.
+	ShuffleJoin JoinStrategy = iota
+	// MapJoinLeft broadcasts the LEFT side to every right partition.
+	MapJoinLeft
+	// MapJoinRight broadcasts the RIGHT side to every left partition.
+	MapJoinRight
+)
+
+// String names the strategy.
+func (s JoinStrategy) String() string {
+	switch s {
+	case MapJoinLeft:
+		return "map-join(broadcast left)"
+	case MapJoinRight:
+		return "map-join(broadcast right)"
+	}
+	return "shuffle-join"
+}
+
+// ChooseJoinStrategy applies the paper's rule: broadcast a side iff
+// its observed total size is under the threshold; if both qualify,
+// broadcast the smaller.
+func ChooseJoinStrategy(leftBytes, rightBytes, broadcastThreshold int64) JoinStrategy {
+	lOK := leftBytes <= broadcastThreshold
+	rOK := rightBytes <= broadcastThreshold
+	switch {
+	case lOK && rOK:
+		if leftBytes <= rightBytes {
+			return MapJoinLeft
+		}
+		return MapJoinRight
+	case lOK:
+		return MapJoinLeft
+	case rOK:
+		return MapJoinRight
+	}
+	return ShuffleJoin
+}

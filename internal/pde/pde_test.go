@@ -1,0 +1,236 @@
+package pde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogEncodingError(t *testing.T) {
+	// Paper claim: sizes up to 32 GB in one byte with ≤10% error.
+	for _, n := range []int64{1, 10, 1024, 1 << 20, 1 << 30, 32 << 30} {
+		d := DecodeSize(EncodeSize(n))
+		rel := math.Abs(float64(d-n)) / float64(n)
+		if rel > 0.10 {
+			t.Errorf("size %d: decoded %d, error %.3f > 10%%", n, d, rel)
+		}
+	}
+	if DecodeSize(EncodeSize(0)) != 0 {
+		t.Error("zero must round-trip exactly")
+	}
+}
+
+func TestLogEncodingErrorProperty(t *testing.T) {
+	f := func(n int64) bool {
+		if n <= 0 || n > 32<<30 {
+			return true
+		}
+		d := DecodeSize(EncodeSize(n))
+		return math.Abs(float64(d-n))/float64(n) <= 0.10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogEncodingMonotone(t *testing.T) {
+	prev := int64(-1)
+	for c := 0; c < 256; c++ {
+		d := DecodeSize(byte(c))
+		if d < prev {
+			t.Fatalf("decode not monotone at code %d: %d < %d", c, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestHeavyHittersGuarantee(t *testing.T) {
+	// Misra–Gries with k counters: any item with freq > n/k survives.
+	h := NewHeavyHitters(10)
+	rng := rand.New(rand.NewSource(3))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if rng.Intn(100) < 30 {
+			h.Add("heavy") // ~30% of the stream
+		} else {
+			h.Add(int64(rng.Intn(50000))) // long tail
+		}
+	}
+	top := h.Top()
+	if len(top) == 0 || top[0].Key != "heavy" {
+		t.Fatalf("heavy hitter lost: %+v", top)
+	}
+	// lower-bound property: reported count ≤ true count
+	if top[0].Count > n {
+		t.Errorf("count %d exceeds stream length", top[0].Count)
+	}
+	if top[0].Count < n*30/100-n/10 {
+		t.Errorf("count %d undercounts by more than n/k", top[0].Count)
+	}
+}
+
+func TestHeavyHittersMerge(t *testing.T) {
+	a, b := NewHeavyHitters(5), NewHeavyHitters(5)
+	for i := 0; i < 1000; i++ {
+		a.Add("x")
+		b.Add("x")
+		b.Add(int64(i))
+	}
+	a.Merge(b)
+	if a.Top()[0].Key != "x" {
+		t.Errorf("merged top = %+v", a.Top()[0])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 1000; i++ {
+		h.Add(int64(i % 100))
+	}
+	h.Add("not-numeric") // ignored
+	if h.Total() != 1000 {
+		t.Errorf("total = %d", h.Total())
+	}
+	for i, c := range h.Buckets {
+		if c != 100 {
+			t.Errorf("bucket %d = %d, want 100", i, c)
+		}
+	}
+	med := h.Quantile(0.5)
+	if med < 40 || med > 60 {
+		t.Errorf("median estimate %f", med)
+	}
+}
+
+func TestHistogramMergeAndOverflow(t *testing.T) {
+	a := NewHistogram(0, 10, 5)
+	b := NewHistogram(0, 10, 5)
+	a.Add(float64(-5)) // under
+	a.Add(float64(50)) // over
+	b.Add(float64(5))
+	a.Merge(b)
+	if a.Total() != 3 {
+		t.Errorf("total = %d", a.Total())
+	}
+}
+
+func TestCoalesceInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(64) + 1
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = int64(rng.Intn(1000))
+		}
+		maxG := rng.Intn(16) + 1
+		groups := Coalesce(sizes, maxG)
+		if len(groups) > maxG {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, g := range groups {
+			for _, idx := range g {
+				if seen[idx] || idx < 0 || idx >= n {
+					return false
+				}
+				seen[idx] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoalesceBalancesSkew(t *testing.T) {
+	// One huge bucket plus many small ones: LPT should put the huge
+	// bucket alone and spread the rest.
+	sizes := make([]int64, 33)
+	sizes[0] = 1000
+	for i := 1; i < 33; i++ {
+		sizes[i] = 31 // total small = 992 ≈ big
+	}
+	groups := Coalesce(sizes, 2)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	loads := []int64{0, 0}
+	for gi, g := range groups {
+		for _, idx := range g {
+			loads[gi] += sizes[idx]
+		}
+	}
+	ratio := float64(loads[0]) / float64(loads[1])
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("imbalanced loads %v", loads)
+	}
+}
+
+func TestTargetReducers(t *testing.T) {
+	if got := TargetReducers(1000, 100, 1, 64); got != 10 {
+		t.Errorf("TargetReducers = %d", got)
+	}
+	if got := TargetReducers(5, 100, 2, 64); got != 2 {
+		t.Errorf("min clamp: %d", got)
+	}
+	if got := TargetReducers(1<<40, 100, 1, 8); got != 8 {
+		t.Errorf("max clamp: %d", got)
+	}
+}
+
+func TestChooseJoinStrategy(t *testing.T) {
+	const thr = 100
+	if s := ChooseJoinStrategy(50, 1000, thr); s != MapJoinLeft {
+		t.Errorf("small left: %v", s)
+	}
+	if s := ChooseJoinStrategy(1000, 50, thr); s != MapJoinRight {
+		t.Errorf("small right: %v", s)
+	}
+	if s := ChooseJoinStrategy(1000, 900, thr); s != ShuffleJoin {
+		t.Errorf("both big: %v", s)
+	}
+	if s := ChooseJoinStrategy(10, 20, thr); s != MapJoinLeft {
+		t.Errorf("both small → smaller side: %v", s)
+	}
+}
+
+func TestStageStatsAggregation(t *testing.T) {
+	cfg := CollectorConfig{HeavyHitterK: 4}
+	stats := NewStageStats(2, 3)
+	for m := 0; m < 3; m++ {
+		tc := cfg.NewTaskCollector()
+		for i := 0; i < 100; i++ {
+			tc.Observe("k")
+		}
+		rep := tc.BuildReport(m, []int64{1000, 2000}, []int64{10, 20})
+		stats.AddReport(rep)
+	}
+	if stats.NumMaps != 3 {
+		t.Errorf("NumMaps = %d", stats.NumMaps)
+	}
+	if stats.TotalRecords != 90 {
+		t.Errorf("TotalRecords = %d", stats.TotalRecords)
+	}
+	// decoded totals within 10% of exact 9000
+	if math.Abs(float64(stats.TotalBytes)-9000) > 900 {
+		t.Errorf("TotalBytes = %d", stats.TotalBytes)
+	}
+	if stats.PerMapBytes[1] == 0 {
+		t.Error("per-map bytes missing")
+	}
+	if stats.HH == nil || stats.HH.Top()[0].Key != "k" {
+		t.Error("heavy hitters not merged")
+	}
+}
+
+func TestStageStatsExactMode(t *testing.T) {
+	cfg := CollectorConfig{DisableEncoding: true}
+	stats := NewStageStats(1, 1)
+	tc := cfg.NewTaskCollector()
+	stats.AddReport(tc.BuildReport(0, []int64{12345}, []int64{7}))
+	if stats.TotalBytes != 12345 {
+		t.Errorf("exact mode TotalBytes = %d", stats.TotalBytes)
+	}
+}

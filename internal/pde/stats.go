@@ -1,0 +1,359 @@
+// Package pde implements the statistics machinery behind Partial DAG
+// Execution (paper §3.1): customizable per-task accumulators gathered
+// while map output is materialized, lossy-compressed for transmission
+// to the master, and the runtime decisions they enable — join strategy
+// selection and skew-aware reduce-task coalescing via greedy
+// bin-packing.
+package pde
+
+import (
+	"math"
+	"sort"
+
+	"shark/internal/row"
+)
+
+// --------------------------------------------------------------------
+// Log-encoded sizes (paper: "we encode partition sizes (in bytes) with
+// logarithmic encoding, which can represent sizes of up to 32 GB using
+// only one byte with at most 10% error").
+
+// logBase chosen so that consecutive codes differ by <10% and code 255
+// reaches beyond 32 GiB: 1.1^249 ≈ 2^34.2.
+const logBase = 1.1
+
+// EncodeSize compresses a byte count to one byte with ≤10% relative
+// error (≤~36 GB).
+func EncodeSize(n int64) byte {
+	if n <= 0 {
+		return 0
+	}
+	code := math.Round(math.Log(float64(n))/math.Log(logBase)) + 1
+	if code < 1 {
+		code = 1
+	}
+	if code > 255 {
+		code = 255
+	}
+	return byte(code)
+}
+
+// DecodeSize expands a code back to an approximate byte count.
+func DecodeSize(c byte) int64 {
+	if c == 0 {
+		return 0
+	}
+	return int64(math.Round(math.Pow(logBase, float64(c-1))))
+}
+
+// --------------------------------------------------------------------
+// Heavy hitters (Misra–Gries). Guarantees that any key occurring more
+// than n/k times is retained, with count undercounted by at most n/k.
+
+// HeavyHitters is a Misra–Gries frequent-items summary.
+type HeavyHitters struct {
+	k      int
+	counts map[any]int64
+	n      int64
+}
+
+// NewHeavyHitters creates a summary retaining up to k candidates.
+func NewHeavyHitters(k int) *HeavyHitters {
+	if k < 1 {
+		k = 1
+	}
+	return &HeavyHitters{k: k, counts: make(map[any]int64, k+1)}
+}
+
+// Add observes one occurrence of key.
+func (h *HeavyHitters) Add(key any) { h.AddN(key, 1) }
+
+// AddN observes count occurrences of key.
+func (h *HeavyHitters) AddN(key any, count int64) {
+	h.n += count
+	if c, ok := h.counts[key]; ok {
+		h.counts[key] = c + count
+		return
+	}
+	if len(h.counts) < h.k {
+		h.counts[key] = count
+		return
+	}
+	// decrement all; evict zeros
+	dec := count
+	for _, c := range h.counts {
+		if c < dec {
+			dec = c
+		}
+	}
+	for k2, c := range h.counts {
+		if c-dec <= 0 {
+			delete(h.counts, k2)
+		} else {
+			h.counts[k2] = c - dec
+		}
+	}
+	if rem := count - dec; rem > 0 && len(h.counts) < h.k {
+		h.counts[key] = rem
+	}
+}
+
+// Merge folds another summary into this one.
+func (h *HeavyHitters) Merge(o *HeavyHitters) {
+	for k, c := range o.counts {
+		h.AddN(k, c)
+	}
+	h.n += o.n - sumCounts(o.counts) // keep total observation count honest
+}
+
+func sumCounts(m map[any]int64) int64 {
+	var s int64
+	for _, c := range m {
+		s += c
+	}
+	return s
+}
+
+// Entry is a candidate heavy hitter.
+type Entry struct {
+	Key   any
+	Count int64 // lower bound on the true frequency
+}
+
+// Top returns candidates sorted by descending count.
+func (h *HeavyHitters) Top() []Entry {
+	out := make([]Entry, 0, len(h.counts))
+	for k, c := range h.counts {
+		out = append(out, Entry{Key: k, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return row.FormatValue(out[i].Key) < row.FormatValue(out[j].Key)
+	})
+	return out
+}
+
+// N returns the number of observations.
+func (h *HeavyHitters) N() int64 { return h.n }
+
+// --------------------------------------------------------------------
+// Approximate histogram: fixed-width buckets over a numeric domain.
+
+// Histogram is an equi-width histogram for numeric keys.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int64
+	under   int64
+	over    int64
+	total   int64
+}
+
+// NewHistogram creates a histogram of n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, n)}
+}
+
+// Add observes a numeric value (non-numerics are ignored).
+func (h *Histogram) Add(v any) {
+	f, ok := row.AsFloat(v)
+	if !ok {
+		return
+	}
+	h.total++
+	switch {
+	case f < h.Lo:
+		h.under++
+	case f >= h.Hi:
+		h.over++
+	default:
+		i := int((f - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i >= len(h.Buckets) {
+			i = len(h.Buckets) - 1
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Merge folds another histogram with identical bounds into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.Buckets {
+		if i < len(o.Buckets) {
+			h.Buckets[i] += o.Buckets[i]
+		}
+	}
+	h.under += o.under
+	h.over += o.over
+	h.total += o.total
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Quantile returns an approximate q-quantile (0..1) of the observed
+// distribution.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return h.Lo
+	}
+	target := int64(q * float64(h.total))
+	run := h.under
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		if run+c >= target {
+			return h.Lo + width*float64(i) + width/2
+		}
+		run += c
+	}
+	return h.Hi
+}
+
+// --------------------------------------------------------------------
+// Collector plumbing: per-map-task accumulators configured on a
+// shuffle dependency and merged on the master.
+
+// CollectorConfig selects which optional statistics map tasks gather.
+// Per-bucket sizes and record counts are always collected.
+type CollectorConfig struct {
+	// HeavyHitterK, when >0, tracks up to K frequent keys per task.
+	HeavyHitterK int
+	// HistBuckets, when >0, builds a histogram of numeric keys over
+	// [HistLo, HistHi).
+	HistBuckets      int
+	HistLo, HistHi   float64
+	DisableEncoding  bool // exact sizes (tests / ablation)
+	RecordPerMapSize bool // retain per-map totals (join planning)
+}
+
+// TaskCollector accumulates statistics inside one map task.
+type TaskCollector struct {
+	cfg  CollectorConfig
+	HH   *HeavyHitters
+	Hist *Histogram
+}
+
+// NewTaskCollector builds the per-task accumulator set.
+func (c CollectorConfig) NewTaskCollector() *TaskCollector {
+	tc := &TaskCollector{cfg: c}
+	if c.HeavyHitterK > 0 {
+		tc.HH = NewHeavyHitters(c.HeavyHitterK)
+	}
+	if c.HistBuckets > 0 {
+		tc.Hist = NewHistogram(c.HistLo, c.HistHi, c.HistBuckets)
+	}
+	return tc
+}
+
+// Observe feeds one shuffle key into the optional accumulators.
+func (t *TaskCollector) Observe(key any) {
+	if t == nil {
+		return
+	}
+	if t.HH != nil {
+		t.HH.Add(key)
+	}
+	if t.Hist != nil {
+		t.Hist.Add(key)
+	}
+}
+
+// MapReport is what one map task sends to the master: lossy-encoded
+// per-bucket sizes (1 byte each), exact record counts, and the merged
+// optional accumulators.
+type MapReport struct {
+	MapPart    int
+	SizeCodes  []byte  // per reduce bucket, log-encoded
+	ExactBytes []int64 // populated only when DisableEncoding
+	Records    []int64
+	HH         *HeavyHitters
+	Hist       *Histogram
+	TotalBytes int64 // exact total for this map's output (cheap: one int)
+	TotalRecs  int64
+}
+
+// BuildReport converts raw writer stats into the master-bound report.
+func (t *TaskCollector) BuildReport(mapPart int, bytes, records []int64) MapReport {
+	r := MapReport{MapPart: mapPart, Records: records}
+	if t != nil {
+		r.HH = t.HH
+		r.Hist = t.Hist
+	}
+	exact := t != nil && t.cfg.DisableEncoding
+	if exact {
+		r.ExactBytes = bytes
+	} else {
+		r.SizeCodes = make([]byte, len(bytes))
+		for i, b := range bytes {
+			r.SizeCodes[i] = EncodeSize(b)
+		}
+	}
+	for i := range bytes {
+		r.TotalBytes += bytes[i]
+		r.TotalRecs += records[i]
+	}
+	return r
+}
+
+// StageStats is the master-side aggregation over all map reports of a
+// shuffle stage — the input to the runtime optimizer.
+type StageStats struct {
+	NumMaps       int
+	BucketBytes   []int64 // per reduce bucket (approximate, decoded)
+	BucketRecords []int64
+	PerMapBytes   []int64 // indexed by map partition
+	TotalBytes    int64
+	TotalRecords  int64
+	HH            *HeavyHitters
+	Hist          *Histogram
+}
+
+// NewStageStats prepares an aggregation for numBuckets reduce buckets
+// and numMaps map partitions.
+func NewStageStats(numBuckets, numMaps int) *StageStats {
+	return &StageStats{
+		BucketBytes:   make([]int64, numBuckets),
+		BucketRecords: make([]int64, numBuckets),
+		PerMapBytes:   make([]int64, numMaps),
+	}
+}
+
+// AddReport folds one map task's report in.
+func (s *StageStats) AddReport(r MapReport) {
+	s.NumMaps++
+	for i := range s.BucketBytes {
+		var b int64
+		if r.ExactBytes != nil {
+			b = r.ExactBytes[i]
+		} else if i < len(r.SizeCodes) {
+			b = DecodeSize(r.SizeCodes[i])
+		}
+		s.BucketBytes[i] += b
+		if i < len(r.Records) {
+			s.BucketRecords[i] += r.Records[i]
+			s.TotalRecords += r.Records[i]
+		}
+		s.TotalBytes += b
+	}
+	if r.MapPart >= 0 && r.MapPart < len(s.PerMapBytes) {
+		s.PerMapBytes[r.MapPart] = r.TotalBytes
+	}
+	if r.HH != nil {
+		if s.HH == nil {
+			s.HH = NewHeavyHitters(r.HH.k)
+		}
+		s.HH.Merge(r.HH)
+	}
+	if r.Hist != nil {
+		if s.Hist == nil {
+			s.Hist = NewHistogram(r.Hist.Lo, r.Hist.Hi, len(r.Hist.Buckets))
+		}
+		s.Hist.Merge(r.Hist)
+	}
+}

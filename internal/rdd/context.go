@@ -1,0 +1,174 @@
+package rdd
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shark/internal/cluster"
+	"shark/internal/shuffle"
+)
+
+// Context owns the pieces a job needs: the cluster, the shuffle
+// service, the map-output tracker, and the cache tracker. It plays the
+// role of SparkContext.
+type Context struct {
+	Cluster *cluster.Cluster
+	Shuffle *shuffle.Service
+
+	tracker *MapOutputTracker
+	cache   *cacheTracker
+	sched   *Scheduler
+
+	nextRDD atomic.Int64
+}
+
+// Options tunes scheduler behaviour.
+type Options struct {
+	// MaxTaskRetries bounds per-task attempts (default 4).
+	MaxTaskRetries int
+	// Speculation enables backup copies of straggler tasks.
+	Speculation bool
+	// SpeculationInterval is how often running stages are checked for
+	// stragglers (default 20ms).
+	SpeculationInterval time.Duration
+	// SpeculationMultiplier: a task is a straggler if it has run
+	// longer than multiplier × median completed duration (default 2).
+	SpeculationMultiplier float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTaskRetries <= 0 {
+		o.MaxTaskRetries = 4
+	}
+	if o.SpeculationInterval <= 0 {
+		o.SpeculationInterval = 20 * time.Millisecond
+	}
+	if o.SpeculationMultiplier <= 1 {
+		o.SpeculationMultiplier = 2
+	}
+	return o
+}
+
+// NewContext creates an execution context over a cluster.
+func NewContext(c *cluster.Cluster, svc *shuffle.Service, opts Options) *Context {
+	ctx := &Context{
+		Cluster: c,
+		Shuffle: svc,
+		tracker: NewMapOutputTracker(),
+		cache:   newCacheTracker(),
+	}
+	ctx.sched = NewScheduler(ctx, opts.withDefaults())
+	return ctx
+}
+
+// Scheduler returns the DAG scheduler.
+func (c *Context) Scheduler() *Scheduler { return c.sched }
+
+// Tracker returns the map output tracker.
+func (c *Context) Tracker() *MapOutputTracker { return c.tracker }
+
+func (c *Context) newRDDID() int { return int(c.nextRDD.Add(1)) }
+
+// NewShuffleDep allocates a shuffle dependency over parent.
+func (c *Context) NewShuffleDep(parent *RDD, part shuffle.Partitioner, combiner func(a, b any) any, stats ...func(*ShuffleDep)) *ShuffleDep {
+	dep := &ShuffleDep{
+		Parent:      parent,
+		ID:          c.Shuffle.NewShuffleID(),
+		Partitioner: part,
+		Combiner:    combiner,
+	}
+	for _, f := range stats {
+		f(dep)
+	}
+	c.tracker.RegisterShuffle(dep.ID, part.NumPartitions(), parent.NumPartitions())
+	RegisterDepForRecovery(dep)
+	return dep
+}
+
+// TaskContext is handed to compute functions running inside a task.
+type TaskContext struct {
+	Worker  *cluster.Worker
+	Ctx     *Context
+	StageID int
+	Part    int
+}
+
+// Broadcast is a value shared read-only with all tasks. In this
+// in-process simulation broadcasting is a pointer copy; the paper's
+// broadcast cost appears instead as the explicit decision threshold in
+// the join optimizer.
+type Broadcast struct{ Value any }
+
+// NewBroadcast wraps a value for task-side use.
+func (c *Context) NewBroadcast(v any) *Broadcast { return &Broadcast{Value: v} }
+
+// cacheTracker records which workers hold cached copies of RDD
+// partitions (master-side metadata, like Spark's BlockManagerMaster).
+type cacheTracker struct {
+	mu   sync.Mutex
+	locs map[int]map[int][]int // rddID → part → workers
+}
+
+func newCacheTracker() *cacheTracker {
+	return &cacheTracker{locs: make(map[int]map[int][]int)}
+}
+
+func (t *cacheTracker) Add(rddID, part, worker int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.locs[rddID]
+	if !ok {
+		m = make(map[int][]int)
+		t.locs[rddID] = m
+	}
+	for _, w := range m[part] {
+		if w == worker {
+			return
+		}
+	}
+	m[part] = append(m[part], worker)
+}
+
+// Locations returns live workers believed to hold the partition.
+func (t *cacheTracker) Locations(rddID, part int) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]int(nil), t.locs[rddID][part]...)
+}
+
+func (t *cacheTracker) Evict(rddID int, ctx *Context) {
+	t.mu.Lock()
+	parts := t.locs[rddID]
+	delete(t.locs, rddID)
+	t.mu.Unlock()
+	for part, workers := range parts {
+		for _, w := range workers {
+			ctx.Cluster.Worker(w).Store().Delete(cacheKey(rddID, part))
+		}
+	}
+}
+
+// DropWorker forgets every cache location on a dead worker.
+func (t *cacheTracker) DropWorker(worker int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, parts := range t.locs {
+		for p, ws := range parts {
+			keep := ws[:0]
+			for _, w := range ws {
+				if w != worker {
+					keep = append(keep, w)
+				}
+			}
+			parts[p] = keep
+		}
+	}
+}
+
+// NotifyWorkerLost clears master metadata referring to a dead worker:
+// cache locations and shuffle output registrations.
+func (c *Context) NotifyWorkerLost(worker int) {
+	c.cache.DropWorker(worker)
+	c.tracker.DropWorker(worker)
+}

@@ -1,0 +1,120 @@
+package rdd
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"shark/internal/shuffle"
+)
+
+// TestElasticityNewWorkerAbsorbsWork verifies the §7.2 claim: with
+// fine-grained tasks, a node that (re)joins mid-workload picks up
+// pending tasks without replanning.
+func TestElasticityNewWorkerAbsorbsWork(t *testing.T) {
+	ctx := newTestCtx(t, 4, Options{})
+	ctx.Cluster.Kill(3) // start with 3 of 4 nodes
+
+	var mu sync.Mutex
+	workersUsed := map[int]bool{}
+	r := ctx.Parallelize(ints(400), 64).Map(func(v any) any {
+		time.Sleep(500 * time.Microsecond)
+		return v
+	})
+
+	done := make(chan struct{})
+	go func() {
+		// Bring the fourth worker back while the job runs.
+		time.Sleep(5 * time.Millisecond)
+		ctx.Cluster.Restart(3)
+		close(done)
+	}()
+	_, err := ctx.Scheduler().RunJob(r, nil, func(tc *TaskContext, part int, it Iter) (any, error) {
+		mu.Lock()
+		workersUsed[tc.Worker.ID] = true
+		mu.Unlock()
+		Drain(it)
+		return nil, nil
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !workersUsed[3] {
+		t.Log("restarted worker saw no tasks (timing-dependent); rerunning with a longer job")
+		// Re-run: now the worker is definitely up and must take work.
+		workersUsed2 := map[int]bool{}
+		_, err := ctx.Scheduler().RunJob(r, nil, func(tc *TaskContext, part int, it Iter) (any, error) {
+			mu.Lock()
+			workersUsed2[tc.Worker.ID] = true
+			mu.Unlock()
+			Drain(it)
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !workersUsed2[3] {
+			t.Error("restarted worker never received work")
+		}
+	}
+}
+
+// TestStragglerMitigationSpeedsJob: with speculation on, a straggling
+// node must not bound the job runtime (§2.3 property 3).
+func TestStragglerMitigationSpeedsJob(t *testing.T) {
+	run := func(speculate bool) time.Duration {
+		ctx := newTestCtx(t, 4, Options{
+			Speculation:           speculate,
+			SpeculationInterval:   3 * time.Millisecond,
+			SpeculationMultiplier: 1.5,
+		})
+		ctx.Cluster.SetStragglerDelay(0, 80*time.Millisecond)
+		r := ctx.Parallelize(ints(64), 16).Map(func(v any) any {
+			time.Sleep(time.Millisecond)
+			return v
+		})
+		start := time.Now()
+		if _, err := r.Count(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	slow := run(false)
+	fast := run(true)
+	// The speculated run should not be dramatically slower; typically
+	// it is faster because backups dodge the straggler.
+	if fast > slow*2 {
+		t.Errorf("speculation made things worse: %v vs %v", fast, slow)
+	}
+}
+
+// TestManySmallTasksBalance: fine-grained tasks spread across workers
+// (the §7.1 load-balancing argument).
+func TestManySmallTasksBalance(t *testing.T) {
+	ctx := newTestCtx(t, 4, Options{})
+	var mu sync.Mutex
+	perWorker := map[int]int{}
+	var data []any
+	for i := 0; i < 1000; i++ {
+		data = append(data, shuffle.Pair{K: int64(i), V: int64(i)})
+	}
+	r := ctx.Parallelize(data, 64)
+	_, err := ctx.Scheduler().RunJob(r, nil, func(tc *TaskContext, part int, it Iter) (any, error) {
+		mu.Lock()
+		perWorker[tc.Worker.ID]++
+		mu.Unlock()
+		Drain(it)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(perWorker) < 3 {
+		t.Errorf("tasks concentrated on %d workers: %v", len(perWorker), perWorker)
+	}
+}

@@ -1,0 +1,162 @@
+package rdd
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"shark/internal/pde"
+	"shark/internal/shuffle"
+)
+
+// Dependency links an RDD to a parent in the lineage graph.
+type Dependency interface {
+	ParentRDD() *RDD
+}
+
+// OneToOne is a narrow dependency: child partition i reads parent
+// partition i.
+type OneToOne struct{ Parent *RDD }
+
+// ParentRDD implements Dependency.
+func (d OneToOne) ParentRDD() *RDD { return d.Parent }
+
+// RangeDep is a narrow dependency used by Union: child partitions
+// [OutStart, OutStart+Len) read parent partitions [0, Len).
+type RangeDep struct {
+	Parent   *RDD
+	OutStart int
+	Len      int
+}
+
+// ParentRDD implements Dependency.
+func (d RangeDep) ParentRDD() *RDD { return d.Parent }
+
+// ShuffleDep is a wide dependency: the parent is hash/range
+// partitioned into fine-grained buckets, materialized by map tasks,
+// and re-read by downstream partitions. The parent RDD must produce
+// shuffle.Pair elements.
+type ShuffleDep struct {
+	Parent *RDD
+	// ID is the cluster-wide shuffle identifier.
+	ID int
+	// Partitioner maps keys to fine-grained buckets. Following §3.1.2
+	// this is deliberately finer than the reduce parallelism; the
+	// scheduler (or PDE) coalesces buckets into reduce partitions.
+	Partitioner shuffle.Partitioner
+	// Combiner, when non-nil, merges values of equal keys map-side
+	// (and is reused reduce-side). Keys must be Go-comparable.
+	Combiner func(a, b any) any
+	// Stats configures the PDE accumulators gathered while the map
+	// output is materialized.
+	Stats pde.CollectorConfig
+}
+
+// ParentRDD implements Dependency.
+func (d *ShuffleDep) ParentRDD() *RDD { return d.Parent }
+
+// RDD is an immutable, partitioned dataset defined by its lineage:
+// a compute function plus dependencies on parent RDDs.
+type RDD struct {
+	// ID is unique within a Context.
+	ID int
+	// Name is a debug label ("scan(lineitem)", "map", ...).
+	Name string
+
+	ctx      *Context
+	numParts int
+	deps     []Dependency
+	compute  func(tc *TaskContext, part int) Iter
+	// prefLocs optionally reports preferred worker IDs per partition
+	// (e.g. DFS block homes).
+	prefLocs func(part int) []int
+	// partitioner is set when the RDD's rows are known to be
+	// partitioned by key (output of a shuffle, or a co-partitioned
+	// load); joins use it to avoid re-shuffling.
+	partitioner shuffle.Partitioner
+
+	cached atomic.Bool
+}
+
+// Context returns the owning context.
+func (r *RDD) Context() *Context { return r.ctx }
+
+// NumPartitions returns the partition count.
+func (r *RDD) NumPartitions() int { return r.numParts }
+
+// Dependencies returns the lineage edges.
+func (r *RDD) Dependencies() []Dependency { return r.deps }
+
+// Partitioner returns the key partitioner the RDD is known to respect,
+// or nil.
+func (r *RDD) Partitioner() shuffle.Partitioner { return r.partitioner }
+
+// Cache marks the RDD's partitions for in-memory materialization in
+// worker block stores on first computation. Returns r.
+func (r *RDD) Cache() *RDD {
+	r.cached.Store(true)
+	return r
+}
+
+// IsCached reports whether Cache was called.
+func (r *RDD) IsCached() bool { return r.cached.Load() }
+
+// Uncache drops the cache flag and evicts materialized partitions.
+func (r *RDD) Uncache() {
+	r.cached.Store(false)
+	r.ctx.cache.Evict(r.ID, r.ctx)
+}
+
+func cacheKey(rddID, part int) string { return fmt.Sprintf("rdd/%d/%d", rddID, part) }
+
+// Iterator returns the partition's elements, serving from the local
+// block-store cache when the RDD is cached (computing and populating
+// the cache on miss — this recompute-on-miss is lineage recovery).
+func (r *RDD) Iterator(tc *TaskContext, part int) Iter {
+	if !r.cached.Load() {
+		return r.compute(tc, part)
+	}
+	key := cacheKey(r.ID, part)
+	if v, ok := tc.Worker.Store().Get(key); ok {
+		return SliceIter(v.([]any))
+	}
+	data := Drain(r.compute(tc, part))
+	var size int64
+	for _, v := range data {
+		size += shuffle.EstimateSize(v)
+	}
+	tc.Worker.Store().Put(key, data, size)
+	r.ctx.cache.Add(r.ID, part, tc.Worker.ID)
+	return SliceIter(data)
+}
+
+// PreferredLocations returns worker IDs that hold useful local state
+// for the partition: cached copies first, then source preferences.
+func (r *RDD) PreferredLocations(part int) []int {
+	var locs []int
+	if r.cached.Load() {
+		locs = append(locs, r.ctx.cache.Locations(r.ID, part)...)
+	}
+	if r.prefLocs != nil {
+		locs = append(locs, r.prefLocs(part)...)
+	}
+	if len(locs) > 0 {
+		return locs
+	}
+	// Recurse through narrow deps so a map over a cached RDD still
+	// schedules next to the cache.
+	for _, d := range r.deps {
+		switch dep := d.(type) {
+		case OneToOne:
+			if p := dep.Parent.PreferredLocations(part); len(p) > 0 {
+				return p
+			}
+		case RangeDep:
+			if part >= dep.OutStart && part < dep.OutStart+dep.Len {
+				if p := dep.Parent.PreferredLocations(part - dep.OutStart); len(p) > 0 {
+					return p
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,381 @@
+package rdd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shark/internal/cluster"
+	"shark/internal/pde"
+	"shark/internal/shuffle"
+)
+
+// Scheduler is the DAG scheduler: it cuts RDD lineage graphs into
+// stages at shuffle boundaries, runs stages as task sets on the
+// cluster, recovers from task failures and lost map outputs via
+// lineage, and optionally speculates on stragglers.
+type Scheduler struct {
+	ctx  *Context
+	opts Options
+
+	metrics Metrics
+}
+
+// Metrics counts scheduler activity (observable by tests and the
+// fault-tolerance experiments).
+type Metrics struct {
+	TasksLaunched    atomic.Int64
+	TaskRetries      atomic.Int64
+	FetchFailures    atomic.Int64
+	MapStageReruns   atomic.Int64 // map tasks re-executed to regenerate lost output
+	SpeculativeTasks atomic.Int64
+	StagesRun        atomic.Int64
+}
+
+// NewScheduler creates a scheduler bound to ctx.
+func NewScheduler(ctx *Context, opts Options) *Scheduler {
+	return &Scheduler{ctx: ctx, opts: opts}
+}
+
+// MetricsSnapshot returns current counters.
+func (s *Scheduler) Metrics() *Metrics { return &s.metrics }
+
+// ResultFunc consumes one partition's iterator inside a result task
+// and produces the task's value.
+type ResultFunc func(tc *TaskContext, part int, it Iter) (any, error)
+
+// RunJob executes fn over the listed partitions of r (all partitions
+// when parts is nil), returning one value per partition in order.
+func (s *Scheduler) RunJob(r *RDD, parts []int, fn ResultFunc) ([]any, error) {
+	if parts == nil {
+		parts = make([]int, r.NumPartitions())
+		for i := range parts {
+			parts[i] = i
+		}
+	}
+	if len(parts) == 0 {
+		return nil, nil
+	}
+	// Make sure every ancestor shuffle is materialized.
+	if err := s.ensureParents(r); err != nil {
+		return nil, err
+	}
+	results := make([]any, len(parts))
+	idxOf := make(map[int]int, len(parts))
+	for i, p := range parts {
+		idxOf[p] = i
+	}
+	err := s.runTaskSet(parts, func(part int) *cluster.Task {
+		return &cluster.Task{
+			Preferred: r.PreferredLocations(part),
+			Fn: func(w *cluster.Worker) (any, error) {
+				tc := &TaskContext{Worker: w, Ctx: s.ctx, Part: part}
+				return fn(tc, part, r.Iterator(tc, part))
+			},
+		}
+	}, func(part int, value any) {
+		results[idxOf[part]] = value
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// MaterializeShuffle runs (only) the map stage of dep — the partial
+// DAG execution primitive: callers inspect the returned statistics and
+// then decide how to consume the shuffle.
+func (s *Scheduler) MaterializeShuffle(dep *ShuffleDep) (*pde.StageStats, error) {
+	if err := s.ensureShuffle(dep); err != nil {
+		return nil, err
+	}
+	return s.ctx.tracker.Stats(dep.ID), nil
+}
+
+// ensureParents materializes every ancestor shuffle of r, parallelizing
+// independent branches.
+func (s *Scheduler) ensureParents(r *RDD) error {
+	deps := directShuffleDeps(r)
+	return s.ensureAll(deps)
+}
+
+func (s *Scheduler) ensureAll(deps []*ShuffleDep) error {
+	if len(deps) == 0 {
+		return nil
+	}
+	if len(deps) == 1 {
+		return s.ensureShuffle(deps[0])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(deps))
+	for i, d := range deps {
+		wg.Add(1)
+		go func(i int, d *ShuffleDep) {
+			defer wg.Done()
+			errs[i] = s.ensureShuffle(d)
+		}(i, d)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ensureShuffle materializes dep's map outputs (running parent stages
+// first), skipping map partitions whose outputs already exist.
+func (s *Scheduler) ensureShuffle(dep *ShuffleDep) error {
+	if s.ctx.tracker.Complete(dep.ID) {
+		return nil
+	}
+	if err := s.ensureParents(dep.Parent); err != nil {
+		return err
+	}
+	missing := s.ctx.tracker.MissingParts(dep.ID)
+	if len(missing) == 0 {
+		return nil
+	}
+	s.metrics.StagesRun.Add(1)
+	return s.runTaskSet(missing, func(part int) *cluster.Task {
+		return &cluster.Task{
+			Preferred: dep.Parent.PreferredLocations(part),
+			Fn: func(w *cluster.Worker) (any, error) {
+				return s.runMapTask(dep, part, w)
+			},
+		}
+	}, func(part int, value any) {
+		out := value.(mapTaskOutput)
+		s.ctx.tracker.AddMapOutput(dep.ID, part, out.worker, out.report)
+	})
+}
+
+type mapTaskOutput struct {
+	worker int
+	report pde.MapReport
+}
+
+// runMapTask computes one partition of the map side of dep and
+// materializes its buckets, applying map-side combining and gathering
+// PDE statistics.
+func (s *Scheduler) runMapTask(dep *ShuffleDep, part int, w *cluster.Worker) (any, error) {
+	tc := &TaskContext{Worker: w, Ctx: s.ctx, Part: part}
+	writer := s.ctx.Shuffle.NewWriter(dep.ID, part, dep.Partitioner.NumPartitions(), w)
+	collector := dep.Stats.NewTaskCollector()
+	it := dep.Parent.Iterator(tc, part)
+
+	if dep.Combiner != nil {
+		nb := dep.Partitioner.NumPartitions()
+		combined := make([]map[any]any, nb)
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			p := v.(shuffle.Pair)
+			b := dep.Partitioner.PartitionFor(p.K)
+			m := combined[b]
+			if m == nil {
+				m = make(map[any]any)
+				combined[b] = m
+			}
+			if prev, ok := m[p.K]; ok {
+				m[p.K] = dep.Combiner(prev, p.V)
+			} else {
+				m[p.K] = p.V
+			}
+		}
+		for b, m := range combined {
+			for k, v := range m {
+				writer.Write(b, shuffle.Pair{K: k, V: v})
+				collector.Observe(k)
+			}
+		}
+	} else {
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
+			p := v.(shuffle.Pair)
+			writer.Write(dep.Partitioner.PartitionFor(p.K), p)
+			collector.Observe(p.K)
+		}
+	}
+	stats, err := writer.Commit()
+	if err != nil {
+		return nil, err
+	}
+	report := collector.BuildReport(part, stats.Bytes, stats.Records)
+	return mapTaskOutput{worker: w.ID, report: report}, nil
+}
+
+// runTaskSet launches one task per partition and blocks until every
+// partition has succeeded, handling retries, lost workers, fetch
+// failures (by regenerating parent shuffle outputs) and speculation.
+func (s *Scheduler) runTaskSet(parts []int, mkTask func(part int) *cluster.Task, onSuccess func(part int, value any)) error {
+	type event struct {
+		part    int
+		started time.Time
+		res     cluster.Result
+	}
+	events := make(chan event, len(parts)*2)
+	running := make(map[int]time.Time, len(parts)) // part → earliest attempt start
+	attempts := make(map[int]int, len(parts))
+	speculated := make(map[int]bool, len(parts))
+	done := make(map[int]bool, len(parts))
+	var durations []time.Duration
+
+	launch := func(part int, excluded []int) {
+		t := mkTask(part)
+		t.Excluded = excluded
+		start := time.Now()
+		if _, ok := running[part]; !ok {
+			running[part] = start
+		}
+		s.metrics.TasksLaunched.Add(1)
+		ch := s.ctx.Cluster.Submit(t)
+		go func() {
+			r := <-ch
+			events <- event{part: part, started: start, res: r}
+		}()
+	}
+
+	for _, p := range parts {
+		launch(p, nil)
+	}
+
+	var specTicker *time.Ticker
+	var specC <-chan time.Time
+	if s.opts.Speculation {
+		specTicker = time.NewTicker(s.opts.SpeculationInterval)
+		specC = specTicker.C
+		defer specTicker.Stop()
+	}
+
+	remaining := len(parts)
+	excludedByPart := make(map[int][]int)
+	for remaining > 0 {
+		select {
+		case ev := <-events:
+			if done[ev.part] {
+				continue // late duplicate (speculation)
+			}
+			if ev.res.Err == nil {
+				done[ev.part] = true
+				delete(running, ev.part)
+				durations = append(durations, time.Since(ev.started))
+				onSuccess(ev.part, ev.res.Value)
+				remaining--
+				continue
+			}
+			// Failure handling.
+			if errors.Is(ev.res.Err, cluster.ErrWorkerLost) {
+				s.ctx.NotifyWorkerLost(ev.res.Worker)
+			}
+			var fe *shuffle.FetchError
+			if errors.As(ev.res.Err, &fe) {
+				s.metrics.FetchFailures.Add(1)
+				if err := s.recoverFetchFailure(fe); err != nil {
+					return err
+				}
+				// Retry the reduce task without penalizing it.
+				launch(ev.part, excludedByPart[ev.part])
+				continue
+			}
+			attempts[ev.part]++
+			s.metrics.TaskRetries.Add(1)
+			if attempts[ev.part] >= s.opts.MaxTaskRetries {
+				return fmt.Errorf("rdd: task for partition %d failed %d times: %w",
+					ev.part, attempts[ev.part], ev.res.Err)
+			}
+			if ev.res.Worker >= 0 {
+				excludedByPart[ev.part] = append(excludedByPart[ev.part], ev.res.Worker)
+			}
+			// Never exclude the whole cluster: a deterministic failure
+			// must exhaust the retry budget, not starve in the queue.
+			if len(excludedByPart[ev.part]) >= len(s.ctx.Cluster.AliveWorkers()) {
+				excludedByPart[ev.part] = nil
+			}
+			launch(ev.part, excludedByPart[ev.part])
+
+		case <-specC:
+			if len(durations)*4 < len(parts)*3 { // wait for 75% completion
+				continue
+			}
+			med := medianDuration(durations)
+			if med <= 0 {
+				med = time.Millisecond
+			}
+			for part, started := range running {
+				if speculated[part] || done[part] {
+					continue
+				}
+				if time.Since(started) > time.Duration(float64(med)*s.opts.SpeculationMultiplier) {
+					speculated[part] = true
+					s.metrics.SpeculativeTasks.Add(1)
+					launch(part, excludedByPart[part])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// recoverFetchFailure regenerates the lost map outputs named by fe by
+// re-running the corresponding map tasks (lineage recovery, §2.3).
+func (s *Scheduler) recoverFetchFailure(fe *shuffle.FetchError) error {
+	s.ctx.tracker.MarkLost(fe.ShuffleID, fe.MapParts)
+	dep := s.lookupDep(fe.ShuffleID)
+	if dep == nil {
+		return fmt.Errorf("rdd: cannot recover unknown shuffle %d", fe.ShuffleID)
+	}
+	s.metrics.MapStageReruns.Add(int64(len(fe.MapParts)))
+	return s.ensureShuffle(dep)
+}
+
+// depRegistry lets the scheduler find a ShuffleDep by ID for recovery.
+var depRegistry sync.Map // shuffleID → *ShuffleDep
+
+// RegisterDepForRecovery records dep so fetch failures can rebuild it.
+// Context.NewShuffleDep calls this automatically.
+func RegisterDepForRecovery(dep *ShuffleDep) { depRegistry.Store(dep.ID, dep) }
+
+func (s *Scheduler) lookupDep(id int) *ShuffleDep {
+	v, ok := depRegistry.Load(id)
+	if !ok {
+		return nil
+	}
+	return v.(*ShuffleDep)
+}
+
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	cp := append([]time.Duration(nil), ds...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp[len(cp)/2]
+}
+
+// directShuffleDeps finds the shuffle dependencies reachable from r
+// without crossing another shuffle boundary.
+func directShuffleDeps(r *RDD) []*ShuffleDep {
+	var out []*ShuffleDep
+	visited := make(map[int]bool)
+	var walk func(*RDD)
+	walk = func(cur *RDD) {
+		if visited[cur.ID] {
+			return
+		}
+		visited[cur.ID] = true
+		for _, d := range cur.deps {
+			if sd, ok := d.(*ShuffleDep); ok {
+				out = append(out, sd)
+				continue
+			}
+			walk(d.ParentRDD())
+		}
+	}
+	walk(r)
+	return out
+}

@@ -1,0 +1,56 @@
+package sqlparse
+
+import "testing"
+
+// TestExprStringIdempotent checks that rendering an expression AST and
+// re-parsing it reproduces the same rendering — the property EXPLAIN
+// output relies on.
+func TestExprStringIdempotent(t *testing.T) {
+	exprs := []string{
+		"a + b * c - 2",
+		"(a + b) * (c - d) / 2.5",
+		"x = 1 AND y <> 'txt' OR NOT z",
+		"col BETWEEN 1 AND 10",
+		"c IN ('a', 'b', 'c')",
+		"u LIKE 'http%'",
+		"v IS NOT NULL",
+		"CASE WHEN a > 1 THEN 'x' ELSE 'y' END",
+		"CAST(a AS DOUBLE) + 1.5",
+		"SUBSTR(ip, 1, 7)",
+		"t.a = s.b AND t.c > 5",
+		"-x + 3",
+		"COUNT(DISTINCT a)",
+	}
+	for _, src := range exprs {
+		e1, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		s1 := e1.String()
+		e2, err := ParseExpr(s1)
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", s1, src, err)
+		}
+		if s2 := e2.String(); s1 != s2 {
+			t.Errorf("not idempotent: %q → %q → %q", src, s1, s2)
+		}
+	}
+}
+
+// TestKeywordCaseInsensitivity: HiveQL keywords in any case.
+func TestKeywordCaseInsensitivity(t *testing.T) {
+	for _, src := range []string{
+		"select a from t where b > 1 group by a having count(*) > 2 order by a desc limit 3",
+		"SELECT a FROM t WHERE b > 1 GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 3",
+		"Select a From t Where b > 1 Group By a Having Count(*) > 2 Order By a Desc Limit 3",
+	} {
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		sel := stmt.(*SelectStmt)
+		if sel.Limit != 3 || len(sel.GroupBy) != 1 || sel.Having == nil {
+			t.Errorf("structure lost for %q", src)
+		}
+	}
+}

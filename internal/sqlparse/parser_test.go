@@ -1,0 +1,321 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"shark/internal/row"
+)
+
+func mustSelect(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want *SelectStmt", src, stmt)
+	}
+	return sel
+}
+
+func TestSimpleSelect(t *testing.T) {
+	s := mustSelect(t, "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 100")
+	if len(s.Items) != 2 || s.From.Name != "rankings" {
+		t.Fatalf("bad parse: %+v", s)
+	}
+	be, ok := s.Where.(*BinaryExpr)
+	if !ok || be.Op != OpGt {
+		t.Fatalf("where = %v", s.Where)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM logs")
+	if !s.Items[0].Star {
+		t.Error("expected star item")
+	}
+}
+
+func TestAliases(t *testing.T) {
+	s := mustSelect(t, "SELECT a AS x, b y, SUM(c) total FROM t1 AS foo")
+	if s.Items[0].Alias != "x" || s.Items[1].Alias != "y" || s.Items[2].Alias != "total" {
+		t.Errorf("aliases: %+v", s.Items)
+	}
+	if s.From.Binding() != "foo" {
+		t.Errorf("table alias = %q", s.From.Binding())
+	}
+}
+
+func TestGroupByHavingOrderLimit(t *testing.T) {
+	s := mustSelect(t, `SELECT country, COUNT(*) AS c FROM sessions
+		GROUP BY country HAVING COUNT(*) > 10 ORDER BY c DESC, country LIMIT 5`)
+	if len(s.GroupBy) != 1 || s.Having == nil {
+		t.Fatal("group/having missing")
+	}
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Fatalf("order by: %+v", s.OrderBy)
+	}
+	if s.Limit != 5 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+}
+
+func TestJoinOn(t *testing.T) {
+	s := mustSelect(t, `SELECT * FROM lineitem l JOIN supplier s ON l.L_SUPPKEY = s.S_SUPPKEY`)
+	if len(s.Joins) != 1 {
+		t.Fatal("join missing")
+	}
+	if s.From.Binding() != "l" || s.Joins[0].Ref.Binding() != "s" {
+		t.Errorf("bindings: %q %q", s.From.Binding(), s.Joins[0].Ref.Binding())
+	}
+	on := s.Joins[0].On.(*BinaryExpr)
+	if on.Op != OpEq {
+		t.Error("ON must be equality")
+	}
+	l := on.L.(*ColRef)
+	if l.Table != "l" || l.Name != "L_SUPPKEY" {
+		t.Errorf("left key: %+v", l)
+	}
+}
+
+func TestImplicitJoinPavlo(t *testing.T) {
+	// the Pavlo benchmark join query shape
+	s := mustSelect(t, `SELECT sourceIP, AVG(pageRank), SUM(adRevenue) as totalRevenue
+		FROM rankings AS R, uservisits AS UV
+		WHERE R.pageURL = UV.destURL
+		AND UV.visitDate BETWEEN Date('2000-01-15') AND Date('2000-01-22')
+		GROUP BY UV.sourceIP`)
+	if len(s.Joins) != 1 || s.Joins[0].On != nil {
+		t.Fatal("implicit join must have nil ON (resolved from WHERE)")
+	}
+	if s.Where == nil {
+		t.Fatal("where missing")
+	}
+}
+
+func TestBetweenDates(t *testing.T) {
+	s := mustSelect(t, `SELECT * FROM t WHERE d BETWEEN Date('2000-01-15') AND Date('2000-01-22')`)
+	b, ok := s.Where.(*BetweenExpr)
+	if !ok {
+		t.Fatalf("where = %T", s.Where)
+	}
+	lo := b.Lo.(*Literal).Value.(int64)
+	hi := b.Hi.(*Literal).Value.(int64)
+	if hi-lo != 7 {
+		t.Errorf("date range = %d days", hi-lo)
+	}
+}
+
+func TestCTASWithProps(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE l_mem TBLPROPERTIES ("shark.cache"=true') AS SELECT * FROM lineitem DISTRIBUTE BY L_ORDERKEY`)
+	if err == nil {
+		t.Skip("lenient") // the canonical form is tested below
+	}
+	stmt, err = Parse(`CREATE TABLE l_mem TBLPROPERTIES ("shark.cache"="true") AS
+		SELECT * FROM lineitem DISTRIBUTE BY L_ORDERKEY`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if ct.Name != "l_mem" || ct.Props["shark.cache"] != "true" {
+		t.Errorf("ctas: %+v", ct)
+	}
+	if ct.As == nil || ct.As.DistributeBy != "L_ORDERKEY" {
+		t.Errorf("distribute by: %+v", ct.As)
+	}
+}
+
+func TestCopartitionProps(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE o_mem TBLPROPERTIES ("shark.cache"="true", "copartition"="l_mem")
+		AS SELECT * FROM orders DISTRIBUTE BY O_ORDERKEY`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if ct.Props["copartition"] != "l_mem" {
+		t.Errorf("props: %v", ct.Props)
+	}
+}
+
+func TestExternalTable(t *testing.T) {
+	stmt, err := Parse(`CREATE EXTERNAL TABLE rankings (pageURL STRING, pageRank INT, avgDuration INT)
+		STORED AS TEXT LOCATION 'pavlo/rankings'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if len(ct.Cols) != 3 || ct.Cols[1].Type != row.TInt {
+		t.Errorf("cols: %+v", ct.Cols)
+	}
+	if ct.Location != "pavlo/rankings" || ct.Format != "TEXT" {
+		t.Errorf("storage: %q %q", ct.Location, ct.Format)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	stmt, err := Parse("DROP TABLE IF EXISTS tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := stmt.(*DropTableStmt)
+	if d.Name != "tmp" || !d.IfExists {
+		t.Errorf("drop: %+v", d)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	stmt, err := Parse("EXPLAIN SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*ExplainStmt); !ok {
+		t.Errorf("got %T", stmt)
+	}
+}
+
+func TestSubquery(t *testing.T) {
+	s := mustSelect(t, `SELECT x FROM (SELECT a AS x FROM t WHERE a > 1) sub WHERE x < 10`)
+	if s.From.Sub == nil || s.From.Alias != "sub" {
+		t.Fatalf("subquery: %+v", s.From)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * 3 = 7 AND NOT false OR a < 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := e.(*BinaryExpr)
+	if top.Op != OpOr {
+		t.Fatalf("top = %v", top.Op)
+	}
+	land := top.L.(*BinaryExpr)
+	if land.Op != OpAnd {
+		t.Fatalf("left = %v", land.Op)
+	}
+	cmp := land.L.(*BinaryExpr)
+	if cmp.Op != OpEq {
+		t.Fatalf("cmp = %v", cmp.Op)
+	}
+	add := cmp.L.(*BinaryExpr)
+	if add.Op != OpAdd {
+		t.Fatalf("add = %v", add.Op)
+	}
+	if add.R.(*BinaryExpr).Op != OpMul {
+		t.Error("* must bind tighter than +")
+	}
+}
+
+func TestFunctionsAndSubstr(t *testing.T) {
+	s := mustSelect(t, `SELECT SUBSTR(sourceIP, 1, 7), SUM(adRevenue) FROM uservisits GROUP BY SUBSTR(sourceIP, 1, 7)`)
+	f := s.Items[0].Expr.(*FuncCall)
+	if f.Name != "SUBSTR" || len(f.Args) != 3 {
+		t.Errorf("substr: %+v", f)
+	}
+}
+
+func TestCountVariants(t *testing.T) {
+	s := mustSelect(t, `SELECT COUNT(*), COUNT(x), COUNT(DISTINCT y) FROM t`)
+	if !s.Items[0].Expr.(*FuncCall).Star {
+		t.Error("COUNT(*)")
+	}
+	if s.Items[1].Expr.(*FuncCall).Distinct {
+		t.Error("COUNT(x) not distinct")
+	}
+	if !s.Items[2].Expr.(*FuncCall).Distinct {
+		t.Error("COUNT(DISTINCT y)")
+	}
+}
+
+func TestCaseWhen(t *testing.T) {
+	e, err := ParseExpr(`CASE WHEN a > 1 THEN 'big' WHEN a > 0 THEN 'small' ELSE 'neg' END`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.(*CaseExpr)
+	if len(c.Whens) != 2 || c.Else == nil {
+		t.Errorf("case: %+v", c)
+	}
+}
+
+func TestCast(t *testing.T) {
+	e, err := ParseExpr("CAST(x AS DOUBLE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.(*CastExpr).To != row.TFloat {
+		t.Error("cast type")
+	}
+}
+
+func TestInLikeIsNull(t *testing.T) {
+	s := mustSelect(t, `SELECT * FROM t WHERE country IN ('US', 'CA') AND url LIKE 'http%' AND x IS NOT NULL AND y NOT IN (1, 2)`)
+	if s.Where == nil {
+		t.Fatal("where missing")
+	}
+	str := s.Where.(*BinaryExpr).String()
+	for _, want := range []string{"IN", "LIKE", "IS NOT NULL", "NOT IN"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("missing %s in %s", want, str)
+		}
+	}
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	e, err := ParseExpr("-5 + 2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.(*BinaryExpr).L.(*Literal).Value.(int64) != -5 {
+		t.Error("negative literal")
+	}
+}
+
+func TestComments(t *testing.T) {
+	s := mustSelect(t, "SELECT a -- trailing comment\nFROM t -- another")
+	if s.From.Name != "t" {
+		t.Error("comment handling")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM (SELECT a FROM t)", // subquery without alias
+		"CREATE TABLE",
+		"SELECT a FROM t LIMIT x",
+		"SELECT CAST(a AS blob) FROM t",
+		"SELECT 'unterminated FROM t",
+		"SELECT a$ FROM t",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestStatementStringRoundtrip(t *testing.T) {
+	// Exprs render to readable strings (used by EXPLAIN).
+	e, err := ParseExpr("a.b + 1 >= 2 AND c LIKE 'x%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.String()
+	for _, want := range []string{"a.b", ">=", "AND", "LIKE"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSemicolonTolerated(t *testing.T) {
+	if _, err := Parse("SELECT 1;"); err != nil {
+		t.Error(err)
+	}
+}

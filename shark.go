@@ -1,0 +1,177 @@
+// Package shark is the public API of this reproduction of
+// "Shark: SQL and Rich Analytics at Scale" (Xin et al., SIGMOD 2013):
+// a SQL engine over a Spark-like RDD substrate with in-memory columnar
+// storage, partial DAG execution (PDE), mid-query fault tolerance, and
+// first-class machine learning over query results.
+//
+// Quick start:
+//
+//	s, _ := shark.NewSession(shark.Config{})
+//	defer s.Close()
+//	s.LoadRows("logs", schema, rows)
+//	s.Exec(`CREATE TABLE logs_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM logs`)
+//	res, _ := s.Exec(`SELECT status, COUNT(*) FROM logs_mem GROUP BY status`)
+package shark
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"shark/internal/cluster"
+	"shark/internal/core"
+	"shark/internal/dfs"
+	"shark/internal/exec"
+	"shark/internal/rdd"
+	"shark/internal/row"
+	"shark/internal/shuffle"
+)
+
+// Re-exported fundamental types.
+type (
+	// Row is one result or input tuple.
+	Row = row.Row
+	// Schema describes columns.
+	Schema = row.Schema
+	// Field is one column definition.
+	Field = row.Field
+	// Type is a column type.
+	Type = row.Type
+	// Result is a materialized statement result.
+	Result = core.Result
+	// TableRDD is a query result as a live distributed dataset
+	// (the sql2rdd bridge).
+	TableRDD = core.TableRDD
+	// RowView is schema-aware row access for TableRDD.MapRows.
+	RowView = core.RowView
+	// RDD is a resilient distributed dataset.
+	RDD = rdd.RDD
+	// EngineOptions tunes the execution engine (join strategy,
+	// PDE knobs, ablation switches).
+	EngineOptions = exec.Options
+	// QueryStats describes what the engine did for a query.
+	QueryStats = exec.QueryStats
+)
+
+// Column types.
+const (
+	TInt    = row.TInt
+	TFloat  = row.TFloat
+	TString = row.TString
+	TBool   = row.TBool
+	TDate   = row.TDate
+)
+
+// Join strategy modes.
+const (
+	StrategyStaticAdaptive = exec.StrategyStaticAdaptive
+	StrategyAdaptive       = exec.StrategyAdaptive
+	StrategyStatic         = exec.StrategyStatic
+)
+
+// Config sizes the embedded simulated cluster.
+type Config struct {
+	// Workers is the number of simulated nodes (default 8).
+	Workers int
+	// SlotsPerWorker is concurrent tasks per node (default 2).
+	SlotsPerWorker int
+	// DataDir backs the simulated DFS and shuffle spills; a temp
+	// directory is created when empty.
+	DataDir string
+	// Engine tunes the Shark execution engine.
+	Engine EngineOptions
+	// TaskLaunchOverhead overrides the per-task scheduling cost
+	// (default: Spark profile, 50µs).
+	TaskLaunchOverhead time.Duration
+	// DiskShuffle stores shuffle map outputs on disk instead of in
+	// worker memory (ablation; default memory).
+	DiskShuffle bool
+	// Speculation enables backup tasks for stragglers.
+	Speculation bool
+}
+
+// Session is a connected Shark instance: simulated cluster, DFS,
+// metastore and engines.
+type Session struct {
+	*core.Session
+	Cluster *cluster.Cluster
+	tmpDir  string
+}
+
+// NewSession boots a simulated cluster and connects a session to it.
+func NewSession(cfg Config) (*Session, error) {
+	profile := cluster.SparkProfile()
+	if cfg.TaskLaunchOverhead > 0 {
+		profile.TaskLaunchOverhead = cfg.TaskLaunchOverhead
+	}
+	cl := cluster.New(cluster.Config{
+		Workers: cfg.Workers,
+		Slots:   cfg.SlotsPerWorker,
+		Profile: profile,
+	})
+	dir := cfg.DataDir
+	tmp := ""
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "shark-*")
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("shark: %w", err)
+		}
+		tmp = dir
+	}
+	fs, err := dfs.New(dfs.Config{Dir: dir + "/dfs"})
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	mode := shuffle.Memory
+	if cfg.DiskShuffle {
+		mode = shuffle.Disk
+	}
+	svc := shuffle.NewService(cl, mode, dir+"/shuffle")
+	ctx := rdd.NewContext(cl, svc, rdd.Options{Speculation: cfg.Speculation})
+	return &Session{
+		Session: core.NewSession(ctx, fs, cfg.Engine),
+		Cluster: cl,
+		tmpDir:  tmp,
+	}, nil
+}
+
+// Close shuts the cluster down and removes temporary state.
+func (s *Session) Close() {
+	s.Cluster.Close()
+	if s.tmpDir != "" {
+		os.RemoveAll(s.tmpDir)
+	}
+}
+
+// LoadRows writes rows into the DFS as a text table and registers it
+// in the catalog — the ingestion path for examples and tests.
+func (s *Session) LoadRows(table string, schema Schema, rows []Row) error {
+	file := "data/" + table
+	w, err := s.FS.Create(file, dfs.Text, schema)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return s.RegisterExternal(table, file, schema)
+}
+
+// KillWorker simulates a node failure (fault-tolerance demos).
+func (s *Session) KillWorker(id int) {
+	s.Cluster.Kill(id)
+	s.Ctx.NotifyWorkerLost(id)
+}
+
+// RestartWorker brings a failed node back (empty, as a fresh node).
+func (s *Session) RestartWorker(id int) {
+	s.Cluster.Restart(id)
+}

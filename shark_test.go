@@ -1,0 +1,171 @@
+package shark_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"shark"
+	"shark/ml"
+)
+
+func newSession(t *testing.T, cfg shark.Config) *shark.Session {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	s, err := shark.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+var logsSchema = shark.Schema{
+	{Name: "url", Type: shark.TString},
+	{Name: "status", Type: shark.TInt},
+	{Name: "bytes", Type: shark.TInt},
+	{Name: "day", Type: shark.TDate},
+}
+
+func loadLogs(t *testing.T, s *shark.Session, n int) {
+	t.Helper()
+	rows := make([]shark.Row, n)
+	for i := 0; i < n; i++ {
+		status := int64(200)
+		if i%10 == 0 {
+			status = 404
+		}
+		rows[i] = shark.Row{
+			fmt.Sprintf("/p/%d", i%50),
+			status,
+			int64(i % 1000),
+			int64(15000 + i/100),
+		}
+	}
+	if err := s.LoadRows("logs", logsSchema, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	s := newSession(t, shark.Config{})
+	loadLogs(t, s, 5000)
+
+	if _, err := s.Exec(`CREATE TABLE logs_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM logs`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(`SELECT status, COUNT(*) AS n FROM logs_mem GROUP BY status ORDER BY n DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].(int64) != 200 || res.Rows[0][1].(int64) != 4500 {
+		t.Errorf("top group = %v", res.Rows[0])
+	}
+}
+
+func TestPublicSql2RddAndML(t *testing.T) {
+	s := newSession(t, shark.Config{})
+	loadLogs(t, s, 3000)
+	tr, err := s.Query(`SELECT bytes, status FROM logs`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := tr.MapRows(func(r shark.RowView) any {
+		label := -1.0
+		if r.GetInt("status") != 200 {
+			label = 1.0
+		}
+		return ml.LabeledPoint{X: ml.Vector{float64(r.GetInt("bytes")) / 1000}, Y: label}
+	}).Cache()
+	w, err := ml.LogisticRegression(points, 1, 3, 0.001, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 1 {
+		t.Fatalf("weights = %v", w)
+	}
+}
+
+func TestPublicFaultInjection(t *testing.T) {
+	s := newSession(t, shark.Config{Workers: 5})
+	loadLogs(t, s, 4000)
+	if _, err := s.Exec(`CREATE TABLE logs_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM logs`); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Exec(`SELECT COUNT(*) FROM logs_mem`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.KillWorker(2)
+	after, err := s.Exec(`SELECT COUNT(*) FROM logs_mem`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Rows[0][0] != after.Rows[0][0] {
+		t.Errorf("count changed after failure: %v vs %v", before.Rows[0][0], after.Rows[0][0])
+	}
+	s.RestartWorker(2)
+	if _, err := s.Exec(`SELECT COUNT(*) FROM logs_mem`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicUDF(t *testing.T) {
+	s := newSession(t, shark.Config{})
+	loadLogs(t, s, 1000)
+	err := s.RegisterUDF("IS_API", shark.TBool, 1, 1, func(args []any) any {
+		u, _ := args[0].(string)
+		return strings.HasPrefix(u, "/p/1")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(`SELECT COUNT(*) FROM logs WHERE IS_API(url)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) == 0 {
+		t.Error("UDF matched nothing")
+	}
+}
+
+func TestPublicDiskShuffleOption(t *testing.T) {
+	s := newSession(t, shark.Config{DiskShuffle: true})
+	loadLogs(t, s, 2000)
+	res, err := s.Exec(`SELECT url, COUNT(*), COUNT(DISTINCT bytes) FROM logs GROUP BY url`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 50 {
+		t.Errorf("groups = %d", len(res.Rows))
+	}
+}
+
+func TestPublicSpeculationOption(t *testing.T) {
+	s := newSession(t, shark.Config{Workers: 4, Speculation: true})
+	loadLogs(t, s, 2000)
+	if _, err := s.Exec(`SELECT COUNT(*) FROM logs`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicExplain(t *testing.T) {
+	s := newSession(t, shark.Config{})
+	loadLogs(t, s, 100)
+	res, err := s.Exec(`EXPLAIN SELECT url, COUNT(*) FROM logs WHERE status = 200 GROUP BY url`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text strings.Builder
+	for _, r := range res.Rows {
+		text.WriteString(r[0].(string))
+	}
+	if !strings.Contains(text.String(), "Aggregate") {
+		t.Errorf("explain output: %s", text.String())
+	}
+}
