@@ -1,0 +1,31 @@
+.PHONY: build test race fmt vet bench ci
+
+GO ?= go
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The dispatcher and shuffle paths are concurrency-heavy; race-clean
+# is the bar for them.
+race:
+	$(GO) test -race ./internal/rdd ./internal/cluster ./internal/shuffle
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Bench smoke: one iteration of every benchmark (columnar, expr, and
+# the top-level suite) so the perf trajectory gets recorded per
+# commit (non-gating in CI).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build vet fmt test race

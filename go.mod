@@ -1,0 +1,3 @@
+module shark
+
+go 1.24

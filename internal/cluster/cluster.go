@@ -5,6 +5,15 @@
 // event-driven task assignment, worker failures that wipe local state,
 // and injected stragglers.
 //
+// Task dispatch is locality- and load-aware. Each worker owns a
+// bounded queue; the dispatcher places unconstrained tasks on the
+// least-loaded live worker, holds locality-preferred tasks for a short
+// wait before falling back to any worker (delay-scheduling-lite,
+// after Zaharia et al.), and idle slots steal queued work from the
+// most-loaded worker once a task's locality window has expired. This
+// is what makes "many small tasks" actually balance (§7.1) instead of
+// one worker draining a global queue.
+//
 // The cluster runs tasks for both the Spark-like engine (internal/rdd)
 // and the Hadoop-like engine (internal/mr); the two differ only in the
 // Profile they configure.
@@ -71,6 +80,21 @@ type Config struct {
 	Workers int
 	// Slots is the number of concurrent tasks per node. Default 2.
 	Slots int
+	// QueueDepth bounds each worker's task queue; placements beyond
+	// it spill to a central pending list drained by idle slots.
+	// Default 32.
+	QueueDepth int
+	// LocalityWait is how long a locality-preferred task waits for a
+	// slot on a preferred worker before any worker may run it
+	// (delay-scheduling-lite). Default 2ms.
+	LocalityWait time.Duration
+	// StealDelay is how long a slot must sit idle before it may steal
+	// queued tasks from another worker. Without it, one fast slot
+	// drains every queue of microsecond tasks before the owning
+	// workers' slots wake — stealing exists to fix real imbalance
+	// (stragglers, dead or late-joining workers), not to concentrate
+	// load. Default 1ms.
+	StealDelay time.Duration
 	// Profile sets scheduling overheads. Default SparkProfile.
 	Profile Profile
 }
@@ -81,6 +105,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Slots <= 0 {
 		c.Slots = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.LocalityWait <= 0 {
+		c.LocalityWait = 2 * time.Millisecond
+	}
+	if c.StealDelay <= 0 {
+		c.StealDelay = time.Millisecond
 	}
 	return c
 }
@@ -98,7 +131,27 @@ type Task struct {
 	Excluded []int
 
 	result chan Result
+	// deadline is when the locality window expires (guarded by the
+	// cluster mutex while the task is queued or pending).
+	deadline time.Time
+	// runningOn holds workerID+1 while the task body runs (0 = not
+	// started); schedulers use it to place speculative copies away
+	// from the original attempt.
+	runningOn atomic.Int32
+	// placedOn holds workerID+1 of the queue the task was last
+	// placed on (0 = pending/unplaced).
+	placedOn atomic.Int32
 }
+
+// RunningOn reports the worker currently (or last) executing the task,
+// or -1 if it has not started.
+func (t *Task) RunningOn() int { return int(t.runningOn.Load()) - 1 }
+
+// PlacedOn reports the worker whose queue last held the task, or -1
+// while it sits unplaced on the pending list. Together with RunningOn
+// it tells a scheduler where a straggling task is stuck even before
+// its body starts executing.
+func (t *Task) PlacedOn() int { return int(t.placedOn.Load()) - 1 }
 
 // Result is a completed task's outcome.
 type Result struct {
@@ -112,10 +165,14 @@ type Worker struct {
 	ID    int
 	store *BlockStore
 
-	alive    atomic.Bool
-	slowBy   atomic.Int64 // extra ns per task (straggler injection)
-	queue    chan *Task
-	busySlot atomic.Int32
+	alive  atomic.Bool
+	slowBy atomic.Int64 // extra ns per task (straggler injection)
+
+	// queue and busy are guarded by the cluster mutex.
+	queue []*Task
+	busy  int
+
+	tasksRun atomic.Int64
 }
 
 // Store returns the worker's local block store.
@@ -124,19 +181,52 @@ func (w *Worker) Store() *BlockStore { return w.store }
 // Alive reports whether the worker is up.
 func (w *Worker) Alive() bool { return w.alive.Load() }
 
+// TasksRun returns how many task bodies this worker has executed.
+func (w *Worker) TasksRun() int64 { return w.tasksRun.Load() }
+
+// load is the worker's instantaneous load for placement decisions
+// (running + queued tasks). Caller holds the cluster mutex.
+func (w *Worker) load() int { return w.busy + len(w.queue) }
+
+// DispatchMetrics counts dispatcher activity, observable by tests and
+// the scheduling experiments.
+type DispatchMetrics struct {
+	// Steals counts tasks an idle slot took from another worker's
+	// queue.
+	Steals atomic.Int64
+	// LocalityHits / LocalityMisses count preferred-location tasks
+	// that did / did not run on a preferred worker.
+	LocalityHits   atomic.Int64
+	LocalityMisses atomic.Int64
+	// PendingOverflows counts placements that found every eligible
+	// queue full (or every preferred worker busy) and spilled to the
+	// central pending list.
+	PendingOverflows atomic.Int64
+}
+
 // Cluster is the simulated cluster.
 type Cluster struct {
 	cfg     Config
 	workers []*Worker
-	global  chan *Task
-	closed  atomic.Bool
-	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*Task // unplaced tasks drained by idle slots
+	rr      int     // rotates equal-load placement ties across workers
+	closed  bool
+
+	wg sync.WaitGroup
 
 	tick     chan struct{} // heartbeat broadcast (closed+replaced each tick)
 	tickMu   sync.Mutex
 	stopTick chan struct{}
 
 	tasksLaunched atomic.Int64
+	// backlog counts tasks sitting in queues or pending (not yet
+	// taken by a slot), letting wakeLoop skip the mutex entirely on
+	// an idle cluster.
+	backlog atomic.Int64
+	metrics DispatchMetrics
 }
 
 // New starts a simulated cluster.
@@ -144,12 +234,12 @@ func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
 	c := &Cluster{
 		cfg:      cfg,
-		global:   make(chan *Task, 4096),
 		tick:     make(chan struct{}),
 		stopTick: make(chan struct{}),
 	}
+	c.cond = sync.NewCond(&c.mu)
 	for i := 0; i < cfg.Workers; i++ {
-		w := &Worker{ID: i, store: NewBlockStore(), queue: make(chan *Task, 4096)}
+		w := &Worker{ID: i, store: NewBlockStore()}
 		w.alive.Store(true)
 		c.workers = append(c.workers, w)
 		for s := 0; s < cfg.Slots; s++ {
@@ -157,6 +247,7 @@ func New(cfg Config) *Cluster {
 			go c.slotLoop(w)
 		}
 	}
+	go c.wakeLoop()
 	if cfg.Profile.Mode == Heartbeat {
 		go c.heartbeatLoop()
 	}
@@ -181,6 +272,18 @@ func (c *Cluster) Worker(i int) *Worker { return c.workers[i] }
 // TasksLaunched returns the number of task bodies started (for tests
 // and the task-overhead experiment).
 func (c *Cluster) TasksLaunched() int64 { return c.tasksLaunched.Load() }
+
+// Metrics returns the dispatcher counters.
+func (c *Cluster) Metrics() *DispatchMetrics { return &c.metrics }
+
+// TasksPerWorker snapshots how many tasks each worker has executed.
+func (c *Cluster) TasksPerWorker() []int64 {
+	out := make([]int64, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = w.TasksRun()
+	}
+	return out
+}
 
 // AliveWorkers returns the IDs of live workers.
 func (c *Cluster) AliveWorkers() []int {
@@ -225,26 +328,177 @@ func (c *Cluster) waitTick() bool {
 	}
 }
 
+// wakeLoop periodically wakes idle slots while work is queued or
+// pending, so locality windows expire and steal opportunities are
+// re-examined without a per-task timer. On an idle cluster the tick
+// is a single atomic load — no mutex traffic.
+func (c *Cluster) wakeLoop() {
+	t := time.NewTicker(500 * time.Microsecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopTick:
+			return
+		case <-t.C:
+			if c.backlog.Load() == 0 {
+				continue
+			}
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		}
+	}
+}
+
 // Submit enqueues a task and returns a channel that will receive
 // exactly one Result.
 func (c *Cluster) Submit(t *Task) <-chan Result {
 	t.result = make(chan Result, 2) // 2: speculation may double-complete
-	if c.closed.Load() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
 		t.result <- Result{Err: errors.New("cluster: closed")}
 		return t.result
 	}
-	// Route to a preferred live worker's queue when possible.
-	for _, p := range t.Preferred {
-		if p >= 0 && p < len(c.workers) && c.workers[p].Alive() && !contains(t.Excluded, p) {
-			select {
-			case c.workers[p].queue <- t:
-				return t.result
-			default:
-			}
+	t.deadline = time.Now().Add(c.cfg.LocalityWait)
+	c.backlog.Add(1)
+	c.place(t)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return t.result
+}
+
+// place assigns a task to a worker queue or the pending list. Caller
+// holds the cluster mutex.
+func (c *Cluster) place(t *Task) {
+	// 1. Least-loaded preferred live worker with queue room.
+	if best := c.pickWorker(t.Preferred, t.Excluded); best != nil {
+		best.queue = append(best.queue, t)
+		t.placedOn.Store(int32(best.ID) + 1)
+		return
+	}
+	if len(t.Preferred) > 0 && c.anyPreferredAlive(t) {
+		// Delay-scheduling-lite: every preferred worker is full or
+		// busy. Hold the task; a preferred worker may free up within
+		// the locality window, after which anyone takes it.
+		c.metrics.PendingOverflows.Add(1)
+		t.placedOn.Store(0)
+		c.pending = append(c.pending, t)
+		return
+	}
+	// 2. Unconstrained (or all preferred workers dead): least-loaded
+	// live worker with room.
+	if best := c.pickWorker(nil, t.Excluded); best != nil {
+		best.queue = append(best.queue, t)
+		t.placedOn.Store(int32(best.ID) + 1)
+		return
+	}
+	// 3. Every eligible queue is full: spill to pending.
+	c.metrics.PendingOverflows.Add(1)
+	t.placedOn.Store(0)
+	c.pending = append(c.pending, t)
+}
+
+// pickWorker returns the least-loaded live worker with queue room from
+// the candidate set (nil = all workers), or nil. Equal-load ties
+// rotate across workers — a fixed tie-break would send every task of
+// a fast sequential submit burst to the same worker. Caller holds the
+// cluster mutex.
+func (c *Cluster) pickWorker(candidates, excluded []int) *Worker {
+	var best *Worker
+	consider := func(w *Worker) {
+		if !w.alive.Load() || contains(excluded, w.ID) || len(w.queue) >= c.cfg.QueueDepth {
+			return
+		}
+		if best == nil || w.load() < best.load() {
+			best = w
 		}
 	}
-	c.global <- t
-	return t.result
+	if candidates == nil {
+		start := c.rr
+		c.rr++
+		n := len(c.workers)
+		for i := 0; i < n; i++ {
+			consider(c.workers[(start+i)%n])
+		}
+		return best
+	}
+	for _, id := range candidates {
+		if id >= 0 && id < len(c.workers) {
+			consider(c.workers[id])
+		}
+	}
+	return best
+}
+
+// takePending removes and returns the first pending task worker w may
+// run. With agedOnly, only tasks whose locality window has expired
+// qualify (FIFO — the longest-waiting eligible task wins); otherwise
+// a task preferring w wins, then any task without a live non-excluded
+// preferred worker. Caller holds the cluster mutex.
+func (c *Cluster) takePending(w *Worker, now time.Time, agedOnly bool) *Task {
+	take := func(i int) *Task {
+		t := c.pending[i]
+		c.pending = append(c.pending[:i], c.pending[i+1:]...)
+		return t
+	}
+	if agedOnly {
+		for i, t := range c.pending {
+			if c.mayRun(t, w) && now.After(t.deadline) {
+				return take(i)
+			}
+		}
+		return nil
+	}
+	fallback := -1
+	for i, t := range c.pending {
+		if !c.mayRun(t, w) {
+			continue
+		}
+		if contains(t.Preferred, w.ID) {
+			return take(i)
+		}
+		if fallback < 0 && (len(t.Preferred) == 0 || !c.anyPreferredAlive(t)) {
+			fallback = i
+		}
+	}
+	if fallback >= 0 {
+		return take(fallback)
+	}
+	return nil
+}
+
+// mayRun reports whether worker w may execute t. An exclusion list
+// that has come to cover every live worker (e.g. after a Kill of the
+// one worker the task was re-queued on) is ignored rather than
+// letting the task starve unrunnable in the pending list: a task that
+// produces no failure event never reaches the scheduler's own
+// release valve, so the dispatcher needs one too. Caller holds the
+// cluster mutex.
+func (c *Cluster) mayRun(t *Task, w *Worker) bool {
+	if !contains(t.Excluded, w.ID) {
+		return true
+	}
+	for _, o := range c.workers {
+		if o.alive.Load() && !contains(t.Excluded, o.ID) {
+			return false // somewhere eligible exists; respect the exclusion
+		}
+	}
+	return true
+}
+
+// anyPreferredAlive reports whether a live, non-excluded preferred
+// worker exists — i.e. whether waiting out the locality window could
+// ever pay off. Excluded preferred workers don't count: a speculative
+// backup that prefers (for cache locality) exactly the straggler it
+// must avoid would otherwise stall in pending for the full wait.
+func (c *Cluster) anyPreferredAlive(t *Task) bool {
+	for _, id := range t.Preferred {
+		if id >= 0 && id < len(c.workers) && c.workers[id].alive.Load() && !contains(t.Excluded, id) {
+			return true
+		}
+	}
+	return false
 }
 
 func contains(xs []int, v int) bool {
@@ -258,30 +512,95 @@ func contains(xs []int, v int) bool {
 
 func (c *Cluster) slotLoop(w *Worker) {
 	defer c.wg.Done()
+	var idleSince time.Time // zero while the slot is running tasks
+	c.mu.Lock()
 	for {
-		var t *Task
-		select {
-		case <-c.stopTick:
+		if c.closed {
+			c.mu.Unlock()
 			return
-		case t = <-w.queue:
-		case t = <-c.global:
 		}
+		canSteal := !idleSince.IsZero() && time.Since(idleSince) >= c.cfg.StealDelay
+		t := c.takeTask(w, canSteal)
 		if t == nil {
-			return
-		}
-		if !w.Alive() || contains(t.Excluded, w.ID) {
-			// bounce to the global queue for someone else
-			select {
-			case c.global <- t:
-			case <-c.stopTick:
-				return
+			if idleSince.IsZero() {
+				idleSince = time.Now()
 			}
-			// avoid hot-looping when this worker is the only reader
-			time.Sleep(200 * time.Microsecond)
+			c.cond.Wait()
 			continue
 		}
+		idleSince = time.Time{}
+		// The task is now this worker's, wherever it was taken from
+		// (pending list, steal) — keep PlacedOn honest for the
+		// scheduler's speculative-exclusion decisions.
+		t.placedOn.Store(int32(w.ID) + 1)
+		c.backlog.Add(-1)
+		w.busy++
+		c.mu.Unlock()
 		c.runTask(w, t)
+		c.mu.Lock()
+		w.busy--
 	}
+}
+
+// takeTask finds the next task for an idle slot on w: its own queue
+// first, then the pending list, then (after StealDelay of idleness)
+// stealing from the most-loaded other worker. Returns nil when
+// nothing is runnable. Caller holds the cluster mutex.
+func (c *Cluster) takeTask(w *Worker, canSteal bool) *Task {
+	if !w.alive.Load() {
+		return nil
+	}
+	now := time.Now()
+	// 0. Aged pending tasks outrank queued work: a task past its
+	// locality window has already waited longer than anything sitting
+	// in a bounded queue, and under sustained load the queues refill
+	// continuously — without this, overflowed tasks starve behind
+	// later submissions.
+	if t := c.takePending(w, now, true); t != nil {
+		return t
+	}
+	// 1. Own queue, front first (placement guarantees eligibility,
+	// but skip defensively).
+	for i, t := range w.queue {
+		if c.mayRun(t, w) {
+			w.queue = append(w.queue[:i], w.queue[i+1:]...)
+			return t
+		}
+	}
+	// 2. Rest of the pending list: first a task that prefers w, else
+	// any task with no (live, non-excluded) preferred worker.
+	if t := c.takePending(w, now, false); t != nil {
+		return t
+	}
+	// 3. Steal from the back of the most-loaded live worker's queue,
+	// respecting unexpired locality placements.
+	if !canSteal {
+		return nil
+	}
+	var victim *Worker
+	for _, v := range c.workers {
+		if v == w || !v.alive.Load() || len(v.queue) == 0 {
+			continue
+		}
+		if victim == nil || len(v.queue) > len(victim.queue) {
+			victim = v
+		}
+	}
+	if victim != nil {
+		for i := len(victim.queue) - 1; i >= 0; i-- {
+			t := victim.queue[i]
+			if !c.mayRun(t, w) {
+				continue
+			}
+			if contains(t.Preferred, victim.ID) && now.Before(t.deadline) {
+				continue // still inside its locality window
+			}
+			victim.queue = append(victim.queue[:i], victim.queue[i+1:]...)
+			c.metrics.Steals.Add(1)
+			return t
+		}
+	}
+	return nil
 }
 
 func (c *Cluster) runTask(w *Worker, t *Task) {
@@ -295,11 +614,18 @@ func (c *Cluster) runTask(w *Worker, t *Task) {
 		time.Sleep(d)
 	}
 	c.tasksLaunched.Add(1)
-	w.busySlot.Add(1)
+	w.tasksRun.Add(1)
+	t.runningOn.Store(int32(w.ID) + 1)
+	if len(t.Preferred) > 0 {
+		if contains(t.Preferred, w.ID) {
+			c.metrics.LocalityHits.Add(1)
+		} else {
+			c.metrics.LocalityMisses.Add(1)
+		}
+	}
 	start := time.Now()
 	value, err := runSafely(t.Fn, w)
 	elapsed := time.Since(start)
-	w.busySlot.Add(-1)
 	if extra := w.slowBy.Load(); extra > 0 {
 		time.Sleep(time.Duration(extra))
 	} else if extra < 0 {
@@ -333,29 +659,32 @@ func runSafely(fn func(*Worker) (any, error), w *Worker) (value any, err error) 
 }
 
 // Kill marks a worker dead, wiping its block store and failing its
-// in-flight tasks. Queued tasks are re-routed.
+// in-flight tasks. Queued tasks are re-placed on live workers.
 func (c *Cluster) Kill(id int) {
 	w := c.workers[id]
+	c.mu.Lock()
 	if !w.alive.CompareAndSwap(true, false) {
+		c.mu.Unlock()
 		return
 	}
 	w.store.Wipe()
-	// Drain its private queue into the global queue.
-	for {
-		select {
-		case t := <-w.queue:
-			c.global <- t
-		default:
-			return
-		}
+	orphans := w.queue
+	w.queue = nil
+	for _, t := range orphans {
+		c.place(t)
 	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
 }
 
 // Restart brings a killed worker back with an empty store.
 func (c *Cluster) Restart(id int) {
 	w := c.workers[id]
+	c.mu.Lock()
 	w.store.Wipe()
 	w.alive.Store(true)
+	c.cond.Broadcast()
+	c.mu.Unlock()
 }
 
 // SetStragglerFactor makes worker id take factor× as long per task
@@ -375,8 +704,14 @@ func (c *Cluster) SetStragglerDelay(id int, d time.Duration) {
 
 // Close shuts the cluster down. Outstanding tasks are abandoned.
 func (c *Cluster) Close() {
-	if !c.closed.CompareAndSwap(false, true) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
 		return
 	}
+	c.closed = true
+	c.pending = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
 	close(c.stopTick)
 }

@@ -35,6 +35,7 @@ var experiments = map[string]func(Scale, *Report) error{
 	"abl_shuffle":    runShuffleAblation,
 	"abl_compile":    runExprCompileAblation,
 	"abl_binpack":    runSkewAblation,
+	"abl_dispatch":   runDispatch,
 	"pruning":        runPruning,
 }
 

@@ -32,7 +32,8 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig5_selection", "fig5_agg", "fig6_join", "loading",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-		"tbl_columnar", "abl_shuffle", "abl_compile", "abl_binpack", "pruning",
+		"tbl_columnar", "abl_shuffle", "abl_compile", "abl_binpack",
+		"abl_dispatch", "pruning",
 	}
 	have := map[string]bool{}
 	for _, id := range ExperimentIDs() {
@@ -155,6 +156,21 @@ func TestLoadingThroughput(t *testing.T) {
 	// Shape: memstore ingest faster than replicated DFS ingest.
 	if memT >= dfsT {
 		t.Errorf("memstore load (%.3f) should beat DFS load (%.3f)", memT, dfsT)
+	}
+}
+
+func TestDispatchExperiment(t *testing.T) {
+	r := runOne(t, "abl_dispatch")
+	if len(r.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(r.Entries))
+	}
+	for _, e := range r.Entries {
+		if e.Seconds <= 0 {
+			t.Errorf("series %q has no timing", e.Series)
+		}
+		if e.Notes == "" {
+			t.Errorf("series %q missing metrics notes", e.Series)
+		}
 	}
 }
 

@@ -301,6 +301,26 @@ func (t *TaskCollector) BuildReport(mapPart int, bytes, records []int64) MapRepo
 	return r
 }
 
+// BucketBytes returns the (approximate) bytes this map task wrote to
+// one reduce bucket, decoding the lossy size code unless exact sizes
+// were retained. The scheduler sums these per holding worker to place
+// reduce tasks where most of their input already lives.
+func (r MapReport) BucketBytes(bucket int) int64 {
+	if bucket < 0 {
+		return 0
+	}
+	if r.ExactBytes != nil {
+		if bucket < len(r.ExactBytes) {
+			return r.ExactBytes[bucket]
+		}
+		return 0
+	}
+	if bucket < len(r.SizeCodes) {
+		return DecodeSize(r.SizeCodes[bucket])
+	}
+	return 0
+}
+
 // StageStats is the master-side aggregation over all map reports of a
 // shuffle stage — the input to the runtime optimizer.
 type StageStats struct {
@@ -328,12 +348,7 @@ func NewStageStats(numBuckets, numMaps int) *StageStats {
 func (s *StageStats) AddReport(r MapReport) {
 	s.NumMaps++
 	for i := range s.BucketBytes {
-		var b int64
-		if r.ExactBytes != nil {
-			b = r.ExactBytes[i]
-		} else if i < len(r.SizeCodes) {
-			b = DecodeSize(r.SizeCodes[i])
-		}
+		b := r.BucketBytes(i)
 		s.BucketBytes[i] += b
 		if i < len(r.Records) {
 			s.BucketRecords[i] += r.Records[i]

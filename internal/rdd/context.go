@@ -105,46 +105,135 @@ func (c *Context) NewBroadcast(v any) *Broadcast { return &Broadcast{Value: v} }
 
 // cacheTracker records which workers hold cached copies of RDD
 // partitions (master-side metadata, like Spark's BlockManagerMaster).
+// Entries are stamped with the block store's wipe epoch at caching
+// time, so bookkeeping cannot outlive the worker state it describes:
+// a location whose worker died (or was wiped and restarted) is stale
+// and never reported, which is what forces the next Iterator call to
+// recompute the partition from lineage.
 type cacheTracker struct {
 	mu   sync.Mutex
-	locs map[int]map[int][]int // rddID → part → workers
+	locs map[int]map[int][]cacheEntry // rddID → part → entries
+	ever map[int]map[int]bool         // rddID → part → was ever materialized
+	lost map[int]map[int]bool         // rddID → part → recompute already counted
+}
+
+// cacheEntry is one recorded cached copy.
+type cacheEntry struct {
+	worker int
+	epoch  int64 // block-store wipe epoch when cached
 }
 
 func newCacheTracker() *cacheTracker {
-	return &cacheTracker{locs: make(map[int]map[int][]int)}
+	return &cacheTracker{
+		locs: make(map[int]map[int][]cacheEntry),
+		ever: make(map[int]map[int]bool),
+		lost: make(map[int]map[int]bool),
+	}
 }
 
-func (t *cacheTracker) Add(rddID, part, worker int) {
+// Add records a cached copy — unless the worker has already died or
+// its store was wiped since epoch was snapshotted (the copy never
+// became observable), in which case recording it would both report a
+// phantom location and falsely mark the partition materialized /
+// recovered.
+func (t *cacheTracker) Add(rddID, part, worker int, epoch int64, ctx *Context) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	w := ctx.Cluster.Worker(worker)
+	if !w.Alive() || w.Store().Epoch() != epoch {
+		return
+	}
 	m, ok := t.locs[rddID]
 	if !ok {
-		m = make(map[int][]int)
+		m = make(map[int][]cacheEntry)
 		t.locs[rddID] = m
 	}
-	for _, w := range m[part] {
-		if w == worker {
+	if lm, ok := t.lost[rddID]; ok {
+		delete(lm, part) // a live copy exists again
+	}
+	for i, e := range m[part] {
+		if e.worker == worker {
+			m[part][i].epoch = epoch
+			t.markEver(rddID, part)
 			return
 		}
 	}
-	m[part] = append(m[part], worker)
+	m[part] = append(m[part], cacheEntry{worker: worker, epoch: epoch})
+	t.markEver(rddID, part)
 }
 
-// Locations returns live workers believed to hold the partition.
-func (t *cacheTracker) Locations(rddID, part int) []int {
+// NoteRecompute records that a lost partition's recompute is underway
+// and reports whether this is the first attempt since the partition
+// was last live — so retries and speculative duplicates of one
+// recovery count as one recomputed partition. Re-armed by Add (a live
+// copy exists again).
+func (t *cacheTracker) NoteRecompute(rddID, part int) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]int(nil), t.locs[rddID][part]...)
+	m, ok := t.lost[rddID]
+	if !ok {
+		m = make(map[int]bool)
+		t.lost[rddID] = m
+	}
+	if m[part] {
+		return false
+	}
+	m[part] = true
+	return true
+}
+
+// markEver records the partition as materialized at least once.
+// Caller holds t.mu.
+func (t *cacheTracker) markEver(rddID, part int) {
+	m, ok := t.ever[rddID]
+	if !ok {
+		m = make(map[int]bool)
+		t.ever[rddID] = m
+	}
+	m[part] = true
+}
+
+// WasMaterialized reports whether the partition was ever cached (so a
+// cache-miss compute is lineage recovery, not first materialization).
+func (t *cacheTracker) WasMaterialized(rddID, part int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ever[rddID][part]
+}
+
+// Locations returns live workers still holding the partition,
+// dropping stale entries (dead workers, or stores wiped since the
+// copy was recorded) as a side effect.
+func (t *cacheTracker) Locations(rddID, part int, ctx *Context) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	entries := t.locs[rddID][part]
+	keep := entries[:0]
+	var out []int
+	for _, e := range entries {
+		w := ctx.Cluster.Worker(e.worker)
+		if !w.Alive() || w.Store().Epoch() != e.epoch {
+			continue // stale: the cached copy is gone
+		}
+		keep = append(keep, e)
+		out = append(out, e.worker)
+	}
+	if m := t.locs[rddID]; m != nil {
+		m[part] = keep
+	}
+	return out
 }
 
 func (t *cacheTracker) Evict(rddID int, ctx *Context) {
 	t.mu.Lock()
 	parts := t.locs[rddID]
 	delete(t.locs, rddID)
+	delete(t.ever, rddID)
+	delete(t.lost, rddID)
 	t.mu.Unlock()
-	for part, workers := range parts {
-		for _, w := range workers {
-			ctx.Cluster.Worker(w).Store().Delete(cacheKey(rddID, part))
+	for part, entries := range parts {
+		for _, e := range entries {
+			ctx.Cluster.Worker(e.worker).Store().Delete(cacheKey(rddID, part))
 		}
 	}
 }
@@ -154,11 +243,11 @@ func (t *cacheTracker) DropWorker(worker int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, parts := range t.locs {
-		for p, ws := range parts {
-			keep := ws[:0]
-			for _, w := range ws {
-				if w != worker {
-					keep = append(keep, w)
+		for p, es := range parts {
+			keep := es[:0]
+			for _, e := range es {
+				if e.worker != worker {
+					keep = append(keep, e)
 				}
 			}
 			parts[p] = keep

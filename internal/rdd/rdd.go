@@ -117,15 +117,30 @@ func (r *RDD) Iterator(tc *TaskContext, part int) Iter {
 	}
 	key := cacheKey(r.ID, part)
 	if v, ok := tc.Worker.Store().Get(key); ok {
+		r.ctx.sched.metrics.CacheHits.Add(1)
 		return SliceIter(v.([]any))
 	}
+	if r.ctx.cache.WasMaterialized(r.ID, part) && len(r.ctx.cache.Locations(r.ID, part, r.ctx)) == 0 &&
+		r.ctx.cache.NoteRecompute(r.ID, part) {
+		// The partition was cached and no live copy remains anywhere
+		// (worker loss): this compute is lineage recovery, visible in
+		// the scheduler metrics the fault-tolerance experiments read.
+		// A miss while another worker still holds a copy is just an
+		// off-holder placement, not a recovery; retries and
+		// speculative duplicates of one recovery count once.
+		r.ctx.sched.metrics.CacheRecomputes.Add(1)
+	}
+	// Snapshot the wipe epoch before computing: if the worker dies
+	// mid-compute the entry registers as stale rather than claiming a
+	// wiped store still holds the partition.
+	epoch := tc.Worker.Store().Epoch()
 	data := Drain(r.compute(tc, part))
 	var size int64
 	for _, v := range data {
 		size += shuffle.EstimateSize(v)
 	}
 	tc.Worker.Store().Put(key, data, size)
-	r.ctx.cache.Add(r.ID, part, tc.Worker.ID)
+	r.ctx.cache.Add(r.ID, part, tc.Worker.ID, epoch, r.ctx)
 	return SliceIter(data)
 }
 
@@ -134,7 +149,7 @@ func (r *RDD) Iterator(tc *TaskContext, part int) Iter {
 func (r *RDD) PreferredLocations(part int) []int {
 	var locs []int
 	if r.cached.Load() {
-		locs = append(locs, r.ctx.cache.Locations(r.ID, part)...)
+		locs = append(locs, r.ctx.cache.Locations(r.ID, part, r.ctx)...)
 	}
 	if r.prefLocs != nil {
 		locs = append(locs, r.prefLocs(part)...)

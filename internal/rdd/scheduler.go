@@ -3,6 +3,7 @@ package rdd
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,8 @@ type Metrics struct {
 	MapStageReruns   atomic.Int64 // map tasks re-executed to regenerate lost output
 	SpeculativeTasks atomic.Int64
 	StagesRun        atomic.Int64
+	CacheHits        atomic.Int64 // cached partitions served from a block store
+	CacheRecomputes  atomic.Int64 // previously-cached partitions rebuilt from lineage
 }
 
 // NewScheduler creates a scheduler bound to ctx.
@@ -220,6 +223,7 @@ func (s *Scheduler) runTaskSet(parts []int, mkTask func(part int) *cluster.Task,
 	}
 	events := make(chan event, len(parts)*2)
 	running := make(map[int]time.Time, len(parts)) // part → earliest attempt start
+	inflight := make(map[int]*cluster.Task, len(parts))
 	attempts := make(map[int]int, len(parts))
 	speculated := make(map[int]bool, len(parts))
 	done := make(map[int]bool, len(parts))
@@ -232,6 +236,7 @@ func (s *Scheduler) runTaskSet(parts []int, mkTask func(part int) *cluster.Task,
 		if _, ok := running[part]; !ok {
 			running[part] = start
 		}
+		inflight[part] = t
 		s.metrics.TasksLaunched.Add(1)
 		ch := s.ctx.Cluster.Submit(t)
 		go func() {
@@ -293,7 +298,7 @@ func (s *Scheduler) runTaskSet(parts []int, mkTask func(part int) *cluster.Task,
 			}
 			// Never exclude the whole cluster: a deterministic failure
 			// must exhaust the retry budget, not starve in the queue.
-			if len(excludedByPart[ev.part]) >= len(s.ctx.Cluster.AliveWorkers()) {
+			if s.coversAllAlive(excludedByPart[ev.part]) {
 				excludedByPart[ev.part] = nil
 			}
 			launch(ev.part, excludedByPart[ev.part])
@@ -313,7 +318,25 @@ func (s *Scheduler) runTaskSet(parts []int, mkTask func(part int) *cluster.Task,
 				if time.Since(started) > time.Duration(float64(med)*s.opts.SpeculationMultiplier) {
 					speculated[part] = true
 					s.metrics.SpeculativeTasks.Add(1)
-					launch(part, excludedByPart[part])
+					// A backup copy on the straggler's own node would
+					// straggle identically: exclude the worker running
+					// the original — or, if the original is still
+					// queued, the worker whose queue holds it — so
+					// placement picks a distinct one.
+					excl := excludedByPart[part]
+					if orig := inflight[part]; orig != nil {
+						wid := orig.RunningOn()
+						if wid < 0 {
+							wid = orig.PlacedOn()
+						}
+						if wid >= 0 && !slices.Contains(excl, wid) {
+							excl = append(append([]int(nil), excl...), wid)
+						}
+					}
+					if s.coversAllAlive(excl) {
+						excl = excludedByPart[part]
+					}
+					launch(part, excl)
 				}
 			}
 		}
@@ -346,6 +369,19 @@ func (s *Scheduler) lookupDep(id int) *ShuffleDep {
 		return nil
 	}
 	return v.(*ShuffleDep)
+}
+
+// coversAllAlive reports whether the exclusion list blocks every live
+// worker. Dead workers in the list don't count — excluding them is a
+// no-op for placement, so they must not trip the "don't exclude the
+// whole cluster" release valve.
+func (s *Scheduler) coversAllAlive(excl []int) bool {
+	for _, w := range s.ctx.Cluster.AliveWorkers() {
+		if !slices.Contains(excl, w) {
+			return false
+		}
+	}
+	return true
 }
 
 func medianDuration(ds []time.Duration) time.Duration {
