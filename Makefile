@@ -8,10 +8,10 @@ build:
 test:
 	$(GO) test ./...
 
-# The dispatcher and shuffle paths are concurrency-heavy; race-clean
-# is the bar for them.
+# The dispatcher, shuffle and eviction paths are concurrency-heavy;
+# race-clean is the bar for them.
 race:
-	$(GO) test -race ./internal/rdd ./internal/cluster ./internal/shuffle
+	$(GO) test -race ./internal/rdd ./internal/cluster ./internal/shuffle ./internal/memtable
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -27,5 +27,10 @@ vet:
 # commit (non-gating in CI).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Harness smoke: the dispatcher and memory-pressure ablations at CI
+# scale, with a Markdown report for the artifact trail.
+bench-smoke:
+	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory -scale small -markdown bench-report.md
 
 ci: build vet fmt test race

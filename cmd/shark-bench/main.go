@@ -23,6 +23,7 @@ func main() {
 	listFlag := flag.Bool("list", false, "list experiment ids and exit")
 	markdownFlag := flag.String("markdown", "", "also write a Markdown report to this file")
 	workersFlag := flag.Int("workers", 0, "override simulated worker count")
+	memoryFlag := flag.Int64("memory", 0, "per-worker block-store capacity in bytes (0 = unbounded)")
 	flag.Parse()
 
 	if *listFlag {
@@ -44,6 +45,9 @@ func main() {
 	}
 	if *workersFlag > 0 {
 		sc.Workers = *workersFlag
+	}
+	if *memoryFlag > 0 {
+		sc.WorkerMemoryBytes = *memoryFlag
 	}
 
 	report := &harness.Report{}

@@ -95,6 +95,11 @@ type Config struct {
 	// (stragglers, dead or late-joining workers), not to concentrate
 	// load. Default 1ms.
 	StealDelay time.Duration
+	// WorkerMemoryBytes bounds each worker's block store; evictable
+	// blocks (RDD cache partitions) are LRU-evicted under pressure
+	// while pinned blocks (shuffle outputs) survive until pruned.
+	// 0 = unbounded (the pre-limit behavior).
+	WorkerMemoryBytes int64
 	// Profile sets scheduling overheads. Default SparkProfile.
 	Profile Profile
 }
@@ -202,6 +207,10 @@ type DispatchMetrics struct {
 	// queue full (or every preferred worker busy) and spilled to the
 	// central pending list.
 	PendingOverflows atomic.Int64
+	// CacheEvictions / BytesEvicted aggregate LRU evictions across
+	// all worker block stores (memory pressure, not failures).
+	CacheEvictions atomic.Int64
+	BytesEvicted   atomic.Int64
 }
 
 // Cluster is the simulated cluster.
@@ -227,6 +236,10 @@ type Cluster struct {
 	// an idle cluster.
 	backlog atomic.Int64
 	metrics DispatchMetrics
+
+	// evictObserver, when set, hears every capacity eviction on any
+	// worker (the RDD layer prunes cache-tracker locations with it).
+	evictObserver atomic.Value // func(worker int, key string, sizeBytes int64)
 }
 
 // New starts a simulated cluster.
@@ -239,7 +252,15 @@ func New(cfg Config) *Cluster {
 	}
 	c.cond = sync.NewCond(&c.mu)
 	for i := 0; i < cfg.Workers; i++ {
-		w := &Worker{ID: i, store: NewBlockStore()}
+		w := &Worker{ID: i, store: NewBoundedBlockStore(cfg.WorkerMemoryBytes)}
+		wid := i
+		w.store.SetOnEvict(func(key string, sizeBytes int64) {
+			c.metrics.CacheEvictions.Add(1)
+			c.metrics.BytesEvicted.Add(sizeBytes)
+			if fn, ok := c.evictObserver.Load().(func(int, string, int64)); ok {
+				fn(wid, key, sizeBytes)
+			}
+		})
 		w.alive.Store(true)
 		c.workers = append(c.workers, w)
 		for s := 0; s < cfg.Slots; s++ {
@@ -275,6 +296,19 @@ func (c *Cluster) TasksLaunched() int64 { return c.tasksLaunched.Load() }
 
 // Metrics returns the dispatcher counters.
 func (c *Cluster) Metrics() *DispatchMetrics { return &c.metrics }
+
+// WorkerMemoryBytes returns the per-worker block-store capacity
+// (0 = unbounded).
+func (c *Cluster) WorkerMemoryBytes() int64 { return c.cfg.WorkerMemoryBytes }
+
+// SetEvictionObserver installs a single cluster-wide listener for
+// capacity evictions (worker ID, block key, accounted bytes). The RDD
+// layer uses it to prune cache-tracker locations promptly; the tracker
+// stays correct without it (a remote-read miss also prunes), so the
+// single slot is not a correctness constraint.
+func (c *Cluster) SetEvictionObserver(fn func(worker int, key string, sizeBytes int64)) {
+	c.evictObserver.Store(fn)
+}
 
 // TasksPerWorker snapshots how many tasks each worker has executed.
 func (c *Cluster) TasksPerWorker() []int64 {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"container/list"
 	"sync"
 	"sync/atomic"
 )
@@ -8,45 +9,227 @@ import (
 // BlockStore is a worker-local in-memory store keyed by string block
 // IDs. RDD cache partitions and shuffle map outputs both live here, so
 // killing a worker loses exactly the state a real node loss would.
+//
+// A store may be capacity-bounded (§3.2: in-memory tables only work
+// under real memory pressure). Blocks come in two classes:
+//
+//   - Evictable blocks (RDD cache partitions, stored with
+//     PutEvictable) participate in an LRU order; admitting a new block
+//     evicts the least-recently-used evictable blocks until it fits,
+//     and Get refreshes recency. A block that cannot fit even after
+//     evicting everything evictable is rejected rather than stored —
+//     after any successful PutEvictable, ApproxBytes ≤ Capacity.
+//   - Pinned blocks (shuffle map outputs, stored with Put) are never
+//     evicted: losing one silently would corrupt a running job rather
+//     than degrade to recomputation. They are freed only by explicit
+//     Delete when their shuffle is unregistered (epoch pruning).
 type BlockStore struct {
-	mu     sync.RWMutex
-	blocks map[string]any
-	bytes  atomic.Int64
-	epoch  atomic.Int64 // bumped on Wipe, lets holders detect loss
+	mu       sync.Mutex
+	blocks   map[string]*blockEntry
+	lru      *list.List // evictable keys; front = most recently used
+	capacity int64      // 0 = unbounded
+	// evictableBytes is the accounted size of LRU-managed blocks only
+	// (bytes − evictableBytes = pinned footprint), letting puts detect
+	// an unfittable block before draining the cache for nothing.
+	evictableBytes int64
+	onEvict        func(key string, sizeBytes int64)
+
+	bytes        atomic.Int64
+	epoch        atomic.Int64 // bumped on Wipe, lets holders detect loss
+	evictions    atomic.Int64
+	bytesEvicted atomic.Int64
 }
 
-// NewBlockStore creates an empty store.
-func NewBlockStore() *BlockStore {
-	return &BlockStore{blocks: make(map[string]any)}
+type blockEntry struct {
+	value any
+	size  int64
+	elem  *list.Element // nil for pinned blocks
 }
 
-// Put stores a block with an approximate size for accounting.
+// NewBlockStore creates an empty, unbounded store.
+func NewBlockStore() *BlockStore { return NewBoundedBlockStore(0) }
+
+// NewBoundedBlockStore creates an empty store holding at most
+// capacityBytes of accounted blocks (0 = unbounded).
+func NewBoundedBlockStore(capacityBytes int64) *BlockStore {
+	return &BlockStore{
+		blocks:   make(map[string]*blockEntry),
+		lru:      list.New(),
+		capacity: capacityBytes,
+	}
+}
+
+// Capacity returns the byte bound (0 = unbounded).
+func (s *BlockStore) Capacity() int64 { return s.capacity }
+
+// SetOnEvict installs the eviction callback, invoked (outside the
+// store lock, after the evicting Put returns the space) once per
+// capacity-evicted block. Explicit Delete and Wipe do not fire it:
+// their callers already own the bookkeeping.
+func (s *BlockStore) SetOnEvict(fn func(key string, sizeBytes int64)) {
+	s.mu.Lock()
+	s.onEvict = fn
+	s.mu.Unlock()
+}
+
+// Put stores a pinned block with an approximate size for accounting.
+// Pinned blocks always store; when capacity is exceeded, evictable
+// blocks are evicted to make room (best-effort — pinned bytes alone
+// may exceed capacity, correctness over the bound).
 func (s *BlockStore) Put(key string, value any, sizeBytes int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.blocks[key] = value
+	s.removeLocked(key)
+	evicted := s.evictForLocked(sizeBytes)
+	s.blocks[key] = &blockEntry{value: value, size: sizeBytes}
 	s.bytes.Add(sizeBytes)
+	fn := s.onEvict
+	s.mu.Unlock()
+	s.notifyEvicted(fn, evicted)
 }
 
-// Get fetches a block.
-func (s *BlockStore) Get(key string) (any, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	v, ok := s.blocks[key]
-	return v, ok
+// PutEvictable stores a block that LRU eviction may reclaim. It
+// reports whether the block was admitted: a block that does not fit
+// even after evicting every other evictable block is rejected, so
+// ApproxBytes never exceeds Capacity because of an evictable put.
+func (s *BlockStore) PutEvictable(key string, value any, sizeBytes int64) bool {
+	s.mu.Lock()
+	if s.capacity > 0 && s.bytes.Load()-s.evictableBytes+sizeBytes > s.capacity {
+		// Infeasible even after evicting every evictable block (pinned
+		// footprint + this block exceeds capacity): reject up front —
+		// before removeLocked — so the cache is not drained for
+		// nothing and any live copy already under this key survives.
+		s.mu.Unlock()
+		return false
+	}
+	s.removeLocked(key)
+	evicted := s.evictForLocked(sizeBytes)
+	s.admitLocked(key, value, sizeBytes)
+	fn := s.onEvict
+	s.mu.Unlock()
+	s.notifyEvicted(fn, evicted)
+	return true
 }
 
-// Delete removes a block.
-func (s *BlockStore) Delete(key string) {
+// admitLocked inserts an evictable block. Caller holds s.mu, has
+// established feasibility, and has removed any same-key entry.
+func (s *BlockStore) admitLocked(key string, value any, sizeBytes int64) {
+	e := &blockEntry{value: value, size: sizeBytes}
+	e.elem = s.lru.PushFront(key)
+	s.blocks[key] = e
+	s.bytes.Add(sizeBytes)
+	s.evictableBytes += sizeBytes
+}
+
+// PutEvictableIfRoom admits an evictable block only when it fits
+// without evicting anything. Opportunistic replication (remote cache
+// reads) uses this: displacing resident blocks for data the worker
+// touched once would turn a cheap fetch into someone else's recompute.
+func (s *BlockStore) PutEvictableIfRoom(key string, value any, sizeBytes int64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Credit an evictable copy already under this key (it would be
+	// replaced); reject before touching it so a failed admission never
+	// destroys a live block the tracker still advertises.
+	var credit int64
+	if e, ok := s.blocks[key]; ok && e.elem != nil {
+		credit = e.size
+	}
+	if s.capacity > 0 && s.bytes.Load()-credit+sizeBytes > s.capacity {
+		return false
+	}
+	s.removeLocked(key)
+	s.admitLocked(key, value, sizeBytes)
+	return true
+}
+
+// evictForLocked evicts least-recently-used evictable blocks until
+// sizeBytes more would fit under capacity (or nothing evictable is
+// left), returning the evicted entries. Caller holds s.mu.
+func (s *BlockStore) evictForLocked(sizeBytes int64) []evictedBlock {
+	if s.capacity <= 0 {
+		return nil
+	}
+	var out []evictedBlock
+	for s.bytes.Load()+sizeBytes > s.capacity {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		key := back.Value.(string)
+		e := s.blocks[key]
+		delete(s.blocks, key)
+		s.lru.Remove(back)
+		s.bytes.Add(-e.size)
+		s.evictableBytes -= e.size
+		s.evictions.Add(1)
+		s.bytesEvicted.Add(e.size)
+		out = append(out, evictedBlock{key: key, size: e.size})
+	}
+	return out
+}
+
+type evictedBlock struct {
+	key  string
+	size int64
+}
+
+func (s *BlockStore) notifyEvicted(fn func(string, int64), evicted []evictedBlock) {
+	if fn == nil {
+		return
+	}
+	for _, e := range evicted {
+		fn(e.key, e.size)
+	}
+}
+
+// Get fetches a block, refreshing its LRU recency if evictable.
+func (s *BlockStore) Get(key string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.blocks[key]
+	if !ok {
+		return nil, false
+	}
+	if e.elem != nil {
+		s.lru.MoveToFront(e.elem)
+	}
+	return e.value, true
+}
+
+// Contains reports whether a block is present without touching its
+// recency (bookkeeping probes must not look like use).
+func (s *BlockStore) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.blocks[key]
+	return ok
+}
+
+// Delete removes a block, subtracting its accounted bytes.
+func (s *BlockStore) Delete(key string) {
+	s.mu.Lock()
+	s.removeLocked(key)
+	s.mu.Unlock()
+}
+
+// removeLocked removes a block and its accounting. Caller holds s.mu.
+func (s *BlockStore) removeLocked(key string) {
+	e, ok := s.blocks[key]
+	if !ok {
+		return
+	}
 	delete(s.blocks, key)
+	if e.elem != nil {
+		s.lru.Remove(e.elem)
+		s.evictableBytes -= e.size
+	}
+	s.bytes.Add(-e.size)
 }
 
 // Keys returns a snapshot of all block IDs.
 func (s *BlockStore) Keys() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]string, 0, len(s.blocks))
 	for k := range s.blocks {
 		out = append(out, k)
@@ -56,22 +239,31 @@ func (s *BlockStore) Keys() []string {
 
 // Len returns the number of blocks.
 func (s *BlockStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return len(s.blocks)
 }
 
 // ApproxBytes returns the accounted size of stored blocks.
 func (s *BlockStore) ApproxBytes() int64 { return s.bytes.Load() }
 
+// Evictions returns how many blocks capacity pressure has evicted.
+func (s *BlockStore) Evictions() int64 { return s.evictions.Load() }
+
+// BytesEvicted returns the accounted bytes reclaimed by eviction.
+func (s *BlockStore) BytesEvicted() int64 { return s.bytesEvicted.Load() }
+
 // Epoch returns the wipe generation (incremented each Wipe).
 func (s *BlockStore) Epoch() int64 { return s.epoch.Load() }
 
-// Wipe clears the store (worker death).
+// Wipe clears the store (worker death). Not an eviction: the epoch
+// bump is what invalidates outside bookkeeping.
 func (s *BlockStore) Wipe() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.blocks = make(map[string]any)
+	s.blocks = make(map[string]*blockEntry)
+	s.lru.Init()
 	s.bytes.Store(0)
+	s.evictableBytes = 0
 	s.epoch.Add(1)
 }

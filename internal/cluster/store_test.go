@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestBlockStoreLRUOrder: eviction takes the least-recently-used
+// evictable block, and Get refreshes recency.
+func TestBlockStoreLRUOrder(t *testing.T) {
+	s := NewBoundedBlockStore(100)
+	if !s.PutEvictable("a", 1, 40) || !s.PutEvictable("b", 2, 40) {
+		t.Fatal("blocks within capacity rejected")
+	}
+	if _, ok := s.Get("a"); !ok { // refresh a: b is now LRU
+		t.Fatal("a missing")
+	}
+	if !s.PutEvictable("c", 3, 40) {
+		t.Fatal("c rejected despite evictable room")
+	}
+	if s.Contains("b") {
+		t.Error("b (LRU) should have been evicted")
+	}
+	if !s.Contains("a") || !s.Contains("c") {
+		t.Errorf("wrong eviction victim: a=%v c=%v", s.Contains("a"), s.Contains("c"))
+	}
+	if s.Evictions() != 1 || s.BytesEvicted() != 40 {
+		t.Errorf("evictions=%d bytesEvicted=%d, want 1/40", s.Evictions(), s.BytesEvicted())
+	}
+}
+
+// TestBlockStorePinnedNeverEvicted: pinned blocks (shuffle outputs)
+// survive any amount of evictable pressure; an evictable block that
+// cannot fit beside them is rejected, keeping ApproxBytes ≤ capacity.
+func TestBlockStorePinnedNeverEvicted(t *testing.T) {
+	s := NewBoundedBlockStore(100)
+	s.Put("pin", "shuffle", 60)
+	if !s.PutEvictable("a", 1, 40) {
+		t.Fatal("a should fit beside the pinned block")
+	}
+	if !s.PutEvictable("b", 2, 40) { // must evict a, not pin
+		t.Fatal("b should displace a")
+	}
+	if !s.Contains("pin") {
+		t.Fatal("pinned block evicted")
+	}
+	if s.Contains("a") {
+		t.Error("a should have been the eviction victim")
+	}
+	if s.PutEvictable("big", 3, 50) { // 60 pinned + 50 > 100 even alone
+		t.Error("oversize evictable block admitted past capacity")
+	}
+	if !s.Contains("b") {
+		t.Error("rejecting an unfittable block must not evict anything")
+	}
+	if got := s.ApproxBytes(); got > s.Capacity() {
+		t.Errorf("ApproxBytes %d exceeds capacity %d", got, s.Capacity())
+	}
+}
+
+// TestBlockStorePutEvictableIfRoom: the opportunistic variant admits
+// into free room but never displaces residents.
+func TestBlockStorePutEvictableIfRoom(t *testing.T) {
+	s := NewBoundedBlockStore(100)
+	if !s.PutEvictable("resident", 1, 60) {
+		t.Fatal("resident rejected")
+	}
+	if !s.PutEvictableIfRoom("fits", 2, 40) {
+		t.Error("block fitting in free room rejected")
+	}
+	if s.PutEvictableIfRoom("nofit", 3, 10) {
+		t.Error("admission without room must not evict")
+	}
+	if !s.Contains("resident") || !s.Contains("fits") {
+		t.Errorf("residents displaced: resident=%v fits=%v", s.Contains("resident"), s.Contains("fits"))
+	}
+	if s.Evictions() != 0 {
+		t.Errorf("evictions = %d, want 0", s.Evictions())
+	}
+}
+
+// TestBlockStoreRejectedPutKeepsExistingCopy: a rejected admission —
+// either variant — must not destroy a live block already stored under
+// the same key (the tracker still advertises it).
+func TestBlockStoreRejectedPutKeepsExistingCopy(t *testing.T) {
+	s := NewBoundedBlockStore(100)
+	s.Put("pin", 0, 50) // pinned footprint forces rejections below
+	if !s.PutEvictable("k", 1, 30) {
+		t.Fatal("initial copy rejected")
+	}
+	if s.PutEvictable("k", 2, 60) { // 50 pinned + 60 > 100: infeasible
+		t.Error("infeasible replacement admitted")
+	}
+	if v, ok := s.Get("k"); !ok || v.(int) != 1 {
+		t.Errorf("rejected PutEvictable destroyed the existing copy (got %v, %v)", v, ok)
+	}
+	s.PutEvictable("other", 3, 20)        // store now full: 50+30+20
+	if s.PutEvictableIfRoom("k", 4, 45) { // 45 > 30 credit + 0 free
+		t.Error("no-room replacement admitted")
+	}
+	if v, ok := s.Get("k"); !ok || v.(int) != 1 {
+		t.Errorf("rejected PutEvictableIfRoom destroyed the existing copy (got %v, %v)", v, ok)
+	}
+	if got := s.ApproxBytes(); got != 100 {
+		t.Errorf("ApproxBytes = %d, want 100", got)
+	}
+}
+
+// TestBlockStoreCapacityInvariant: after any successful PutEvictable,
+// ApproxBytes never exceeds capacity.
+func TestBlockStoreCapacityInvariant(t *testing.T) {
+	s := NewBoundedBlockStore(1000)
+	for i := 0; i < 200; i++ {
+		size := int64(50 + (i*37)%300)
+		admitted := s.PutEvictable(fmt.Sprintf("k%d", i%40), i, size)
+		if admitted && size > s.Capacity() {
+			t.Fatalf("block of %d admitted past capacity", size)
+		}
+		if got := s.ApproxBytes(); got > s.Capacity() {
+			t.Fatalf("after put %d: ApproxBytes %d > capacity %d", i, got, s.Capacity())
+		}
+	}
+}
+
+// TestBlockStoreDeleteAccounting: regression — Delete (and overwrite)
+// must subtract the block's accounted size; previously `bytes` leaked
+// upward on every Delete, so ApproxBytes drifted forever.
+func TestBlockStoreDeleteAccounting(t *testing.T) {
+	s := NewBlockStore()
+	s.Put("k", 1, 100)
+	s.Delete("k")
+	if got := s.ApproxBytes(); got != 0 {
+		t.Errorf("ApproxBytes after Delete = %d, want 0", got)
+	}
+	s.Put("k", 1, 100)
+	s.Put("k", 2, 30) // overwrite must replace the accounting too
+	if got := s.ApproxBytes(); got != 30 {
+		t.Errorf("ApproxBytes after overwrite = %d, want 30", got)
+	}
+	s.PutEvictable("e", 3, 25)
+	s.Delete("e")
+	if got := s.ApproxBytes(); got != 30 {
+		t.Errorf("ApproxBytes after evictable Delete = %d, want 30", got)
+	}
+	s.Delete("missing") // no-op, no drift
+	if got := s.ApproxBytes(); got != 30 {
+		t.Errorf("ApproxBytes after missing Delete = %d, want 30", got)
+	}
+}
+
+// TestBlockStoreEvictionCallback: the observer fires once per
+// capacity-evicted block with its accounted size — and not for
+// explicit Delete or Wipe, whose callers own the bookkeeping.
+func TestBlockStoreEvictionCallback(t *testing.T) {
+	s := NewBoundedBlockStore(100)
+	var mu sync.Mutex
+	evicted := map[string]int64{}
+	s.SetOnEvict(func(key string, size int64) {
+		mu.Lock()
+		evicted[key] += size
+		mu.Unlock()
+	})
+	s.PutEvictable("a", 1, 60)
+	s.PutEvictable("b", 2, 60) // evicts a
+	s.Delete("b")
+	s.PutEvictable("c", 3, 60)
+	s.Wipe()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evicted) != 1 || evicted["a"] != 60 {
+		t.Errorf("observer saw %v, want only a:60", evicted)
+	}
+}
+
+// TestClusterEvictionMetricsAndObserver: per-store evictions aggregate
+// into the cluster's dispatch metrics, and the cluster-wide observer
+// hears them with the worker ID.
+func TestClusterEvictionMetricsAndObserver(t *testing.T) {
+	c := newTest(t, Config{Workers: 1, Slots: 1, WorkerMemoryBytes: 256})
+	var mu sync.Mutex
+	type ev struct {
+		worker int
+		key    string
+	}
+	var seen []ev
+	c.SetEvictionObserver(func(worker int, key string, size int64) {
+		mu.Lock()
+		seen = append(seen, ev{worker, key})
+		mu.Unlock()
+	})
+	r := <-c.Submit(&Task{Fn: func(w *Worker) (any, error) {
+		w.Store().PutEvictable("cache/a", 1, 200)
+		w.Store().PutEvictable("cache/b", 2, 200)
+		return nil, nil
+	}})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if got := c.Metrics().CacheEvictions.Load(); got != 1 {
+		t.Errorf("CacheEvictions = %d, want 1", got)
+	}
+	if got := c.Metrics().BytesEvicted.Load(); got != 200 {
+		t.Errorf("BytesEvicted = %d, want 200", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 || seen[0] != (ev{0, "cache/a"}) {
+		t.Errorf("observer saw %v, want [{0 cache/a}]", seen)
+	}
+}
+
+// TestBlockStoreRace hammers one bounded store with concurrent
+// Put/PutEvictable/Get/Delete/Wipe plus the read-only accessors; run
+// under -race this is the eviction-path race test.
+func TestBlockStoreRace(t *testing.T) {
+	s := NewBoundedBlockStore(4096)
+	s.SetOnEvict(func(string, int64) {})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%64)
+				switch i % 6 {
+				case 0:
+					s.PutEvictable(key, i, int64(64+(g*i)%128))
+				case 1:
+					s.Get(key)
+				case 2:
+					s.Delete(key)
+				case 3:
+					s.Put("pin/"+key, i, 16)
+				case 4:
+					s.Contains(key)
+					s.ApproxBytes()
+					s.Len()
+				case 5:
+					if i%250 == 0 {
+						s.Wipe()
+					} else {
+						s.Keys()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Wipe()
+	if s.Len() != 0 || s.ApproxBytes() != 0 {
+		t.Errorf("after final Wipe: len=%d bytes=%d", s.Len(), s.ApproxBytes())
+	}
+}

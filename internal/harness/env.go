@@ -42,6 +42,10 @@ type Scale struct {
 
 	Workers int
 	Slots   int
+	// WorkerMemoryBytes bounds each Shark worker's block store
+	// (0 = unbounded). Threaded into the simulated cluster so every
+	// experiment can run under memory pressure.
+	WorkerMemoryBytes int64
 	// Reps is how many timed repetitions to average (after one
 	// discarded warm-up, mirroring §6.1).
 	Reps int
@@ -97,7 +101,12 @@ func NewEnv(sc Scale, opts exec.Options) (*Env, error) {
 		return nil, err
 	}
 
-	sparkCl := cluster.New(cluster.Config{Workers: sc.Workers, Slots: sc.Slots, Profile: cluster.SparkProfile()})
+	sparkCl := cluster.New(cluster.Config{
+		Workers:           sc.Workers,
+		Slots:             sc.Slots,
+		Profile:           cluster.SparkProfile(),
+		WorkerMemoryBytes: sc.WorkerMemoryBytes,
+	})
 	svc := shuffle.NewService(sparkCl, shuffle.Memory, dir+"/shuffle")
 	ctx := rdd.NewContext(sparkCl, svc, rdd.Options{})
 	shark := core.NewSession(ctx, fs, opts)

@@ -36,6 +36,7 @@ var experiments = map[string]func(Scale, *Report) error{
 	"abl_compile":    runExprCompileAblation,
 	"abl_binpack":    runSkewAblation,
 	"abl_dispatch":   runDispatch,
+	"abl_memory":     runMemory,
 	"pruning":        runPruning,
 }
 

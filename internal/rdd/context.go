@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +60,16 @@ func NewContext(c *cluster.Cluster, svc *shuffle.Service, opts Options) *Context
 		cache:   newCacheTracker(),
 	}
 	ctx.sched = NewScheduler(ctx, opts.withDefaults())
+	// Hear capacity evictions so cache-tracker locations are pruned
+	// the moment a block store drops a partition. The tracker is also
+	// self-healing (remoteCacheRead prunes entries it finds stale), so
+	// a Context that loses this single observer slot to a newer
+	// Context on the same cluster stays correct.
+	c.SetEvictionObserver(func(worker int, key string, _ int64) {
+		if rddID, part, ok := parseCacheKey(key); ok {
+			ctx.cache.RemoveLocation(rddID, part, worker, ctx)
+		}
+	})
 	return ctx
 }
 
@@ -131,16 +142,22 @@ func newCacheTracker() *cacheTracker {
 	}
 }
 
-// Add records a cached copy — unless the worker has already died or
-// its store was wiped since epoch was snapshotted (the copy never
-// became observable), in which case recording it would both report a
-// phantom location and falsely mark the partition materialized /
-// recovered.
+// Add records a cached copy — unless the worker has already died, its
+// store was wiped since epoch was snapshotted, or the block has been
+// evicted again already (the copy never became observable / is gone),
+// in which case recording it would both report a phantom location and
+// falsely mark the partition materialized / recovered.
 func (t *cacheTracker) Add(rddID, part, worker int, epoch int64, ctx *Context) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	w := ctx.Cluster.Worker(worker)
 	if !w.Alive() || w.Store().Epoch() != epoch {
+		return
+	}
+	if !w.Store().Contains(cacheKey(rddID, part)) {
+		// Evicted between the Put and this Add: the eviction observer
+		// fired before the entry existed, so skipping the Add is what
+		// keeps the phantom location out.
 		return
 	}
 	m, ok := t.locs[rddID]
@@ -160,6 +177,22 @@ func (t *cacheTracker) Add(rddID, part, worker int, epoch int64, ctx *Context) {
 	}
 	m[part] = append(m[part], cacheEntry{worker: worker, epoch: epoch})
 	t.markEver(rddID, part)
+}
+
+// NoteMaterialized records that a partition of a cached RDD was
+// computed to completion, independently of whether the block store
+// admitted the copy (a bounded store may reject it). Marking
+// ever-materialized and re-arming the recompute counter here keeps
+// memory pressure observable at the tightest capacities: a partition
+// too large to ever cache still counts each later rebuild as a
+// recompute instead of reading as a table that was never cached.
+func (t *cacheTracker) NoteMaterialized(rddID, part int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.markEver(rddID, part)
+	if m, ok := t.lost[rddID]; ok {
+		delete(m, part)
+	}
 }
 
 // NoteRecompute records that a lost partition's recompute is underway
@@ -236,6 +269,43 @@ func (t *cacheTracker) Evict(rddID int, ctx *Context) {
 			ctx.Cluster.Worker(e.worker).Store().Delete(cacheKey(rddID, part))
 		}
 	}
+}
+
+// RemoveLocation forgets one worker's copy of one partition (LRU
+// eviction). The partition stays marked ever-materialized: a later
+// cache-miss compute is a recompute of evicted state, which is exactly
+// what the memory-pressure metrics must count.
+//
+// Eviction notifications and miss-driven prunes arrive outside the
+// store lock, so by the time one lands the worker may have re-cached
+// the partition; the Contains re-check under the tracker lock keeps a
+// stale notification from dropping a live location (the symmetric
+// guard to cacheTracker.Add's evicted-before-Add check).
+func (t *cacheTracker) RemoveLocation(rddID, part, worker int, ctx *Context) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ctx.Cluster.Worker(worker).Store().Contains(cacheKey(rddID, part)) {
+		return // re-cached since the eviction/miss was observed
+	}
+	parts := t.locs[rddID]
+	if parts == nil {
+		return
+	}
+	entries := parts[part]
+	keep := entries[:0]
+	for _, e := range entries {
+		if e.worker != worker {
+			keep = append(keep, e)
+		}
+	}
+	parts[part] = keep
+}
+
+// parseCacheKey inverts cacheKey; non-cache block keys (shuffle
+// buckets) report ok=false.
+func parseCacheKey(key string) (rddID, part int, ok bool) {
+	n, err := fmt.Sscanf(key, "rdd/%d/%d", &rddID, &part)
+	return rddID, part, err == nil && n == 2
 }
 
 // DropWorker forgets every cache location on a dead worker.

@@ -109,8 +109,13 @@ func (r *RDD) Uncache() {
 func cacheKey(rddID, part int) string { return fmt.Sprintf("rdd/%d/%d", rddID, part) }
 
 // Iterator returns the partition's elements, serving from the local
-// block-store cache when the RDD is cached (computing and populating
-// the cache on miss — this recompute-on-miss is lineage recovery).
+// block-store cache when the RDD is cached. On a local miss it first
+// tries a remote cache read — fetching the partition from another
+// live worker that still holds it — and only then recomputes from
+// lineage (recompute-on-miss is lineage recovery). The materialized
+// partition is cached evictably: under memory pressure the block
+// store may refuse or later evict it, and the table still answers
+// queries by recomputing cold partitions (§3.2 partial caching).
 func (r *RDD) Iterator(tc *TaskContext, part int) Iter {
 	if !r.cached.Load() {
 		return r.compute(tc, part)
@@ -120,28 +125,85 @@ func (r *RDD) Iterator(tc *TaskContext, part int) Iter {
 		r.ctx.sched.metrics.CacheHits.Add(1)
 		return SliceIter(v.([]any))
 	}
+	if data, ok := r.remoteCacheRead(tc, part, key); ok {
+		return SliceIter(data)
+	}
 	if r.ctx.cache.WasMaterialized(r.ID, part) && len(r.ctx.cache.Locations(r.ID, part, r.ctx)) == 0 &&
 		r.ctx.cache.NoteRecompute(r.ID, part) {
 		// The partition was cached and no live copy remains anywhere
-		// (worker loss): this compute is lineage recovery, visible in
-		// the scheduler metrics the fault-tolerance experiments read.
-		// A miss while another worker still holds a copy is just an
-		// off-holder placement, not a recovery; retries and
-		// speculative duplicates of one recovery count once.
+		// (worker loss or eviction): this compute is lineage recovery,
+		// visible in the scheduler metrics the fault-tolerance
+		// experiments read. A miss while another worker still holds a
+		// copy is served by remoteCacheRead above, not a recovery;
+		// retries and speculative duplicates of one recovery count
+		// once.
 		r.ctx.sched.metrics.CacheRecomputes.Add(1)
 	}
-	// Snapshot the wipe epoch before computing: if the worker dies
-	// mid-compute the entry registers as stale rather than claiming a
-	// wiped store still holds the partition.
-	epoch := tc.Worker.Store().Epoch()
 	data := Drain(r.compute(tc, part))
+	r.cacheLocally(tc, part, key, data, true)
+	// Even if the bounded store rejected the copy, the partition was
+	// materialized: the next miss is a recompute, and must count.
+	r.ctx.cache.NoteMaterialized(r.ID, part)
+	return SliceIter(data)
+}
+
+// remoteCacheRead tries to serve a cache miss from another live worker
+// still holding the partition — cheaper than recomputing the lineage
+// when the local copy was evicted or the task landed off-holder.
+// Locations it finds stale (the block vanished since the tracker
+// entry) are pruned so later readers stop chasing them.
+func (r *RDD) remoteCacheRead(tc *TaskContext, part int, key string) ([]any, bool) {
+	for _, loc := range r.ctx.cache.Locations(r.ID, part, r.ctx) {
+		if loc == tc.Worker.ID {
+			// Locations validated the epoch, yet the local Get missed:
+			// the block was evicted here. Prune the entry.
+			r.ctx.cache.RemoveLocation(r.ID, part, loc, r.ctx)
+			continue
+		}
+		v, ok := r.ctx.Cluster.Worker(loc).Store().Get(key)
+		if !ok {
+			r.ctx.cache.RemoveLocation(r.ID, part, loc, r.ctx)
+			continue
+		}
+		r.ctx.sched.metrics.RemoteCacheHits.Add(1)
+		data := v.([]any)
+		// Replicate only into free room: evicting residents for a
+		// partition another worker already holds would trade a cheap
+		// future fetch for someone else's recompute (cache thrash).
+		r.cacheLocally(tc, part, key, data, false)
+		return data, true
+	}
+	return nil, false
+}
+
+// cacheLocally stores a materialized partition evictably and records
+// the location if the block store admitted it. evictOthers allows the
+// put to displace LRU residents (the compute path — this is the only
+// copy); without it admission is opportunistic (the replication path).
+func (r *RDD) cacheLocally(tc *TaskContext, part int, key string, data []any, evictOthers bool) {
+	// Snapshot the wipe epoch before storing: if the worker dies
+	// around the Put the entry registers as stale rather than claiming
+	// a wiped store still holds the partition.
+	epoch := tc.Worker.Store().Epoch()
+	store := tc.Worker.Store()
+	var admitted bool
+	if evictOthers {
+		admitted = store.PutEvictable(key, data, sliceSize(data))
+	} else {
+		admitted = store.PutEvictableIfRoom(key, data, sliceSize(data))
+	}
+	if admitted {
+		r.ctx.cache.Add(r.ID, part, tc.Worker.ID, epoch, r.ctx)
+	}
+}
+
+// sliceSize estimates a materialized partition's in-memory footprint.
+func sliceSize(data []any) int64 {
 	var size int64
 	for _, v := range data {
 		size += shuffle.EstimateSize(v)
 	}
-	tc.Worker.Store().Put(key, data, size)
-	r.ctx.cache.Add(r.ID, part, tc.Worker.ID, epoch, r.ctx)
-	return SliceIter(data)
+	return size
 }
 
 // PreferredLocations returns worker IDs that hold useful local state

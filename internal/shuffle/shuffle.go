@@ -373,6 +373,11 @@ func EstimateSize(v any) int64 {
 		return n
 	case Pair:
 		return EstimateSize(x.K) + EstimateSize(x.V)
+	case interface{ SizeBytes() int64 }:
+		// Engine values that track their own footprint (e.g. columnar
+		// partitions) — without this, a cached columnar table would
+		// account as a few bytes and never feel memory pressure.
+		return x.SizeBytes()
 	default:
 		return 32
 	}

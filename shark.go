@@ -88,6 +88,11 @@ type Config struct {
 	DiskShuffle bool
 	// Speculation enables backup tasks for stragglers.
 	Speculation bool
+	// WorkerMemoryBytes bounds each simulated worker's block store:
+	// cached table partitions are LRU-evicted under pressure and
+	// recovered by remote cache reads or lineage recomputation.
+	// 0 = unbounded.
+	WorkerMemoryBytes int64
 }
 
 // Session is a connected Shark instance: simulated cluster, DFS,
@@ -105,9 +110,10 @@ func NewSession(cfg Config) (*Session, error) {
 		profile.TaskLaunchOverhead = cfg.TaskLaunchOverhead
 	}
 	cl := cluster.New(cluster.Config{
-		Workers: cfg.Workers,
-		Slots:   cfg.SlotsPerWorker,
-		Profile: profile,
+		Workers:           cfg.Workers,
+		Slots:             cfg.SlotsPerWorker,
+		Profile:           profile,
+		WorkerMemoryBytes: cfg.WorkerMemoryBytes,
 	})
 	dir := cfg.DataDir
 	tmp := ""

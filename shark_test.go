@@ -68,6 +68,40 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicWorkerMemoryBytesOption: with per-worker memory below the
+// cached table's footprint (the table's single columnar partition is
+// ~24KB), SQL over the memstore still answers correctly — the
+// partition simply stays cold and is recomputed per query — and no
+// worker's store ever exceeds its bound.
+func TestPublicWorkerMemoryBytesOption(t *testing.T) {
+	const capBytes = 20 << 10
+	s := newSession(t, shark.Config{WorkerMemoryBytes: capBytes})
+	loadLogs(t, s, 5000)
+	if _, err := s.Exec(`CREATE TABLE logs_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM logs`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // the cold partition recomputes every pass
+		res, err := s.Exec(`SELECT status, COUNT(*) AS n FROM logs_mem GROUP BY status ORDER BY n DESC`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 2 || res.Rows[0][0].(int64) != 200 || res.Rows[0][1].(int64) != 4500 {
+			t.Fatalf("pass %d: rows = %v", i, res.Rows)
+		}
+	}
+	for i := 0; i < s.Cluster.NumWorkers(); i++ {
+		if b := s.Cluster.Worker(i).Store().ApproxBytes(); b > capBytes {
+			t.Errorf("worker %d holds %d bytes over the %d-byte bound", i, b, capBytes)
+		}
+	}
+	// The partition is too large to ever be admitted, but each of the
+	// two SELECT passes rebuilt it from lineage — and that pressure
+	// must be visible in the metrics.
+	if got := s.Ctx.Scheduler().Metrics().CacheRecomputes.Load(); got < 2 {
+		t.Errorf("CacheRecomputes = %d, want ≥2 (one per query pass)", got)
+	}
+}
+
 func TestPublicSql2RddAndML(t *testing.T) {
 	s := newSession(t, shark.Config{})
 	loadLogs(t, s, 3000)
