@@ -8,10 +8,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The dispatcher, shuffle and eviction paths are concurrency-heavy;
-# race-clean is the bar for them.
+# The dispatcher, shuffle, eviction and multi-session paths are
+# concurrency-heavy; race-clean is the bar for them. The root package
+# and internal/core carry the shared-cluster / concurrent-session /
+# cancellation suites.
 race:
-	$(GO) test -race ./internal/rdd ./internal/cluster ./internal/shuffle ./internal/memtable
+	$(GO) test -race . ./internal/rdd ./internal/cluster ./internal/shuffle ./internal/memtable ./internal/core
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -28,9 +30,10 @@ vet:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Harness smoke: the dispatcher and memory-pressure ablations at CI
-# scale, with a Markdown report for the artifact trail.
+# Harness smoke: the dispatcher, memory-pressure and multi-tenant
+# concurrency ablations at CI scale, with a Markdown report for the
+# artifact trail.
 bench-smoke:
-	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory -scale small -markdown bench-report.md
+	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory,abl_concurrency -scale small -markdown bench-report.md
 
 ci: build vet fmt test race

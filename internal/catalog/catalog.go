@@ -33,6 +33,12 @@ type Table struct {
 	Props   map[string]string
 	EstRows int64 // row-count estimate available to the static optimizer
 
+	// Owner tags the session that registered the table, so scoped
+	// teardown on a shared catalog never drops a table another
+	// session re-created under the same name. Empty for tables
+	// registered outside a session.
+	Owner string
+
 	// DistKey / CopartitionWith record §3.4 co-partitioning DDL.
 	DistKey         string
 	CopartitionWith string
@@ -113,6 +119,26 @@ func (c *Catalog) Drop(name string) bool {
 		t.Mem.Drop()
 	}
 	return ok
+}
+
+// DropOwned removes a table only if its Owner stamp matches — the
+// check and the removal happen under one lock, so a session's scoped
+// teardown can never race a concurrent drop-and-re-create into
+// deleting another session's live table. Returns whether a table was
+// dropped.
+func (c *Catalog) DropOwned(name, owner string) bool {
+	c.mu.Lock()
+	t, ok := c.tables[key(name)]
+	if !ok || t.Owner != owner {
+		c.mu.Unlock()
+		return false
+	}
+	delete(c.tables, key(name))
+	c.mu.Unlock()
+	if t.Mem != nil {
+		t.Mem.Drop()
+	}
+	return true
 }
 
 // List returns all table names, sorted.

@@ -9,10 +9,17 @@
 // bounded queue; the dispatcher places unconstrained tasks on the
 // least-loaded live worker, holds locality-preferred tasks for a short
 // wait before falling back to any worker (delay-scheduling-lite,
-// after Zaharia et al.), and idle slots steal queued work from the
-// most-loaded worker once a task's locality window has expired. This
-// is what makes "many small tasks" actually balance (§7.1) instead of
-// one worker draining a global queue.
+// after Zaharia et al.), and idle slots steal queued work in batches
+// from the most-loaded worker once a task's locality window has
+// expired. This is what makes "many small tasks" actually balance
+// (§7.1) instead of one worker draining a global queue.
+//
+// Tasks carry a JobID. Under the default FairShare policy a freed slot
+// runs the queued task whose job has the fewest task bodies executing
+// cluster-wide (min-running-tasks-first), so concurrent sessions
+// sharing the cluster each make progress instead of queueing behind
+// the largest job's task wave; CancelJob drops a job's queued tasks
+// without touching other jobs.
 //
 // The cluster runs tasks for both the Spark-like engine (internal/rdd)
 // and the Hadoop-like engine (internal/mr); the two differ only in the
@@ -41,6 +48,27 @@ const (
 // ErrWorkerLost marks a task that was running on a worker when the
 // worker was killed.
 var ErrWorkerLost = errors.New("cluster: worker lost")
+
+// ErrJobCancelled marks a queued task dropped by CancelJob before any
+// worker ran it.
+var ErrJobCancelled = errors.New("cluster: job cancelled")
+
+// Policy selects how a freed slot picks among queued tasks.
+type Policy int
+
+const (
+	// FairShare (default) picks the eligible task whose job currently
+	// has the fewest running tasks cluster-wide, breaking ties in
+	// queue order. With a single active job this degenerates to FIFO;
+	// with a short interactive job queued behind a long scan's task
+	// wave it is what keeps the short job's latency bounded by task
+	// duration instead of queue depth.
+	FairShare Policy = iota
+	// FIFO always takes the oldest eligible queued task, regardless of
+	// which job it belongs to (the pre-multi-tenant behavior; kept for
+	// the abl_concurrency ablation).
+	FIFO
+)
 
 // Profile holds the simulated overhead constants. SimScale documents
 // the wall-clock compression relative to the paper's deployment.
@@ -100,6 +128,9 @@ type Config struct {
 	// while pinned blocks (shuffle outputs) survive until pruned.
 	// 0 = unbounded (the pre-limit behavior).
 	WorkerMemoryBytes int64
+	// Policy selects the dequeue discipline for freed slots. Default
+	// FairShare (min-running-tasks-first across jobs).
+	Policy Policy
 	// Profile sets scheduling overheads. Default SparkProfile.
 	Profile Profile
 }
@@ -134,6 +165,11 @@ type Task struct {
 	// Excluded lists worker IDs that must not run the task
 	// (e.g. it already failed there).
 	Excluded []int
+	// JobID tags the task with the scheduler job that submitted it.
+	// Fair sharing balances running-task counts across JobIDs, and
+	// CancelJob drops queued tasks by it. 0 = untagged (legacy
+	// submitters), which fair-shares as one shared bucket.
+	JobID int64
 
 	result chan Result
 	// deadline is when the locality window expires (guarded by the
@@ -196,9 +232,15 @@ func (w *Worker) load() int { return w.busy + len(w.queue) }
 // DispatchMetrics counts dispatcher activity, observable by tests and
 // the scheduling experiments.
 type DispatchMetrics struct {
-	// Steals counts tasks an idle slot took from another worker's
-	// queue.
+	// Steals counts steal *events*: times an idle slot took work from
+	// another worker's queue. One event may move several tasks (batch
+	// stealing); StolenTasks counts the tasks.
 	Steals atomic.Int64
+	// StolenTasks counts individual tasks moved by steal events.
+	StolenTasks atomic.Int64
+	// CancelledTasks counts queued tasks dropped by CancelJob before
+	// any worker ran them.
+	CancelledTasks atomic.Int64
 	// LocalityHits / LocalityMisses count preferred-location tasks
 	// that did / did not run on a preferred worker.
 	LocalityHits   atomic.Int64
@@ -223,6 +265,12 @@ type Cluster struct {
 	pending []*Task // unplaced tasks drained by idle slots
 	rr      int     // rotates equal-load placement ties across workers
 	closed  bool
+	// jobRunning counts in-flight task bodies per JobID (the fair-
+	// sharing signal); jobQueued counts tasks sitting in queues or
+	// pending per JobID (lets CancelJob skip the queue sweep for the
+	// common no-leftovers case). Entries are deleted at zero.
+	jobRunning map[int64]int
+	jobQueued  map[int64]int
 
 	wg sync.WaitGroup
 
@@ -246,9 +294,11 @@ type Cluster struct {
 func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
 	c := &Cluster{
-		cfg:      cfg,
-		tick:     make(chan struct{}),
-		stopTick: make(chan struct{}),
+		cfg:        cfg,
+		tick:       make(chan struct{}),
+		stopTick:   make(chan struct{}),
+		jobRunning: make(map[int64]int),
+		jobQueued:  make(map[int64]int),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -396,6 +446,7 @@ func (c *Cluster) Submit(t *Task) <-chan Result {
 	}
 	t.deadline = time.Now().Add(c.cfg.LocalityWait)
 	c.backlog.Add(1)
+	c.jobQueued[t.JobID]++
 	c.place(t)
 	c.cond.Broadcast()
 	c.mu.Unlock()
@@ -466,23 +517,13 @@ func (c *Cluster) pickWorker(candidates, excluded []int) *Worker {
 }
 
 // takePending removes and returns the first pending task worker w may
-// run. With agedOnly, only tasks whose locality window has expired
-// qualify (FIFO — the longest-waiting eligible task wins); otherwise
-// a task preferring w wins, then any task without a live non-excluded
-// preferred worker. Caller holds the cluster mutex.
-func (c *Cluster) takePending(w *Worker, now time.Time, agedOnly bool) *Task {
+// run: a task preferring w wins, then any task without a live
+// non-excluded preferred worker. Caller holds the cluster mutex.
+func (c *Cluster) takePending(w *Worker) *Task {
 	take := func(i int) *Task {
 		t := c.pending[i]
 		c.pending = append(c.pending[:i], c.pending[i+1:]...)
 		return t
-	}
-	if agedOnly {
-		for i, t := range c.pending {
-			if c.mayRun(t, w) && now.After(t.deadline) {
-				return take(i)
-			}
-		}
-		return nil
 	}
 	fallback := -1
 	for i, t := range c.pending {
@@ -500,6 +541,50 @@ func (c *Cluster) takePending(w *Worker, now time.Time, agedOnly bool) *Task {
 		return take(fallback)
 	}
 	return nil
+}
+
+// bestAgedPending returns the index of the aged pending task w should
+// run, or -1. FIFO takes the longest-waiting eligible task; fair
+// sharing the eligible task whose job has the fewest running tasks
+// (ties go to waiting order). Caller holds the cluster mutex.
+func (c *Cluster) bestAgedPending(w *Worker, now time.Time) int {
+	best := -1
+	for i, t := range c.pending {
+		if !c.mayRun(t, w) || !now.After(t.deadline) {
+			continue
+		}
+		if c.cfg.Policy == FIFO {
+			return i
+		}
+		if best < 0 || c.jobRunning[t.JobID] < c.jobRunning[c.pending[best].JobID] {
+			best = i
+			if c.jobRunning[t.JobID] == 0 {
+				break // nothing beats an idle job; earliest wins
+			}
+		}
+	}
+	return best
+}
+
+// bestQueued mirrors bestAgedPending over w's own queue. Caller holds
+// the cluster mutex.
+func (c *Cluster) bestQueued(w *Worker) int {
+	best := -1
+	for i, t := range w.queue {
+		if !c.mayRun(t, w) {
+			continue
+		}
+		if c.cfg.Policy == FIFO {
+			return i
+		}
+		if c.jobRunning[t.JobID] == 0 {
+			return i
+		}
+		if best < 0 || c.jobRunning[t.JobID] < c.jobRunning[w.queue[best].JobID] {
+			best = i
+		}
+	}
+	return best
 }
 
 // mayRun reports whether worker w may execute t. An exclusion list
@@ -568,11 +653,18 @@ func (c *Cluster) slotLoop(w *Worker) {
 		// scheduler's speculative-exclusion decisions.
 		t.placedOn.Store(int32(w.ID) + 1)
 		c.backlog.Add(-1)
+		if c.jobQueued[t.JobID]--; c.jobQueued[t.JobID] <= 0 {
+			delete(c.jobQueued, t.JobID)
+		}
 		w.busy++
+		c.jobRunning[t.JobID]++
 		c.mu.Unlock()
 		c.runTask(w, t)
 		c.mu.Lock()
 		w.busy--
+		if c.jobRunning[t.JobID]--; c.jobRunning[t.JobID] <= 0 {
+			delete(c.jobRunning, t.JobID)
+		}
 	}
 }
 
@@ -585,25 +677,30 @@ func (c *Cluster) takeTask(w *Worker, canSteal bool) *Task {
 		return nil
 	}
 	now := time.Now()
-	// 0. Aged pending tasks outrank queued work: a task past its
-	// locality window has already waited longer than anything sitting
-	// in a bounded queue, and under sustained load the queues refill
-	// continuously — without this, overflowed tasks starve behind
-	// later submissions.
-	if t := c.takePending(w, now, true); t != nil {
+	// 0+1. Aged pending tasks and the worker's own queue form one
+	// candidate pool. Under FIFO, aged pending tasks outrank queued
+	// work outright: a task past its locality window has already
+	// waited longer than anything sitting in a bounded queue. Under
+	// fair sharing the two pools compete on running-task counts (aged
+	// pending wins ties, preserving the anti-starvation order), so a
+	// long job that saturates the queues into pending cannot use the
+	// aged-first rule to starve a short job all over again.
+	pi := c.bestAgedPending(w, now)
+	qi := c.bestQueued(w)
+	if pi >= 0 && (qi < 0 || c.cfg.Policy == FIFO ||
+		c.jobRunning[c.pending[pi].JobID] <= c.jobRunning[w.queue[qi].JobID]) {
+		t := c.pending[pi]
+		c.pending = append(c.pending[:pi], c.pending[pi+1:]...)
 		return t
 	}
-	// 1. Own queue, front first (placement guarantees eligibility,
-	// but skip defensively).
-	for i, t := range w.queue {
-		if c.mayRun(t, w) {
-			w.queue = append(w.queue[:i], w.queue[i+1:]...)
-			return t
-		}
+	if qi >= 0 {
+		t := w.queue[qi]
+		w.queue = append(w.queue[:qi], w.queue[qi+1:]...)
+		return t
 	}
 	// 2. Rest of the pending list: first a task that prefers w, else
 	// any task with no (live, non-excluded) preferred worker.
-	if t := c.takePending(w, now, false); t != nil {
+	if t := c.takePending(w); t != nil {
 		return t
 	}
 	// 3. Steal from the back of the most-loaded live worker's queue,
@@ -621,7 +718,17 @@ func (c *Cluster) takeTask(w *Worker, canSteal bool) *Task {
 		}
 	}
 	if victim != nil {
-		for i := len(victim.queue) - 1; i >= 0; i-- {
+		// Batch stealing: the imbalance is sustained (this slot has
+		// been idle past StealDelay while the victim's queue grew), so
+		// take half the victim's stealable queue in one event — the
+		// first task runs now, the rest move to this worker's queue —
+		// instead of paying one steal event per task.
+		take := (len(victim.queue) + 1) / 2
+		if room := c.cfg.QueueDepth - len(w.queue); take > room+1 {
+			take = room + 1 // never overflow the stealer's own queue
+		}
+		var taken []*Task
+		for i := len(victim.queue) - 1; i >= 0 && len(taken) < take; i-- {
 			t := victim.queue[i]
 			if !c.mayRun(t, w) {
 				continue
@@ -630,11 +737,73 @@ func (c *Cluster) takeTask(w *Worker, canSteal bool) *Task {
 				continue // still inside its locality window
 			}
 			victim.queue = append(victim.queue[:i], victim.queue[i+1:]...)
+			taken = append(taken, t)
+		}
+		if len(taken) > 0 {
 			c.metrics.Steals.Add(1)
-			return t
+			c.metrics.StolenTasks.Add(int64(len(taken)))
+			for _, t := range taken[1:] {
+				t.placedOn.Store(int32(w.ID) + 1)
+				w.queue = append(w.queue, t)
+			}
+			return taken[0]
 		}
 	}
 	return nil
+}
+
+// CancelJob drops every queued or pending task tagged with jobID,
+// delivering ErrJobCancelled on each dropped task's result channel, and
+// returns how many tasks it dropped. Tasks already executing are not
+// interrupted — the job is cut off at partition boundaries; its
+// in-flight partitions complete (or fail) normally and their results
+// are the caller's to discard. Safe to call repeatedly.
+func (c *Cluster) CancelJob(jobID int64) int {
+	if jobID == 0 {
+		return 0 // 0 is the shared "untagged" bucket, never mass-cancelled
+	}
+	c.mu.Lock()
+	if c.jobQueued[jobID] == 0 {
+		// Nothing of this job is queued anywhere — the common case for
+		// normally-completed jobs — so skip the queue sweep.
+		c.mu.Unlock()
+		return 0
+	}
+	var dropped []*Task
+	filter := func(queue []*Task) []*Task {
+		keep := queue[:0]
+		for _, t := range queue {
+			if t.JobID == jobID {
+				dropped = append(dropped, t)
+			} else {
+				keep = append(keep, t)
+			}
+		}
+		return keep
+	}
+	for _, w := range c.workers {
+		w.queue = filter(w.queue)
+	}
+	c.pending = filter(c.pending)
+	c.backlog.Add(-int64(len(dropped)))
+	delete(c.jobQueued, jobID)
+	c.metrics.CancelledTasks.Add(int64(len(dropped)))
+	c.mu.Unlock()
+	for _, t := range dropped {
+		select {
+		case t.result <- Result{Worker: -1, Err: ErrJobCancelled}:
+		default:
+		}
+	}
+	return len(dropped)
+}
+
+// RunningTasks reports how many task bodies of jobID are executing
+// right now (per-job accounting, observable by tests and schedulers).
+func (c *Cluster) RunningTasks(jobID int64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobRunning[jobID]
 }
 
 func (c *Cluster) runTask(w *Worker, t *Task) {

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// submitJobTasks queues n quick tasks tagged with jobID that append
+// their job to order as they execute.
+func submitJobTasks(c *Cluster, jobID int64, n int, mu *sync.Mutex, order *[]int64) []<-chan Result {
+	var chans []<-chan Result
+	for i := 0; i < n; i++ {
+		chans = append(chans, c.Submit(&Task{
+			JobID: jobID,
+			Fn: func(w *Worker) (any, error) {
+				mu.Lock()
+				*order = append(*order, jobID)
+				mu.Unlock()
+				return nil, nil
+			},
+		}))
+	}
+	return chans
+}
+
+// blockSlots occupies every slot of the cluster with tasks of jobID
+// that hold until release is closed, returning their result channels
+// after all have started.
+func blockSlots(t *testing.T, c *Cluster, jobID int64, release chan struct{}) []<-chan Result {
+	t.Helper()
+	slots := c.TotalSlots()
+	started := make(chan struct{}, slots)
+	var chans []<-chan Result
+	for i := 0; i < slots; i++ {
+		chans = append(chans, c.Submit(&Task{
+			JobID: jobID,
+			Fn: func(w *Worker) (any, error) {
+				started <- struct{}{}
+				<-release
+				return nil, nil
+			},
+		}))
+	}
+	for i := 0; i < slots; i++ {
+		select {
+		case <-started:
+		case <-time.After(2 * time.Second):
+			t.Fatal("slots never filled")
+		}
+	}
+	return chans
+}
+
+// runFairnessScenario blocks both slots of a 1-worker cluster with
+// long-job tasks, queues a long-job wave and then a few short-job
+// tasks behind it, releases one slot, and returns the order in which
+// queued tasks executed.
+func runFairnessScenario(t *testing.T, policy Policy) []int64 {
+	t.Helper()
+	c := newTest(t, Config{Workers: 1, Slots: 2, Policy: policy})
+	const longJob, shortJob = 1, 2
+	release := make(chan struct{})
+	blockers := blockSlots(t, c, longJob, release)
+
+	var mu sync.Mutex
+	var order []int64
+	longChans := submitJobTasks(c, longJob, 10, &mu, &order)
+	shortChans := submitJobTasks(c, shortJob, 3, &mu, &order)
+
+	close(release)
+	for _, ch := range append(append(blockers, longChans...), shortChans...) {
+		if r := <-ch; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]int64(nil), order...)
+}
+
+// TestFairShareUnstarvesShortJob: with one long-job blocker still
+// holding a slot, a freed slot must drain the short job's tasks before
+// the long job's queued wave (min-running-tasks-first).
+func TestFairShareUnstarvesShortJob(t *testing.T) {
+	order := runFairnessScenario(t, FairShare)
+	// The three short-job tasks must all run before the last long-job
+	// task; under fairness they should in fact be among the first few
+	// queued executions. Find the position of the last short task.
+	lastShort := -1
+	for i, j := range order {
+		if j == 2 {
+			lastShort = i
+		}
+	}
+	if lastShort < 0 {
+		t.Fatal("short job never ran")
+	}
+	if lastShort > 5 {
+		t.Errorf("short job finished at queued position %d of %d under fair sharing: %v",
+			lastShort, len(order), order)
+	}
+}
+
+// TestFIFOStarvesShortJob documents the baseline the fairness policy
+// fixes: FIFO runs the long job's earlier-queued wave first.
+func TestFIFOStarvesShortJob(t *testing.T) {
+	order := runFairnessScenario(t, FIFO)
+	firstShort := -1
+	for i, j := range order {
+		if j == 2 {
+			firstShort = i
+			break
+		}
+	}
+	if firstShort < 0 {
+		t.Fatal("short job never ran")
+	}
+	if firstShort < 10 {
+		t.Errorf("FIFO ran a short task at position %d, before the 10-task long wave: %v",
+			firstShort, order)
+	}
+}
+
+// TestFairShareAcrossPendingOverflow: when the long job saturates the
+// bounded queues into the pending list, aged pending long tasks must
+// not outrank a short job's queued tasks — fairness compares the two
+// pools by running-task counts.
+func TestFairShareAcrossPendingOverflow(t *testing.T) {
+	c := newTest(t, Config{
+		Workers: 1, Slots: 2, QueueDepth: 4,
+		LocalityWait: 500 * time.Microsecond,
+		Policy:       FairShare,
+	})
+	const longJob, shortJob = 1, 2
+	release := make(chan struct{})
+	blockers := blockSlots(t, c, longJob, release)
+
+	var mu sync.Mutex
+	var order []int64
+	// 12 long tasks: 4 fill the queue, 8 overflow to pending.
+	longChans := submitJobTasks(c, longJob, 12, &mu, &order)
+	if c.Metrics().PendingOverflows.Load() == 0 {
+		t.Fatal("scenario broken: no pending overflow")
+	}
+	// Short tasks land in pending too (queue is full).
+	shortChans := submitJobTasks(c, shortJob, 2, &mu, &order)
+	// Let every pending task age past its locality window.
+	time.Sleep(2 * time.Millisecond)
+
+	close(release)
+	for _, ch := range append(append(blockers, longChans...), shortChans...) {
+		if r := <-ch; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	lastShort := -1
+	for i, j := range order {
+		if j == shortJob {
+			lastShort = i
+		}
+	}
+	if lastShort > 5 {
+		t.Errorf("short job finished at position %d of %d despite fair sharing over pending overflow: %v",
+			lastShort, len(order), order)
+	}
+}
+
+// TestCancelJobDropsQueuedTasks: cancelling a job fails its queued
+// tasks with ErrJobCancelled, leaves other jobs' tasks untouched, and
+// the cluster keeps serving new work.
+func TestCancelJobDropsQueuedTasks(t *testing.T) {
+	c := newTest(t, Config{Workers: 2, Slots: 1})
+	release := make(chan struct{})
+	blockers := blockSlots(t, c, 99, release)
+
+	var mu sync.Mutex
+	var order []int64
+	doomed := submitJobTasks(c, 7, 8, &mu, &order)
+	survivors := submitJobTasks(c, 8, 4, &mu, &order)
+
+	if n := c.CancelJob(7); n != 8 {
+		t.Errorf("CancelJob dropped %d tasks, want 8", n)
+	}
+	if n := c.CancelJob(7); n != 0 {
+		t.Errorf("second CancelJob dropped %d tasks, want 0", n)
+	}
+	for _, ch := range doomed {
+		if r := <-ch; !errors.Is(r.Err, ErrJobCancelled) {
+			t.Errorf("dropped task result = %v, want ErrJobCancelled", r.Err)
+		}
+	}
+	close(release)
+	for _, ch := range append(blockers, survivors...) {
+		if r := <-ch; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if got := c.Metrics().CancelledTasks.Load(); got != 8 {
+		t.Errorf("CancelledTasks = %d, want 8", got)
+	}
+	// The cluster still runs fresh work afterwards.
+	if r := <-c.Submit(&Task{JobID: 7, Fn: func(w *Worker) (any, error) { return 42, nil }}); r.Err != nil || r.Value != 42 {
+		t.Errorf("post-cancel task = (%v, %v)", r.Value, r.Err)
+	}
+}
+
+// TestCancelJobZeroIsNoop: JobID 0 is the shared untagged bucket and
+// must never be mass-cancelled.
+func TestCancelJobZeroIsNoop(t *testing.T) {
+	c := newTest(t, Config{Workers: 1, Slots: 1})
+	release := make(chan struct{})
+	blockers := blockSlots(t, c, 5, release)
+	ch := c.Submit(&Task{Fn: func(w *Worker) (any, error) { return nil, nil }})
+	if n := c.CancelJob(0); n != 0 {
+		t.Errorf("CancelJob(0) dropped %d tasks", n)
+	}
+	close(release)
+	if r := <-ch; r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	for _, b := range blockers {
+		<-b
+	}
+}
+
+// TestBatchStealingFewerEvents: rebalancing a straggler's queue takes
+// batches (half the queue per event), so steal events stay well below
+// stolen tasks.
+func TestBatchStealingFewerEvents(t *testing.T) {
+	c := newTest(t, Config{
+		Workers: 2, Slots: 1,
+		LocalityWait: time.Millisecond,
+		StealDelay:   500 * time.Microsecond,
+	})
+	c.SetStragglerDelay(0, 10*time.Millisecond)
+	var chans []<-chan Result
+	for i := 0; i < 24; i++ {
+		chans = append(chans, c.Submit(&Task{
+			Preferred: []int{0},
+			Fn:        func(w *Worker) (any, error) { return w.ID, nil },
+		}))
+	}
+	for _, ch := range chans {
+		if r := <-ch; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	events := c.Metrics().Steals.Load()
+	tasks := c.Metrics().StolenTasks.Load()
+	if tasks == 0 {
+		t.Fatal("nothing was stolen from the straggler")
+	}
+	if events >= tasks {
+		t.Errorf("steal events = %d for %d stolen tasks; batching should need fewer events", events, tasks)
+	}
+}
+
+// TestRunningTasksAccounting: per-job running counts rise while a
+// job's tasks execute and drop back to zero after.
+func TestRunningTasksAccounting(t *testing.T) {
+	c := newTest(t, Config{Workers: 2, Slots: 1})
+	release := make(chan struct{})
+	blockers := blockSlots(t, c, 11, release)
+	if got := c.RunningTasks(11); got != 2 {
+		t.Errorf("RunningTasks(11) = %d while both slots blocked, want 2", got)
+	}
+	close(release)
+	for _, b := range blockers {
+		<-b
+	}
+	deadline := time.Now().Add(time.Second)
+	for c.RunningTasks(11) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("RunningTasks(11) = %d after completion", c.RunningTasks(11))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -6,8 +6,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"shark/internal/catalog"
 	"shark/internal/dfs"
@@ -17,30 +20,125 @@ import (
 	"shark/internal/plan"
 	"shark/internal/rdd"
 	"shark/internal/row"
+	"shark/internal/shuffle"
 	"shark/internal/sqlparse"
 )
 
-// Session is a connected Shark client: catalog + engine + cluster.
+// Session is a connected Shark client: a catalog view plus an engine
+// over a (possibly shared) execution context. Many sessions may share
+// one rdd.Context/cluster; each runs its statements as separate
+// scheduler jobs tagged with the session's Tag, so scheduling is
+// fair-shared across them and metrics are attributable per session.
 type Session struct {
 	Ctx    *rdd.Context
 	FS     *dfs.FS
 	Cat    *catalog.Catalog
 	Engine *exec.Engine
 
+	// Tag names the session in scheduler job attribution and
+	// SessionStats.
+	Tag string
+
 	// DefaultCacheParts is the partition count used when caching
-	// tables (0 = 4 × cluster slots).
+	// tables. DISTRIBUTE BY loads use it as the hash-partition count
+	// (0 = 4 × cluster slots); plain cached CTAS repartitions the
+	// source round-robin to it when set (0 = keep the source
+	// partitioning, e.g. one partition per DFS block).
 	DefaultCacheParts int
+
+	// mu guards created: the tables this session registered, in
+	// order. Close drops exactly these — never another session's.
+	mu      sync.Mutex
+	created []string
 }
 
-// NewSession assembles a session over an execution context.
+// nextSessionTag numbers auto-tagged sessions process-wide.
+var nextSessionTag atomic.Int64
+
+// NewSession assembles a session with a private catalog over an
+// execution context, auto-generating its tag.
 func NewSession(ctx *rdd.Context, fs *dfs.FS, opts exec.Options) *Session {
-	cat := catalog.New()
+	return NewSessionNamed(ctx, fs, catalog.New(),
+		fmt.Sprintf("session-%d", nextSessionTag.Add(1)), opts)
+}
+
+// NewSessionNamed assembles a session over an execution context with
+// an explicit catalog (pass a shared catalog for a shared metastore
+// view, or a fresh one for namespace isolation) and session tag.
+func NewSessionNamed(ctx *rdd.Context, fs *dfs.FS, cat *catalog.Catalog, tag string, opts exec.Options) *Session {
 	return &Session{
 		Ctx:    ctx,
 		FS:     fs,
 		Cat:    cat,
+		Tag:    tag,
 		Engine: exec.New(ctx, cat, fs, opts),
 	}
+}
+
+// register adds a table to the session's catalog stamped with the
+// session's tag as owner and records it for scoped teardown.
+func (s *Session) register(t *catalog.Table) error {
+	t.Owner = s.Tag
+	if err := s.Cat.Register(t); err != nil {
+		return err
+	}
+	s.noteCreated(t.Name)
+	return nil
+}
+
+// noteCreated records a table this session registered.
+func (s *Session) noteCreated(name string) {
+	s.mu.Lock()
+	s.created = append(s.created, name)
+	s.mu.Unlock()
+}
+
+// forgetCreated removes a dropped table from the session's ownership
+// list.
+func (s *Session) forgetCreated(name string) {
+	s.mu.Lock()
+	keep := s.created[:0]
+	for _, n := range s.created {
+		if !strings.EqualFold(n, name) {
+			keep = append(keep, n)
+		}
+	}
+	s.created = keep
+	s.mu.Unlock()
+}
+
+// Close releases the session's state: every table it registered is
+// dropped from its catalog (evicting the session's memstore blocks
+// from worker memory). On a shared cluster this never touches the
+// cluster itself or other sessions' tables — the atomic owner-checked
+// drop guards against deleting a table another session re-created
+// under a name this session once used. Closing is idempotent.
+func (s *Session) Close() {
+	s.mu.Lock()
+	names := s.created
+	s.created = nil
+	s.mu.Unlock()
+	for _, n := range names {
+		s.Cat.DropOwned(n, s.Tag)
+	}
+	// Remove the session's scoped DFS files (LoadRows ingests under
+	// data/<tag>/, CTAS-to-DFS writes under warehouse/<tag>/): a
+	// long-lived cluster must not leak DFS space per closed session,
+	// and a later session reusing the name must be able to load the
+	// same table names. Unscoped paths (e.g. harness-generated shared
+	// inputs) are untouched.
+	s.FS.DeletePrefix("data/" + s.Tag + "/")
+	s.FS.DeletePrefix("warehouse/" + strings.ToLower(s.Tag) + "/")
+	// Free the session's metrics aggregate and RDD-ownership entries;
+	// a long-lived cluster must not accumulate per-session state.
+	s.Ctx.ReleaseSession(s.Tag)
+}
+
+// Stats snapshots what the cluster has done for this session: jobs,
+// tasks and task-time, cache hits / remote hits / recomputes, and
+// evictions of partitions the session materialized.
+func (s *Session) Stats() rdd.SessionStats {
+	return s.Ctx.SessionStats(s.Tag)
 }
 
 func (s *Session) cacheParts() int {
@@ -61,19 +159,32 @@ type Result struct {
 
 // Exec parses and executes one SQL statement.
 func (s *Session) Exec(sql string) (*Result, error) {
+	return s.ExecContext(context.Background(), sql)
+}
+
+// ExecContext parses and executes one SQL statement as one scheduler
+// job tagged with the session. Cancelling gctx aborts the statement —
+// its queued tasks are dropped, running tasks finish their partition,
+// and the returned error wraps context.Canceled — while the session
+// stays fully usable for subsequent statements.
+func (s *Session) ExecContext(gctx context.Context, sql string) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	job := s.Ctx.StartJob(s.Tag)
+	defer s.Ctx.FinishJob(job)
+	gctx = rdd.WithJob(gctx, job)
 	switch t := stmt.(type) {
 	case *sqlparse.SelectStmt:
-		return s.runSelect(t)
+		return s.runSelect(gctx, t)
 	case *sqlparse.CreateTableStmt:
-		return s.runCreate(t)
+		return s.runCreate(gctx, t)
 	case *sqlparse.DropTableStmt:
 		if !s.Cat.Drop(t.Name) && !t.IfExists {
 			return nil, fmt.Errorf("core: unknown table %q", t.Name)
 		}
+		s.forgetCreated(t.Name)
 		return &Result{Message: fmt.Sprintf("dropped %s", t.Name)}, nil
 	case *sqlparse.ExplainStmt:
 		return s.runExplain(t)
@@ -81,12 +192,12 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 }
 
-func (s *Session) runSelect(sel *sqlparse.SelectStmt) (*Result, error) {
+func (s *Session) runSelect(gctx context.Context, sel *sqlparse.SelectStmt) (*Result, error) {
 	p, err := plan.Analyze(s.Cat, sel)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Engine.Run(p)
+	res, err := s.Engine.RunCtx(gctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +221,7 @@ func (s *Session) runExplain(e *sqlparse.ExplainStmt) (*Result, error) {
 	return out, nil
 }
 
-func (s *Session) runCreate(ct *sqlparse.CreateTableStmt) (*Result, error) {
+func (s *Session) runCreate(gctx context.Context, ct *sqlparse.CreateTableStmt) (*Result, error) {
 	if s.Cat.Exists(ct.Name) {
 		if ct.IfNotExists {
 			return &Result{Message: fmt.Sprintf("table %s exists", ct.Name)}, nil
@@ -120,7 +231,7 @@ func (s *Session) runCreate(ct *sqlparse.CreateTableStmt) (*Result, error) {
 	if ct.As == nil {
 		return s.createExternal(ct)
 	}
-	return s.createAsSelect(ct)
+	return s.createAsSelect(gctx, ct)
 }
 
 // createExternal registers a DFS-backed table.
@@ -144,7 +255,7 @@ func (s *Session) createExternal(ct *sqlparse.CreateTableStmt) (*Result, error) 
 		return nil, fmt.Errorf("core: file %s has %d columns, DDL declares %d",
 			ct.Location, len(meta.Schema), len(schema))
 	}
-	err = s.Cat.Register(&catalog.Table{
+	err = s.register(&catalog.Table{
 		Name:    ct.Name,
 		Schema:  schema,
 		File:    ct.Location,
@@ -161,7 +272,7 @@ func (s *Session) createExternal(ct *sqlparse.CreateTableStmt) (*Result, error) 
 // createAsSelect runs CTAS. With TBLPROPERTIES("shark.cache"="true")
 // the result is loaded into the memstore (optionally DISTRIBUTE BY for
 // co-partitioning); otherwise it is written to a DFS file.
-func (s *Session) createAsSelect(ct *sqlparse.CreateTableStmt) (*Result, error) {
+func (s *Session) createAsSelect(gctx context.Context, ct *sqlparse.CreateTableStmt) (*Result, error) {
 	sel := ct.As
 	p, err := plan.Analyze(s.Cat, sel)
 	if err != nil {
@@ -171,12 +282,12 @@ func (s *Session) createAsSelect(ct *sqlparse.CreateTableStmt) (*Result, error) 
 
 	cached := strings.EqualFold(ct.Props["shark.cache"], "true")
 	if !cached {
-		return s.ctasToDFS(ct, p, schema)
+		return s.ctasToDFS(gctx, ct, p, schema)
 	}
 
 	// Build the row RDD for loading. Sort/Limit at the top of a CTAS
 	// is unusual; run through the engine and parallelize when present.
-	srcRDD, err := s.planToRDD(p)
+	srcRDD, err := s.planToRDD(gctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -198,9 +309,12 @@ func (s *Session) createAsSelect(ct *sqlparse.CreateTableStmt) (*Result, error) 
 			}
 			numParts = ot.Mem.NumPartitions()
 		}
-		mem, err = memtable.LoadDistributed(ct.Name, schema, srcRDD, keyCol, numParts)
+		mem, err = memtable.LoadDistributedCtx(gctx, ct.Name, schema, srcRDD, keyCol, numParts)
 	} else {
-		mem, err = memtable.Load(ct.Name, schema, srcRDD)
+		if n := s.DefaultCacheParts; n > 0 && srcRDD.NumPartitions() != n {
+			srcRDD = repartitionRows(srcRDD, n)
+		}
+		mem, err = memtable.LoadCtx(gctx, ct.Name, schema, srcRDD)
 	}
 	if err != nil {
 		return nil, err
@@ -214,15 +328,16 @@ func (s *Session) createAsSelect(ct *sqlparse.CreateTableStmt) (*Result, error) 
 		DistKey:         sel.DistributeBy,
 		CopartitionWith: ct.Props["copartition"],
 	}
-	if err := s.Cat.Register(entry); err != nil {
+	if err := s.register(entry); err != nil {
+		mem.Drop()
 		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf("cached table %s (%d rows, %d partitions, %d bytes)",
 		ct.Name, mem.TotalRows(), mem.NumPartitions(), mem.TotalBytes())}, nil
 }
 
-func (s *Session) ctasToDFS(ct *sqlparse.CreateTableStmt, p plan.Node, schema row.Schema) (*Result, error) {
-	res, err := s.Engine.Run(p)
+func (s *Session) ctasToDFS(gctx context.Context, ct *sqlparse.CreateTableStmt, p plan.Node, schema row.Schema) (*Result, error) {
+	res, err := s.Engine.RunCtx(gctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +345,9 @@ func (s *Session) ctasToDFS(ct *sqlparse.CreateTableStmt, p plan.Node, schema ro
 	if strings.EqualFold(ct.Format, "BINARY") {
 		format = dfs.Binary
 	}
-	file := "warehouse/" + strings.ToLower(ct.Name)
+	// Scope the warehouse path by session tag: on a shared cluster two
+	// sessions with private catalogs may CTAS the same table name.
+	file := "warehouse/" + strings.ToLower(s.Tag+"/"+ct.Name)
 	w, err := s.FS.Create(file, format, schema)
 	if err != nil {
 		return nil, err
@@ -243,7 +360,7 @@ func (s *Session) ctasToDFS(ct *sqlparse.CreateTableStmt, p plan.Node, schema ro
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
-	err = s.Cat.Register(&catalog.Table{
+	err = s.register(&catalog.Table{
 		Name:    ct.Name,
 		Schema:  schema,
 		File:    file,
@@ -257,13 +374,35 @@ func (s *Session) ctasToDFS(ct *sqlparse.CreateTableStmt, p plan.Node, schema ro
 	return &Result{Message: fmt.Sprintf("created table %s (%d rows on DFS)", ct.Name, len(res.Rows))}, nil
 }
 
+// repartitionRows redistributes a row RDD into n partitions with
+// synthetic round-robin keys — for cache loads whose source
+// partitioning (e.g. one partition per DFS block) does not match the
+// session's requested cache parallelism.
+func repartitionRows(src *rdd.RDD, n int) *rdd.RDD {
+	pairs := src.MapPartitions(func(part int, in rdd.Iter) rdd.Iter {
+		i := int64(0)
+		base := int64(part) << 32
+		return rdd.FuncIter(func() (any, bool) {
+			v, ok := in.Next()
+			if !ok {
+				return nil, false
+			}
+			p := shuffle.Pair{K: base + i, V: v}
+			i++
+			return p, true
+		})
+	})
+	return pairs.PartitionBy(shuffle.HashPartitioner{N: n}).
+		Map(func(v any) any { return v.(shuffle.Pair).V })
+}
+
 // planToRDD lowers a plan to a row RDD without materializing at the
 // master, for CTAS loads and sql2rdd. Top-level Sort/Limit still
 // require materialization.
-func (s *Session) planToRDD(p plan.Node) (*rdd.RDD, error) {
+func (s *Session) planToRDD(gctx context.Context, p plan.Node) (*rdd.RDD, error) {
 	switch p.(type) {
 	case *plan.Limit, *plan.Sort:
-		res, err := s.Engine.Run(p)
+		res, err := s.Engine.RunCtx(gctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -273,7 +412,7 @@ func (s *Session) planToRDD(p plan.Node) (*rdd.RDD, error) {
 		}
 		return s.Ctx.Parallelize(data, s.Ctx.Cluster.TotalSlots()), nil
 	}
-	return s.Engine.CompileToRDD(p)
+	return s.Engine.CompileToRDDCtx(gctx, p)
 }
 
 // TableRDD is a query result as a live RDD plus its schema — the
@@ -339,6 +478,14 @@ func (t *TableRDD) Cache() *TableRDD {
 // Query compiles a SELECT and returns its result as a TableRDD without
 // collecting it, so ML code can keep processing in the cluster.
 func (s *Session) Query(sql string) (*TableRDD, error) {
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under a context: the compilation-time work
+// (PDE pre-shuffles, subquery materializations) runs as a session-
+// tagged job and honors cancellation. Actions on the returned
+// TableRDD run as their own jobs later.
+func (s *Session) QueryContext(gctx context.Context, sql string) (*TableRDD, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -351,7 +498,9 @@ func (s *Session) Query(sql string) (*TableRDD, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := s.planToRDD(p)
+	job := s.Ctx.StartJob(s.Tag)
+	defer s.Ctx.FinishJob(job)
+	r, err := s.planToRDD(rdd.WithJob(gctx, job), p)
 	if err != nil {
 		return nil, err
 	}
@@ -368,7 +517,7 @@ func (s *Session) RegisterUDF(name string, ret row.Type, minArgs, maxArgs int, f
 // RegisterMemTable registers an already-loaded memstore table (used by
 // harness code that loads data programmatically).
 func (s *Session) RegisterMemTable(mem *memtable.Table, props map[string]string) error {
-	return s.Cat.Register(&catalog.Table{
+	return s.register(&catalog.Table{
 		Name:    mem.Name,
 		Schema:  mem.Schema,
 		Mem:     mem,
@@ -383,7 +532,7 @@ func (s *Session) RegisterExternal(name, file string, schema row.Schema) error {
 	if err != nil {
 		return err
 	}
-	return s.Cat.Register(&catalog.Table{
+	return s.register(&catalog.Table{
 		Name:    name,
 		Schema:  schema,
 		File:    file,

@@ -8,6 +8,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -121,12 +122,27 @@ type Result struct {
 // collect — the sql2rdd path. Top-level Sort/Limit nodes are not
 // supported here (the session materializes those).
 func (e *Engine) CompileToRDD(n plan.Node) (*rdd.RDD, error) {
+	return e.CompileToRDDCtx(context.Background(), n)
+}
+
+// CompileToRDDCtx is CompileToRDD under a context: PDE pre-shuffles
+// run during compilation execute under the attached job and honor
+// cancellation.
+func (e *Engine) CompileToRDDCtx(gctx context.Context, n plan.Node) (*rdd.RDD, error) {
 	stats := &QueryStats{}
-	return e.compile(n, stats)
+	return e.compile(gctx, n, stats)
 }
 
 // Run executes a logical plan to completion.
 func (e *Engine) Run(n plan.Node) (*Result, error) {
+	return e.RunCtx(context.Background(), n)
+}
+
+// RunCtx executes a logical plan to completion under a context: every
+// scheduler job it spawns (PDE map stages, the final collect) runs
+// under the job attached by rdd.WithJob, and cancelling gctx aborts
+// the query with an error wrapping context.Canceled.
+func (e *Engine) RunCtx(gctx context.Context, n plan.Node) (*Result, error) {
 	stats := &QueryStats{}
 
 	limit := int64(-1)
@@ -141,7 +157,7 @@ func (e *Engine) Run(n plan.Node) (*Result, error) {
 	}
 
 	schema := n.Schema()
-	r, err := e.compile(n, stats)
+	r, err := e.compile(gctx, n, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +181,7 @@ func (e *Engine) Run(n plan.Node) (*Result, error) {
 		})
 	}
 
-	raw, err := r.Collect()
+	raw, err := r.CollectCtx(gctx)
 	if err != nil {
 		return nil, err
 	}
@@ -227,20 +243,22 @@ func (e *Engine) fineBuckets() int {
 	return e.Ctx.Cluster.TotalSlots() * e.opts.FineBucketsPerSlot
 }
 
-// compile lowers a plan node to an RDD of row.Row.
-func (e *Engine) compile(n plan.Node, stats *QueryStats) (*rdd.RDD, error) {
+// compile lowers a plan node to an RDD of row.Row. gctx scopes the
+// scheduler jobs some nodes run while compiling (PDE pre-shuffles,
+// subquery materializations).
+func (e *Engine) compile(gctx context.Context, n plan.Node, stats *QueryStats) (*rdd.RDD, error) {
 	switch t := n.(type) {
 	case *plan.Scan:
 		return e.compileScan(t, stats)
 	case *plan.Filter:
-		child, err := e.compile(t.Child, stats)
+		child, err := e.compile(gctx, t.Child, stats)
 		if err != nil {
 			return nil, err
 		}
 		pred := e.evalFn(t.Cond)
 		return child.Filter(func(v any) bool { return row.Truth(pred(v.(row.Row))) }), nil
 	case *plan.Project:
-		child, err := e.compile(t.Child, stats)
+		child, err := e.compile(gctx, t.Child, stats)
 		if err != nil {
 			return nil, err
 		}
@@ -257,18 +275,18 @@ func (e *Engine) compile(n plan.Node, stats *QueryStats) (*rdd.RDD, error) {
 			return out
 		}), nil
 	case *plan.Aggregate:
-		return e.compileAggregate(t, stats)
+		return e.compileAggregate(gctx, t, stats)
 	case *plan.Join:
-		return e.compileJoin(t, stats)
+		return e.compileJoin(gctx, t, stats)
 	case *plan.Sort:
 		// Sort below the root (e.g. in a subquery): materialize and
 		// re-sort at the master; results at this position are small in
 		// every workload the paper evaluates.
-		child, err := e.compile(t.Child, stats)
+		child, err := e.compile(gctx, t.Child, stats)
 		if err != nil {
 			return nil, err
 		}
-		raw, err := child.Collect()
+		raw, err := child.CollectCtx(gctx)
 		if err != nil {
 			return nil, err
 		}
@@ -291,11 +309,11 @@ func (e *Engine) compile(n plan.Node, stats *QueryStats) (*rdd.RDD, error) {
 		})
 		return e.Ctx.Parallelize(raw, e.Ctx.Cluster.TotalSlots()), nil
 	case *plan.Limit:
-		child, err := e.compile(t.Child, stats)
+		child, err := e.compile(gctx, t.Child, stats)
 		if err != nil {
 			return nil, err
 		}
-		raw, err := child.Take(int(t.N))
+		raw, err := child.TakeCtx(gctx, int(t.N))
 		if err != nil {
 			return nil, err
 		}
@@ -402,8 +420,8 @@ func (e *Engine) dfsScan(s *plan.Scan) (*rdd.RDD, error) {
 // and PDE picks the reduce parallelism by bin-packing observed bucket
 // sizes.
 
-func (e *Engine) compileAggregate(a *plan.Aggregate, stats *QueryStats) (*rdd.RDD, error) {
-	child, err := e.compile(a.Child, stats)
+func (e *Engine) compileAggregate(gctx context.Context, a *plan.Aggregate, stats *QueryStats) (*rdd.RDD, error) {
+	child, err := e.compile(gctx, a.Child, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -453,7 +471,7 @@ func (e *Engine) compileAggregate(a *plan.Aggregate, stats *QueryStats) (*rdd.RD
 		func(x, y any) any { return x.(*aggState).merge(y.(*aggState), specs) })
 
 	// PDE: materialize the map side, observe bucket sizes, coalesce.
-	shufStats, err := e.Ctx.Scheduler().MaterializeShuffle(dep)
+	shufStats, err := e.Ctx.Scheduler().MaterializeShuffleCtx(gctx, dep)
 	if err != nil {
 		return nil, err
 	}

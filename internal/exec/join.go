@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"shark/internal/expr"
@@ -24,17 +25,17 @@ import (
 //
 // In adaptive modes the decision uses sizes observed by PDE after
 // running pre-shuffle map stages.
-func (e *Engine) compileJoin(j *plan.Join, stats *QueryStats) (*rdd.RDD, error) {
+func (e *Engine) compileJoin(gctx context.Context, j *plan.Join, stats *QueryStats) (*rdd.RDD, error) {
 	// Co-partitioned fast path.
 	if r, ok, err := e.tryCopartitionedJoin(j, stats); err != nil || ok {
 		return r, err
 	}
 
-	left, err := e.compile(j.Left, stats)
+	left, err := e.compile(gctx, j.Left, stats)
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.compile(j.Right, stats)
+	right, err := e.compile(gctx, j.Right, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -43,11 +44,11 @@ func (e *Engine) compileJoin(j *plan.Join, stats *QueryStats) (*rdd.RDD, error) 
 
 	switch e.opts.JoinStrategy {
 	case StrategyStatic:
-		return e.staticJoin(j, left, right, lKey, rKey, stats)
+		return e.staticJoin(gctx, j, left, right, lKey, rKey, stats)
 	case StrategyAdaptive:
-		return e.adaptiveJoin(left, right, lKey, rKey, stats)
+		return e.adaptiveJoin(gctx, left, right, lKey, rKey, stats)
 	default:
-		return e.staticAdaptiveJoin(j, left, right, lKey, rKey, stats)
+		return e.staticAdaptiveJoin(gctx, j, left, right, lKey, rKey, stats)
 	}
 }
 
@@ -128,22 +129,22 @@ func containsCall(e expr.Expr) bool {
 
 // staticJoin decides from estimates only: broadcast if an estimated
 // side is under threshold, else full shuffle join.
-func (e *Engine) staticJoin(j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
+func (e *Engine) staticJoin(gctx context.Context, j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
 	lEst, rEst := estimateSide(j.Left), estimateSide(j.Right)
 	switch pde.ChooseJoinStrategy(lEst, rEst, e.opts.BroadcastThreshold) {
 	case pde.MapJoinLeft:
 		stats.JoinStrategies = append(stats.JoinStrategies, "static:map-join(left)")
-		return e.broadcastJoin(left, right, lKey, rKey, true)
+		return e.broadcastJoin(gctx, left, right, lKey, rKey, true)
 	case pde.MapJoinRight:
 		stats.JoinStrategies = append(stats.JoinStrategies, "static:map-join(right)")
-		return e.broadcastJoin(right, left, rKey, lKey, false)
+		return e.broadcastJoin(gctx, right, left, rKey, lKey, false)
 	}
 	stats.JoinStrategies = append(stats.JoinStrategies, "static:shuffle-join")
-	lDep, lStats, err := e.preShuffle(left, lKey)
+	lDep, lStats, err := e.preShuffle(gctx, left, lKey)
 	if err != nil {
 		return nil, err
 	}
-	rDep, rStats, err := e.preShuffle(right, rKey)
+	rDep, rStats, err := e.preShuffle(gctx, right, rKey)
 	if err != nil {
 		return nil, err
 	}
@@ -152,12 +153,12 @@ func (e *Engine) staticJoin(j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.
 
 // adaptiveJoin pre-shuffles both sides, then decides from observed
 // sizes (the paper's "Adaptive" bar in Fig. 8).
-func (e *Engine) adaptiveJoin(left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
-	lDep, lStats, err := e.preShuffle(left, lKey)
+func (e *Engine) adaptiveJoin(gctx context.Context, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
+	lDep, lStats, err := e.preShuffle(gctx, left, lKey)
 	if err != nil {
 		return nil, err
 	}
-	rDep, rStats, err := e.preShuffle(right, rKey)
+	rDep, rStats, err := e.preShuffle(gctx, right, rKey)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +177,7 @@ func (e *Engine) adaptiveJoin(left, right *rdd.RDD, lKey, rKey expr.EvalFn, stat
 // staticAdaptiveJoin uses the static prior to pick the likely-small
 // side, pre-shuffles only that side, and avoids ever shuffling the big
 // side when the observation confirms the prior (Fig. 8's best plan).
-func (e *Engine) staticAdaptiveJoin(j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
+func (e *Engine) staticAdaptiveJoin(gctx context.Context, j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
 	lEst, rEst := estimateSide(j.Left), estimateSide(j.Right)
 	probeLeft := lEst <= rEst // side more likely to be small
 	var smallSide, bigSide *rdd.RDD
@@ -186,7 +187,7 @@ func (e *Engine) staticAdaptiveJoin(j *plan.Join, left, right *rdd.RDD, lKey, rK
 	} else {
 		smallSide, bigSide, smallKey, bigKey = right, left, rKey, lKey
 	}
-	smallDep, smallStats, err := e.preShuffle(smallSide, smallKey)
+	smallDep, smallStats, err := e.preShuffle(gctx, smallSide, smallKey)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +202,7 @@ func (e *Engine) staticAdaptiveJoin(j *plan.Join, left, right *rdd.RDD, lKey, rK
 	}
 	// Prior was wrong: fall back to a full shuffle join.
 	stats.JoinStrategies = append(stats.JoinStrategies, "static+adaptive:shuffle-join")
-	bigDep, bigStats, err := e.preShuffle(bigSide, bigKey)
+	bigDep, bigStats, err := e.preShuffle(gctx, bigSide, bigKey)
 	if err != nil {
 		return nil, err
 	}
@@ -213,13 +214,13 @@ func (e *Engine) staticAdaptiveJoin(j *plan.Join, left, right *rdd.RDD, lKey, rK
 
 // preShuffle materializes the map side of a shuffle keyed by keyFn and
 // returns the dependency plus observed statistics (the PDE primitive).
-func (e *Engine) preShuffle(r *rdd.RDD, keyFn expr.EvalFn) (*rdd.ShuffleDep, *pde.StageStats, error) {
+func (e *Engine) preShuffle(gctx context.Context, r *rdd.RDD, keyFn expr.EvalFn) (*rdd.ShuffleDep, *pde.StageStats, error) {
 	pairs := r.Map(func(v any) any {
 		rr := v.(row.Row)
 		return shuffle.Pair{K: normalizeGroupKey(keyFn(rr)), V: rr}
 	})
 	dep := e.Ctx.NewShuffleDep(pairs, shuffle.HashPartitioner{N: e.fineBuckets()}, nil)
-	st, err := e.Ctx.Scheduler().MaterializeShuffle(dep)
+	st, err := e.Ctx.Scheduler().MaterializeShuffleCtx(gctx, dep)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -322,8 +323,8 @@ func concatRows(a, b row.Row) row.Row {
 // broadcastJoin collects the small side (an ordinary job), builds a
 // hash table, and probes it from map tasks over the big side — no
 // shuffle of the big side.
-func (e *Engine) broadcastJoin(small, big *rdd.RDD, smallKey, bigKey expr.EvalFn, smallIsLeft bool) (*rdd.RDD, error) {
-	rows, err := small.Collect()
+func (e *Engine) broadcastJoin(gctx context.Context, small, big *rdd.RDD, smallKey, bigKey expr.EvalFn, smallIsLeft bool) (*rdd.RDD, error) {
+	rows, err := small.CollectCtx(gctx)
 	if err != nil {
 		return nil, err
 	}

@@ -127,8 +127,10 @@ func NewEnv(sc Scale, opts exec.Options) (*Env, error) {
 	}, nil
 }
 
-// Close tears the environment down.
+// Close tears the environment down, snapshotting the Shark cluster's
+// dispatcher/cache metrics into the running experiment's report.
 func (e *Env) Close() {
+	noteClusterMetrics("shark env", e.Shark.Ctx)
 	e.SharkCluster.Close()
 	e.HadoopCluster.Close()
 	if e.ownsDir {

@@ -19,25 +19,26 @@ import (
 
 // experiments maps experiment ids (DESIGN.md §3) to runners.
 var experiments = map[string]func(Scale, *Report) error{
-	"fig1":           runFig1,
-	"fig5_selection": runFig5Selection,
-	"fig5_agg":       runFig5Agg,
-	"fig6_join":      runFig6Join,
-	"loading":        runLoading,
-	"fig7":           runFig7,
-	"fig8":           runFig8,
-	"fig9":           runFig9,
-	"fig10":          runFig10,
-	"fig11":          runFig11,
-	"fig12":          runFig12,
-	"fig13":          runFig13,
-	"tbl_columnar":   runColumnarFootprint,
-	"abl_shuffle":    runShuffleAblation,
-	"abl_compile":    runExprCompileAblation,
-	"abl_binpack":    runSkewAblation,
-	"abl_dispatch":   runDispatch,
-	"abl_memory":     runMemory,
-	"pruning":        runPruning,
+	"fig1":            runFig1,
+	"fig5_selection":  runFig5Selection,
+	"fig5_agg":        runFig5Agg,
+	"fig6_join":       runFig6Join,
+	"loading":         runLoading,
+	"fig7":            runFig7,
+	"fig8":            runFig8,
+	"fig9":            runFig9,
+	"fig10":           runFig10,
+	"fig11":           runFig11,
+	"fig12":           runFig12,
+	"fig13":           runFig13,
+	"tbl_columnar":    runColumnarFootprint,
+	"abl_shuffle":     runShuffleAblation,
+	"abl_compile":     runExprCompileAblation,
+	"abl_binpack":     runSkewAblation,
+	"abl_dispatch":    runDispatch,
+	"abl_memory":      runMemory,
+	"abl_concurrency": runConcurrency,
+	"pruning":         runPruning,
 }
 
 // pavloEnv generates rankings + uservisits and caches them in Shark.

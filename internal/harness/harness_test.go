@@ -33,7 +33,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"fig1", "fig5_selection", "fig5_agg", "fig6_join", "loading",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"tbl_columnar", "abl_shuffle", "abl_compile", "abl_binpack",
-		"abl_dispatch", "pruning",
+		"abl_dispatch", "abl_memory", "abl_concurrency", "pruning",
 	}
 	have := map[string]bool{}
 	for _, id := range ExperimentIDs() {
@@ -179,17 +179,74 @@ func TestReportRendering(t *testing.T) {
 	r.Add("exp1", "A", 1.5, "note")
 	r.Add("exp1", "B", 3.0, "")
 	r.AddValue("exp2", "bytes", 42, "")
+	r.AddClusterNote("exp1", "shark env", "steals 1 events/2 tasks")
 	var buf bytes.Buffer
 	r.Fprint(&buf)
 	out := buf.String()
-	for _, want := range []string{"exp1", "A", "2.0x", "42.00"} {
+	for _, want := range []string{"exp1", "A", "2.0x", "42.00", "dispatcher / cache metrics", "steals 1 events/2 tasks"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
 	}
 	buf.Reset()
 	r.Markdown(&buf)
-	if !strings.Contains(buf.String(), "| series |") {
+	md := buf.String()
+	if !strings.Contains(md, "| series |") {
 		t.Error("markdown header missing")
 	}
+	if !strings.Contains(md, "### dispatcher / cache metrics") {
+		t.Error("markdown cluster metrics section missing")
+	}
+}
+
+// TestClusterMetricsInEveryReport: any experiment that builds an Env
+// leaves a dispatcher/cache metrics note in the report — not only the
+// dedicated scheduling ablations.
+func TestClusterMetricsInEveryReport(t *testing.T) {
+	r := runOne(t, "fig5_selection")
+	if len(r.ClusterNotes) == 0 {
+		t.Fatal("fig5_selection report has no cluster metrics notes")
+	}
+	n := r.ClusterNotes[0]
+	if n.Experiment != "fig5_selection" || !strings.Contains(n.Notes, "steals") {
+		t.Errorf("unexpected cluster note: %+v", n)
+	}
+}
+
+// TestConcurrencyExperiment: the multi-tenant ablation reports both
+// policies, and fair sharing keeps short-query latency strictly below
+// FIFO while a long scan floods the cluster (the redesign's headline
+// claim). The comparison is wall-clock, so a noisy CI machine gets up
+// to three attempts before the shape assertion fails; the typical
+// margin is several-fold.
+func TestConcurrencyExperiment(t *testing.T) {
+	var fifo, fair float64
+	for attempt := 0; attempt < 3; attempt++ {
+		r := runOne(t, "abl_concurrency")
+		if len(r.Entries) != 2 {
+			t.Fatalf("entries = %d, want 2 (FIFO + fair)", len(r.Entries))
+		}
+		fifo, fair = 0, 0
+		for _, e := range r.Entries {
+			if e.Seconds <= 0 {
+				t.Fatalf("series %q has no timing", e.Series)
+			}
+			if e.Notes == "" {
+				t.Fatalf("series %q missing p50/session notes", e.Series)
+			}
+			if strings.Contains(e.Series, "FIFO") {
+				fifo = e.Seconds
+			} else {
+				fair = e.Seconds
+			}
+		}
+		if fifo == 0 || fair == 0 {
+			t.Fatalf("missing a policy series: %+v", r.Entries)
+		}
+		if fair < fifo {
+			return
+		}
+		t.Logf("attempt %d: fair p95 %.4fs not below FIFO %.4fs; retrying", attempt+1, fair, fifo)
+	}
+	t.Errorf("short-query p95 under fair sharing (%.4fs) should be strictly below FIFO (%.4fs) in at least one of 3 attempts", fair, fifo)
 }

@@ -48,7 +48,10 @@ func newMemoryWorld(sc Scale, workerMemoryBytes int64) *memoryWorld {
 	return &memoryWorld{cl: cl, ctx: rdd.NewContext(cl, svc, rdd.Options{})}
 }
 
-func (w *memoryWorld) close() { w.cl.Close() }
+func (w *memoryWorld) close(label string) {
+	noteClusterMetrics(label, w.ctx)
+	w.cl.Close()
+}
 
 // runMemory sweeps per-worker block-store capacity across a cached
 // table's footprint (unbounded, then 100% / 50% / 25% of the
@@ -64,12 +67,12 @@ func runMemory(sc Scale, r *Report) error {
 	probe := newMemoryWorld(sc, 0)
 	tbl, err := memtable.Load("mem_sweep", memorySchema, probe.ctx.Parallelize(rows, parts))
 	if err != nil {
-		probe.close()
+		probe.close("unbounded probe")
 		return err
 	}
 	totalBytes := tbl.TotalBytes()
 	wantRows := tbl.TotalRows()
-	probe.close()
+	probe.close("unbounded probe")
 	perWorkerShare := totalBytes / int64(sc.Workers)
 
 	sweep := []struct {
@@ -103,7 +106,7 @@ func runMemory(sc Scale, r *Report) error {
 // capacity setting, verifying results and the capacity invariant.
 func runMemoryPoint(sc Scale, r *Report, exp, label string, capBytes int64, rows []any, parts int, wantRows int64) error {
 	w := newMemoryWorld(sc, capBytes)
-	defer w.close()
+	defer w.close(label)
 	tbl, err := memtable.Load("mem_sweep", memorySchema, w.ctx.Parallelize(rows, parts))
 	if err != nil {
 		return err

@@ -5,6 +5,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+
+	"shark/internal/rdd"
 )
 
 // Entry is one measured series point of an experiment.
@@ -16,9 +19,20 @@ type Entry struct {
 	Notes      string
 }
 
+// ClusterNote is one experiment environment's dispatcher/cache metric
+// snapshot, recorded when the environment closes so every shark-bench
+// report surfaces scheduling and memory-pressure behavior, not only
+// the dedicated ablations.
+type ClusterNote struct {
+	Experiment string
+	Label      string // which environment within the experiment
+	Notes      string
+}
+
 // Report accumulates experiment results.
 type Report struct {
-	Entries []Entry
+	Entries      []Entry
+	ClusterNotes []ClusterNote
 }
 
 // Add records a timing entry.
@@ -29,6 +43,42 @@ func (r *Report) Add(exp, series string, seconds float64, notes string) {
 // AddValue records a non-timing entry (bytes, ratios, counts).
 func (r *Report) AddValue(exp, series string, value float64, notes string) {
 	r.Entries = append(r.Entries, Entry{Experiment: exp, Series: series, Seconds: -1, Value: value, Notes: notes})
+}
+
+// AddClusterNote records one environment's dispatcher/cache metrics.
+func (r *Report) AddClusterNote(exp, label, notes string) {
+	r.ClusterNotes = append(r.ClusterNotes, ClusterNote{Experiment: exp, Label: label, Notes: notes})
+}
+
+// activeReport routes environment teardown metrics into the report of
+// the experiment currently executing under Run (runs are sequential;
+// the mutex only guards against misuse).
+var (
+	activeMu     sync.Mutex
+	activeReport *Report
+	activeExp    string
+)
+
+// noteClusterMetrics snapshots ctx's dispatcher and scheduler counters
+// into the active report, if an experiment is running.
+func noteClusterMetrics(label string, ctx *rdd.Context) {
+	activeMu.Lock()
+	r, exp := activeReport, activeExp
+	activeMu.Unlock()
+	if r == nil || ctx == nil {
+		return
+	}
+	cm := ctx.Cluster.Metrics()
+	sm := ctx.Scheduler().Metrics()
+	r.AddClusterNote(exp, label, fmt.Sprintf(
+		"steals %d events/%d tasks, locality %d/%d hits/misses, pending overflows %d, "+
+			"cache hits %d, remote hits %d, recomputes %d, evictions %d (%d KB), cancelled tasks %d",
+		cm.Steals.Load(), cm.StolenTasks.Load(),
+		cm.LocalityHits.Load(), cm.LocalityMisses.Load(),
+		cm.PendingOverflows.Load(),
+		sm.CacheHits.Load(), sm.RemoteCacheHits.Load(), sm.CacheRecomputes.Load(),
+		cm.CacheEvictions.Load(), cm.BytesEvicted.Load()/1024,
+		cm.CancelledTasks.Load()))
 }
 
 // Fprint renders the report as an aligned text table grouped by
@@ -68,6 +118,12 @@ func (r *Report) Fprint(w io.Writer) {
 			fmt.Fprintln(w)
 		}
 	}
+	if len(r.ClusterNotes) > 0 {
+		fmt.Fprintf(w, "\n== dispatcher / cache metrics ==\n")
+		for _, n := range r.ClusterNotes {
+			fmt.Fprintf(w, "  %-38s %s\n", n.Experiment+" ("+n.Label+")", n.Notes)
+		}
+	}
 }
 
 // Markdown renders the report as Markdown tables (EXPERIMENTS.md).
@@ -97,6 +153,14 @@ func (r *Report) Markdown(w io.Writer) {
 			fmt.Fprintf(w, "| %s | %s | %s | %s |\n", e.Series, secs, val, e.Notes)
 		}
 	}
+	if len(r.ClusterNotes) > 0 {
+		fmt.Fprintf(w, "\n### dispatcher / cache metrics\n\n")
+		fmt.Fprintln(w, "| experiment | environment | metrics |")
+		fmt.Fprintln(w, "|---|---|---|")
+		for _, n := range r.ClusterNotes {
+			fmt.Fprintf(w, "| %s | %s | %s |\n", n.Experiment, n.Label, n.Notes)
+		}
+	}
 }
 
 // ExperimentIDs lists the registered experiments, sorted.
@@ -109,12 +173,22 @@ func ExperimentIDs() []string {
 	return out
 }
 
-// Run executes one experiment by id into the report.
+// Run executes one experiment by id into the report. While the
+// experiment runs, environments it closes snapshot their dispatcher /
+// cache metrics into the report's ClusterNotes.
 func Run(id string, sc Scale, r *Report) error {
 	f, ok := experiments[strings.ToLower(id)]
 	if !ok {
 		return fmt.Errorf("harness: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
+	activeMu.Lock()
+	activeReport, activeExp = r, strings.ToLower(id)
+	activeMu.Unlock()
+	defer func() {
+		activeMu.Lock()
+		activeReport, activeExp = nil, ""
+		activeMu.Unlock()
+	}()
 	return f(sc, r)
 }
 

@@ -10,6 +10,7 @@
 package memtable
 
 import (
+	"context"
 	"fmt"
 
 	"shark/internal/columnar"
@@ -88,9 +89,18 @@ func columnarize(src *rdd.RDD, schema row.Schema) *rdd.RDD {
 // table, choosing compression per column per partition and collecting
 // pruning statistics. The load is itself a distributed job (§3.3).
 func Load(name string, schema row.Schema, src *rdd.RDD) (*Table, error) {
+	return LoadCtx(context.Background(), name, schema, src)
+}
+
+// LoadCtx is Load under a context: the load job runs under the
+// attached scheduler job, and on failure (including cancellation) any
+// partitions already cached are evicted so no orphaned blocks survive
+// the aborted load.
+func LoadCtx(gctx context.Context, name string, schema row.Schema, src *rdd.RDD) (*Table, error) {
 	t := &Table{Name: name, Schema: schema.Clone(), DistKeyCol: -1}
 	t.RDD = columnarize(src, schema).Cache()
-	if err := t.materialize(); err != nil {
+	if err := t.materialize(gctx); err != nil {
+		t.RDD.Uncache()
 		return nil, err
 	}
 	return t, nil
@@ -100,6 +110,12 @@ func Load(name string, schema row.Schema, src *rdd.RDD) (*Table, error) {
 // (the DISTRIBUTE BY clause), recording the partitioner so the planner
 // can use co-partitioned joins.
 func LoadDistributed(name string, schema row.Schema, src *rdd.RDD, keyCol, numParts int) (*Table, error) {
+	return LoadDistributedCtx(context.Background(), name, schema, src, keyCol, numParts)
+}
+
+// LoadDistributedCtx is LoadDistributed under a context, with the same
+// cleanup-on-failure semantics as LoadCtx.
+func LoadDistributedCtx(gctx context.Context, name string, schema row.Schema, src *rdd.RDD, keyCol, numParts int) (*Table, error) {
 	if keyCol < 0 || keyCol >= len(schema) {
 		return nil, fmt.Errorf("memtable: bad DISTRIBUTE BY column %d", keyCol)
 	}
@@ -113,7 +129,8 @@ func LoadDistributed(name string, schema row.Schema, src *rdd.RDD, keyCol, numPa
 		KeepPartitioner(part)
 	t := &Table{Name: name, Schema: schema.Clone(), DistKeyCol: keyCol, Partitioner: part}
 	t.RDD = columnarize(repart, schema).Cache()
-	if err := t.materialize(); err != nil {
+	if err := t.materialize(gctx); err != nil {
+		t.RDD.Uncache()
 		return nil, err
 	}
 	return t, nil
@@ -121,9 +138,9 @@ func LoadDistributed(name string, schema row.Schema, src *rdd.RDD, keyCol, numPa
 
 // materialize runs the load job, pinning partitions in worker memory
 // and pulling per-partition statistics back to the master.
-func (t *Table) materialize() error {
+func (t *Table) materialize(gctx context.Context) error {
 	sched := t.RDD.Context().Scheduler()
-	results, err := sched.RunJob(t.RDD, nil, func(tc *rdd.TaskContext, part int, it rdd.Iter) (any, error) {
+	results, err := sched.RunJobCtx(gctx, t.RDD, nil, func(tc *rdd.TaskContext, part int, it rdd.Iter) (any, error) {
 		v, ok := it.Next()
 		if !ok {
 			return loadResult{}, nil

@@ -20,9 +20,16 @@ type Context struct {
 	tracker *MapOutputTracker
 	cache   *cacheTracker
 	sched   *Scheduler
-
-	nextRDD atomic.Int64
+	jobs    *jobRegistry
 }
+
+// nextRDDID allocates RDD IDs process-wide, not per Context: cache
+// block keys ("rdd/<id>/<part>") live in cluster-shared worker block
+// stores and the cluster's single eviction-observer slot resolves
+// them back to IDs, so per-Context counters would let two Contexts
+// sharing one cluster collide on keys (serving each other's cached
+// bytes) and misattribute each other's evictions.
+var nextRDDID atomic.Int64
 
 // Options tunes scheduler behaviour.
 type Options struct {
@@ -58,16 +65,19 @@ func NewContext(c *cluster.Cluster, svc *shuffle.Service, opts Options) *Context
 		Shuffle: svc,
 		tracker: NewMapOutputTracker(),
 		cache:   newCacheTracker(),
+		jobs:    newJobRegistry(),
 	}
 	ctx.sched = NewScheduler(ctx, opts.withDefaults())
 	// Hear capacity evictions so cache-tracker locations are pruned
-	// the moment a block store drops a partition. The tracker is also
-	// self-healing (remoteCacheRead prunes entries it finds stale), so
-	// a Context that loses this single observer slot to a newer
-	// Context on the same cluster stays correct.
-	c.SetEvictionObserver(func(worker int, key string, _ int64) {
+	// the moment a block store drops a partition, and so the eviction
+	// is charged to the session whose table lost it. The tracker is
+	// also self-healing (remoteCacheRead prunes entries it finds
+	// stale), so a Context that loses this single observer slot to a
+	// newer Context on the same cluster stays correct.
+	c.SetEvictionObserver(func(worker int, key string, sizeBytes int64) {
 		if rddID, part, ok := parseCacheKey(key); ok {
 			ctx.cache.RemoveLocation(rddID, part, worker, ctx)
+			ctx.noteEviction(rddID, sizeBytes)
 		}
 	})
 	return ctx
@@ -79,7 +89,7 @@ func (c *Context) Scheduler() *Scheduler { return c.sched }
 // Tracker returns the map output tracker.
 func (c *Context) Tracker() *MapOutputTracker { return c.tracker }
 
-func (c *Context) newRDDID() int { return int(c.nextRDD.Add(1)) }
+func (c *Context) newRDDID() int { return int(nextRDDID.Add(1)) }
 
 // NewShuffleDep allocates a shuffle dependency over parent.
 func (c *Context) NewShuffleDep(parent *RDD, part shuffle.Partitioner, combiner func(a, b any) any, stats ...func(*ShuffleDep)) *ShuffleDep {
@@ -103,6 +113,9 @@ type TaskContext struct {
 	Ctx     *Context
 	StageID int
 	Part    int
+	// Job is the scheduler job the task runs under (nil for work
+	// executed outside any job); cache traffic is attributed to it.
+	Job *Job
 }
 
 // Broadcast is a value shared read-only with all tasks. In this

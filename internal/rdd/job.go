@@ -1,0 +1,306 @@
+package rdd
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is the scheduler's first-class unit of multi-tenant work: every
+// RunJob / MaterializeShuffle executes under exactly one Job, all
+// cluster tasks it launches carry the Job's ID (the fair-sharing and
+// cancellation handle), and the work it does is metered both on the
+// Job and on the session that started it.
+//
+// Sessions create one Job per SQL statement via Context.StartJob and
+// attach it to a context.Context with WithJob; scheduler entry points
+// that find no Job in their context run under a fresh anonymous one,
+// so legacy callers still get job identity (and with it fair sharing)
+// for free.
+type Job struct {
+	// ID is unique within a Context and tags every cluster.Task the
+	// job launches.
+	ID int64
+	// Session is the tag of the session that started the job ("" for
+	// anonymous jobs).
+	Session string
+
+	tasks           atomic.Int64
+	taskTime        atomic.Int64 // ns of completed task bodies
+	cacheHits       atomic.Int64
+	remoteCacheHits atomic.Int64
+	cacheRecomputes atomic.Int64
+
+	agg *sessionAgg
+}
+
+// JobStats is a point-in-time snapshot of one job's activity.
+type JobStats struct {
+	// Tasks counts task launches (including retries and speculative
+	// copies).
+	Tasks int64
+	// TaskTime sums the wall-clock duration of completed task
+	// attempts.
+	TaskTime time.Duration
+	// CacheHits / RemoteCacheHits / CacheRecomputes attribute the
+	// cache traffic of the job's tasks.
+	CacheHits, RemoteCacheHits, CacheRecomputes int64
+}
+
+// Stats snapshots the job's counters.
+func (j *Job) Stats() JobStats {
+	return JobStats{
+		Tasks:           j.tasks.Load(),
+		TaskTime:        time.Duration(j.taskTime.Load()),
+		CacheHits:       j.cacheHits.Load(),
+		RemoteCacheHits: j.remoteCacheHits.Load(),
+		CacheRecomputes: j.cacheRecomputes.Load(),
+	}
+}
+
+// The note helpers are nil-safe: task-side code calls them through
+// TaskContext.Job, which is nil for work running outside any job.
+
+func (j *Job) noteLaunch() {
+	if j == nil {
+		return
+	}
+	j.tasks.Add(1)
+	j.agg.tasks.Add(1)
+}
+
+func (j *Job) noteTaskDone(d time.Duration) {
+	if j == nil {
+		return
+	}
+	j.taskTime.Add(int64(d))
+	j.agg.taskTime.Add(int64(d))
+}
+
+func (j *Job) noteCacheHit() {
+	if j == nil {
+		return
+	}
+	j.cacheHits.Add(1)
+	j.agg.cacheHits.Add(1)
+}
+
+func (j *Job) noteRemoteCacheHit() {
+	if j == nil {
+		return
+	}
+	j.remoteCacheHits.Add(1)
+	j.agg.remoteCacheHits.Add(1)
+}
+
+func (j *Job) noteRecompute() {
+	if j == nil {
+		return
+	}
+	j.cacheRecomputes.Add(1)
+	j.agg.cacheRecomputes.Add(1)
+}
+
+// sessionAgg accumulates every job's counters for one session tag,
+// plus the evictions attributed to RDDs the session materialized.
+type sessionAgg struct {
+	jobs            atomic.Int64
+	tasks           atomic.Int64
+	taskTime        atomic.Int64
+	cacheHits       atomic.Int64
+	remoteCacheHits atomic.Int64
+	cacheRecomputes atomic.Int64
+	evictions       atomic.Int64
+	bytesEvicted    atomic.Int64
+}
+
+// SessionStats is a point-in-time snapshot of everything one session
+// has asked the cluster to do.
+type SessionStats struct {
+	// Jobs counts statements (scheduler jobs) the session started.
+	Jobs int64
+	// Tasks counts task launches across those jobs; TaskTime sums
+	// completed task-body durations.
+	Tasks    int64
+	TaskTime time.Duration
+	// Cache traffic of the session's tasks.
+	CacheHits, RemoteCacheHits, CacheRecomputes int64
+	// Evictions / BytesEvicted count memory-pressure evictions of
+	// cache partitions this session materialized (wherever the
+	// evicting put came from).
+	Evictions    int64
+	BytesEvicted int64
+}
+
+func (a *sessionAgg) snapshot() SessionStats {
+	return SessionStats{
+		Jobs:            a.jobs.Load(),
+		Tasks:           a.tasks.Load(),
+		TaskTime:        time.Duration(a.taskTime.Load()),
+		CacheHits:       a.cacheHits.Load(),
+		RemoteCacheHits: a.remoteCacheHits.Load(),
+		CacheRecomputes: a.cacheRecomputes.Load(),
+		Evictions:       a.evictions.Load(),
+		BytesEvicted:    a.bytesEvicted.Load(),
+	}
+}
+
+// nextJobID allocates job IDs process-wide, not per Context: the
+// cluster's fair-share accounting and CancelJob are keyed by bare
+// JobID, and several Contexts may share one cluster (the shuffle-mode
+// ablation does), so per-Context counters would collide and let one
+// context cancel another's job.
+var nextJobID atomic.Int64
+
+// jobRegistry tracks active jobs, per-session aggregates, and which
+// session materialized each cached RDD (for eviction attribution).
+type jobRegistry struct {
+	mu       sync.Mutex
+	active   map[int64]*Job
+	sessions map[string]*sessionAgg
+	owners   map[int]*sessionAgg // rddID → materializing session
+}
+
+func newJobRegistry() *jobRegistry {
+	return &jobRegistry{
+		active:   make(map[int64]*Job),
+		sessions: make(map[string]*sessionAgg),
+		owners:   make(map[int]*sessionAgg),
+	}
+}
+
+func (r *jobRegistry) aggFor(session string) *sessionAgg {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.sessions[session]
+	if !ok {
+		a = &sessionAgg{}
+		r.sessions[session] = a
+	}
+	return a
+}
+
+// StartJob opens a job attributed to session (may be "" for anonymous
+// work). Pair with FinishJob.
+func (c *Context) StartJob(session string) *Job {
+	r := c.jobs
+	j := &Job{ID: nextJobID.Add(1), Session: session, agg: r.aggFor(session)}
+	j.agg.jobs.Add(1)
+	r.mu.Lock()
+	r.active[j.ID] = j
+	r.mu.Unlock()
+	return j
+}
+
+// FinishJob closes a job: it leaves the active set and any of its
+// still-queued cluster tasks are dropped (normal completions leave
+// none; error and cancellation paths may).
+func (c *Context) FinishJob(j *Job) {
+	if j == nil {
+		return
+	}
+	c.jobs.mu.Lock()
+	delete(c.jobs.active, j.ID)
+	c.jobs.mu.Unlock()
+	c.Cluster.CancelJob(j.ID)
+}
+
+// ActiveJobs lists the IDs of jobs currently running, ascending.
+func (c *Context) ActiveJobs() []int64 {
+	c.jobs.mu.Lock()
+	out := make([]int64, 0, len(c.jobs.active))
+	for id := range c.jobs.active {
+		out = append(out, id)
+	}
+	c.jobs.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
+	return out
+}
+
+// SessionStats snapshots the aggregate activity of one session tag.
+// Reading is side-effect free: a tag with no recorded activity (never
+// seen, or freed by ReleaseSession) reads as zero without re-creating
+// registry state.
+func (c *Context) SessionStats(session string) SessionStats {
+	r := c.jobs
+	r.mu.Lock()
+	agg := r.sessions[session]
+	r.mu.Unlock()
+	if agg == nil {
+		return SessionStats{}
+	}
+	return agg.snapshot()
+}
+
+// ReleaseSession forgets a closed session's aggregate and its RDD
+// ownership entries, so a long-lived cluster serving many short-lived
+// sessions does not accumulate per-session state forever. Stats for
+// the tag read as zero afterwards.
+func (c *Context) ReleaseSession(session string) {
+	r := c.jobs
+	r.mu.Lock()
+	agg := r.sessions[session]
+	delete(r.sessions, session)
+	if agg != nil {
+		for id, a := range r.owners {
+			if a == agg {
+				delete(r.owners, id)
+			}
+		}
+	}
+	r.mu.Unlock()
+}
+
+// noteRDDOwner attributes rddID's cached partitions to the session of
+// the job that first materialized them (first writer wins).
+func (c *Context) noteRDDOwner(rddID int, j *Job) {
+	if j == nil {
+		return
+	}
+	r := c.jobs
+	r.mu.Lock()
+	if _, ok := r.owners[rddID]; !ok {
+		r.owners[rddID] = j.agg
+	}
+	r.mu.Unlock()
+}
+
+// noteEviction credits a capacity eviction of one of rddID's cached
+// partitions to the owning session, if known.
+func (c *Context) noteEviction(rddID int, sizeBytes int64) {
+	r := c.jobs
+	r.mu.Lock()
+	agg := r.owners[rddID]
+	r.mu.Unlock()
+	if agg != nil {
+		agg.evictions.Add(1)
+		agg.bytesEvicted.Add(sizeBytes)
+	}
+}
+
+// forgetRDDOwner drops the attribution entry (Uncache / table drop).
+func (c *Context) forgetRDDOwner(rddID int) {
+	c.jobs.mu.Lock()
+	delete(c.jobs.owners, rddID)
+	c.jobs.mu.Unlock()
+}
+
+// jobCtxKey carries a *Job through a context.Context.
+type jobCtxKey struct{}
+
+// WithJob attaches a job to ctx; scheduler entry points executed under
+// the returned context run as that job.
+func WithJob(ctx context.Context, j *Job) context.Context {
+	return context.WithValue(ctx, jobCtxKey{}, j)
+}
+
+// JobFrom extracts the job attached by WithJob, or nil.
+func JobFrom(ctx context.Context) *Job {
+	if ctx == nil {
+		return nil
+	}
+	j, _ := ctx.Value(jobCtxKey{}).(*Job)
+	return j
+}

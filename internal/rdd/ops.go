@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -274,7 +275,13 @@ func (r *RDD) PartitionBy(p shuffle.Partitioner) *RDD {
 
 // Collect gathers every element, in partition order.
 func (r *RDD) Collect() ([]any, error) {
-	res, err := r.ctx.sched.RunJob(r, nil, func(tc *TaskContext, part int, it Iter) (any, error) {
+	return r.CollectCtx(context.Background())
+}
+
+// CollectCtx is Collect under a context: the attached job owns the
+// tasks and cancellation aborts the collection.
+func (r *RDD) CollectCtx(gctx context.Context) ([]any, error) {
+	res, err := r.ctx.sched.RunJobCtx(gctx, r, nil, func(tc *TaskContext, part int, it Iter) (any, error) {
 		return Drain(it), nil
 	})
 	if err != nil {
@@ -289,7 +296,12 @@ func (r *RDD) Collect() ([]any, error) {
 
 // CollectPartitions gathers the listed partitions only.
 func (r *RDD) CollectPartitions(parts []int) ([][]any, error) {
-	res, err := r.ctx.sched.RunJob(r, parts, func(tc *TaskContext, part int, it Iter) (any, error) {
+	return r.CollectPartitionsCtx(context.Background(), parts)
+}
+
+// CollectPartitionsCtx is CollectPartitions under a context.
+func (r *RDD) CollectPartitionsCtx(gctx context.Context, parts []int) ([][]any, error) {
+	res, err := r.ctx.sched.RunJobCtx(gctx, r, parts, func(tc *TaskContext, part int, it Iter) (any, error) {
 		return Drain(it), nil
 	})
 	if err != nil {
@@ -304,7 +316,12 @@ func (r *RDD) CollectPartitions(parts []int) ([][]any, error) {
 
 // Count returns the number of elements.
 func (r *RDD) Count() (int64, error) {
-	res, err := r.ctx.sched.RunJob(r, nil, func(tc *TaskContext, part int, it Iter) (any, error) {
+	return r.CountCtx(context.Background())
+}
+
+// CountCtx is Count under a context.
+func (r *RDD) CountCtx(gctx context.Context) (int64, error) {
+	res, err := r.ctx.sched.RunJobCtx(gctx, r, nil, func(tc *TaskContext, part int, it Iter) (any, error) {
 		var n int64
 		for {
 			if _, ok := it.Next(); !ok {
@@ -369,9 +386,14 @@ func (r *RDD) Reduce(f func(a, b any) any) (any, error) {
 
 // Take returns up to n elements, reading partitions left to right.
 func (r *RDD) Take(n int) ([]any, error) {
+	return r.TakeCtx(context.Background(), n)
+}
+
+// TakeCtx is Take under a context.
+func (r *RDD) TakeCtx(gctx context.Context, n int) ([]any, error) {
 	var out []any
 	for part := 0; part < r.numParts && len(out) < n; part++ {
-		chunk, err := r.CollectPartitions([]int{part})
+		chunk, err := r.CollectPartitionsCtx(gctx, []int{part})
 		if err != nil {
 			return nil, err
 		}

@@ -104,6 +104,7 @@ func (r *RDD) IsCached() bool { return r.cached.Load() }
 func (r *RDD) Uncache() {
 	r.cached.Store(false)
 	r.ctx.cache.Evict(r.ID, r.ctx)
+	r.ctx.forgetRDDOwner(r.ID)
 }
 
 func cacheKey(rddID, part int) string { return fmt.Sprintf("rdd/%d/%d", rddID, part) }
@@ -123,6 +124,7 @@ func (r *RDD) Iterator(tc *TaskContext, part int) Iter {
 	key := cacheKey(r.ID, part)
 	if v, ok := tc.Worker.Store().Get(key); ok {
 		r.ctx.sched.metrics.CacheHits.Add(1)
+		tc.Job.noteCacheHit()
 		return SliceIter(v.([]any))
 	}
 	if data, ok := r.remoteCacheRead(tc, part, key); ok {
@@ -138,6 +140,7 @@ func (r *RDD) Iterator(tc *TaskContext, part int) Iter {
 		// retries and speculative duplicates of one recovery count
 		// once.
 		r.ctx.sched.metrics.CacheRecomputes.Add(1)
+		tc.Job.noteRecompute()
 	}
 	data := Drain(r.compute(tc, part))
 	r.cacheLocally(tc, part, key, data, true)
@@ -166,6 +169,7 @@ func (r *RDD) remoteCacheRead(tc *TaskContext, part int, key string) ([]any, boo
 			continue
 		}
 		r.ctx.sched.metrics.RemoteCacheHits.Add(1)
+		tc.Job.noteRemoteCacheHit()
 		data := v.([]any)
 		// Replicate only into free room: evicting residents for a
 		// partition another worker already holds would trade a cheap
@@ -194,6 +198,9 @@ func (r *RDD) cacheLocally(tc *TaskContext, part int, key string, data []any, ev
 	}
 	if admitted {
 		r.ctx.cache.Add(r.ID, part, tc.Worker.ID, epoch, r.ctx)
+		// Attribute this RDD's cached partitions (and their future
+		// evictions) to the session that materialized them.
+		r.ctx.noteRDDOwner(r.ID, tc.Job)
 	}
 }
 

@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"slices"
@@ -54,6 +55,19 @@ type ResultFunc func(tc *TaskContext, part int, it Iter) (any, error)
 // RunJob executes fn over the listed partitions of r (all partitions
 // when parts is nil), returning one value per partition in order.
 func (s *Scheduler) RunJob(r *RDD, parts []int, fn ResultFunc) ([]any, error) {
+	return s.RunJobCtx(context.Background(), r, parts, fn)
+}
+
+// RunJobCtx is RunJob under a context: the job attached by WithJob
+// owns the launched tasks (an anonymous job is opened when none is
+// attached), and cancelling gctx aborts the job — queued tasks are
+// dropped, running tasks finish their partition, and the error wraps
+// context.Canceled.
+func (s *Scheduler) RunJobCtx(gctx context.Context, r *RDD, parts []int, fn ResultFunc) ([]any, error) {
+	job, owned := s.jobFor(gctx)
+	if owned {
+		defer s.ctx.FinishJob(job)
+	}
 	if parts == nil {
 		parts = make([]int, r.NumPartitions())
 		for i := range parts {
@@ -64,7 +78,7 @@ func (s *Scheduler) RunJob(r *RDD, parts []int, fn ResultFunc) ([]any, error) {
 		return nil, nil
 	}
 	// Make sure every ancestor shuffle is materialized.
-	if err := s.ensureParents(r); err != nil {
+	if err := s.ensureParents(gctx, job, r); err != nil {
 		return nil, err
 	}
 	results := make([]any, len(parts))
@@ -72,11 +86,12 @@ func (s *Scheduler) RunJob(r *RDD, parts []int, fn ResultFunc) ([]any, error) {
 	for i, p := range parts {
 		idxOf[p] = i
 	}
-	err := s.runTaskSet(parts, func(part int) *cluster.Task {
+	err := s.runTaskSet(gctx, job, parts, func(part int) *cluster.Task {
 		return &cluster.Task{
+			JobID:     job.ID,
 			Preferred: r.PreferredLocations(part),
 			Fn: func(w *cluster.Worker) (any, error) {
-				tc := &TaskContext{Worker: w, Ctx: s.ctx, Part: part}
+				tc := &TaskContext{Worker: w, Ctx: s.ctx, Part: part, Job: job}
 				return fn(tc, part, r.Iterator(tc, part))
 			},
 		}
@@ -89,11 +104,31 @@ func (s *Scheduler) RunJob(r *RDD, parts []int, fn ResultFunc) ([]any, error) {
 	return results, nil
 }
 
+// jobFor resolves the job a scheduler entry point runs under: the one
+// attached to gctx, or a fresh anonymous job (owned=true — the caller
+// must finish it).
+func (s *Scheduler) jobFor(gctx context.Context) (job *Job, owned bool) {
+	if j := JobFrom(gctx); j != nil {
+		return j, false
+	}
+	return s.ctx.StartJob(""), true
+}
+
 // MaterializeShuffle runs (only) the map stage of dep — the partial
 // DAG execution primitive: callers inspect the returned statistics and
 // then decide how to consume the shuffle.
 func (s *Scheduler) MaterializeShuffle(dep *ShuffleDep) (*pde.StageStats, error) {
-	if err := s.ensureShuffle(dep); err != nil {
+	return s.MaterializeShuffleCtx(context.Background(), dep)
+}
+
+// MaterializeShuffleCtx is MaterializeShuffle under a context, with
+// the same job attribution and cancellation semantics as RunJobCtx.
+func (s *Scheduler) MaterializeShuffleCtx(gctx context.Context, dep *ShuffleDep) (*pde.StageStats, error) {
+	job, owned := s.jobFor(gctx)
+	if owned {
+		defer s.ctx.FinishJob(job)
+	}
+	if err := s.ensureShuffle(gctx, job, dep); err != nil {
 		return nil, err
 	}
 	return s.ctx.tracker.Stats(dep.ID), nil
@@ -101,17 +136,17 @@ func (s *Scheduler) MaterializeShuffle(dep *ShuffleDep) (*pde.StageStats, error)
 
 // ensureParents materializes every ancestor shuffle of r, parallelizing
 // independent branches.
-func (s *Scheduler) ensureParents(r *RDD) error {
+func (s *Scheduler) ensureParents(gctx context.Context, job *Job, r *RDD) error {
 	deps := directShuffleDeps(r)
-	return s.ensureAll(deps)
+	return s.ensureAll(gctx, job, deps)
 }
 
-func (s *Scheduler) ensureAll(deps []*ShuffleDep) error {
+func (s *Scheduler) ensureAll(gctx context.Context, job *Job, deps []*ShuffleDep) error {
 	if len(deps) == 0 {
 		return nil
 	}
 	if len(deps) == 1 {
-		return s.ensureShuffle(deps[0])
+		return s.ensureShuffle(gctx, job, deps[0])
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(deps))
@@ -119,7 +154,7 @@ func (s *Scheduler) ensureAll(deps []*ShuffleDep) error {
 		wg.Add(1)
 		go func(i int, d *ShuffleDep) {
 			defer wg.Done()
-			errs[i] = s.ensureShuffle(d)
+			errs[i] = s.ensureShuffle(gctx, job, d)
 		}(i, d)
 	}
 	wg.Wait()
@@ -128,11 +163,11 @@ func (s *Scheduler) ensureAll(deps []*ShuffleDep) error {
 
 // ensureShuffle materializes dep's map outputs (running parent stages
 // first), skipping map partitions whose outputs already exist.
-func (s *Scheduler) ensureShuffle(dep *ShuffleDep) error {
+func (s *Scheduler) ensureShuffle(gctx context.Context, job *Job, dep *ShuffleDep) error {
 	if s.ctx.tracker.Complete(dep.ID) {
 		return nil
 	}
-	if err := s.ensureParents(dep.Parent); err != nil {
+	if err := s.ensureParents(gctx, job, dep.Parent); err != nil {
 		return err
 	}
 	missing := s.ctx.tracker.MissingParts(dep.ID)
@@ -140,11 +175,12 @@ func (s *Scheduler) ensureShuffle(dep *ShuffleDep) error {
 		return nil
 	}
 	s.metrics.StagesRun.Add(1)
-	return s.runTaskSet(missing, func(part int) *cluster.Task {
+	return s.runTaskSet(gctx, job, missing, func(part int) *cluster.Task {
 		return &cluster.Task{
+			JobID:     job.ID,
 			Preferred: dep.Parent.PreferredLocations(part),
 			Fn: func(w *cluster.Worker) (any, error) {
-				return s.runMapTask(dep, part, w)
+				return s.runMapTask(job, dep, part, w)
 			},
 		}
 	}, func(part int, value any) {
@@ -161,8 +197,8 @@ type mapTaskOutput struct {
 // runMapTask computes one partition of the map side of dep and
 // materializes its buckets, applying map-side combining and gathering
 // PDE statistics.
-func (s *Scheduler) runMapTask(dep *ShuffleDep, part int, w *cluster.Worker) (any, error) {
-	tc := &TaskContext{Worker: w, Ctx: s.ctx, Part: part}
+func (s *Scheduler) runMapTask(job *Job, dep *ShuffleDep, part int, w *cluster.Worker) (any, error) {
+	tc := &TaskContext{Worker: w, Ctx: s.ctx, Part: part, Job: job}
 	writer := s.ctx.Shuffle.NewWriter(dep.ID, part, dep.Partitioner.NumPartitions(), w)
 	collector := dep.Stats.NewTaskCollector()
 	it := dep.Parent.Iterator(tc, part)
@@ -215,14 +251,19 @@ func (s *Scheduler) runMapTask(dep *ShuffleDep, part int, w *cluster.Worker) (an
 
 // runTaskSet launches one task per partition and blocks until every
 // partition has succeeded, handling retries, lost workers, fetch
-// failures (by regenerating parent shuffle outputs) and speculation.
-func (s *Scheduler) runTaskSet(parts []int, mkTask func(part int) *cluster.Task, onSuccess func(part int, value any)) error {
+// failures (by regenerating parent shuffle outputs), speculation, and
+// context cancellation (queued tasks dropped via the job ID, running
+// tasks left to finish their partition).
+func (s *Scheduler) runTaskSet(gctx context.Context, job *Job, parts []int, mkTask func(part int) *cluster.Task, onSuccess func(part int, value any)) error {
 	type event struct {
 		part    int
 		started time.Time
 		res     cluster.Result
 	}
-	events := make(chan event, len(parts)*2)
+	// Sized so every possible attempt (retries + a speculative copy
+	// per partition) can deliver without blocking: early returns on
+	// error or cancellation must never strand a sender goroutine.
+	events := make(chan event, len(parts)*(s.opts.MaxTaskRetries+2))
 	running := make(map[int]time.Time, len(parts)) // part → earliest attempt start
 	inflight := make(map[int]*cluster.Task, len(parts))
 	attempts := make(map[int]int, len(parts))
@@ -239,11 +280,28 @@ func (s *Scheduler) runTaskSet(parts []int, mkTask func(part int) *cluster.Task,
 		}
 		inflight[part] = t
 		s.metrics.TasksLaunched.Add(1)
+		job.noteLaunch()
 		ch := s.ctx.Cluster.Submit(t)
 		go func() {
 			r := <-ch
 			events <- event{part: part, started: start, res: r}
 		}()
+	}
+
+	// cancelled abandons the task set: queued tasks of the job are
+	// dropped cluster-wide (freeing their slots for other jobs),
+	// running tasks complete their partition into the buffered events
+	// channel, and the caller gets an error wrapping gctx's cause.
+	cancelled := func() error {
+		s.ctx.Cluster.CancelJob(job.ID)
+		cause := gctx.Err()
+		if cause == nil {
+			cause = context.Canceled
+		}
+		return fmt.Errorf("rdd: job %d cancelled: %w", job.ID, cause)
+	}
+	if gctx.Err() != nil {
+		return cancelled()
 	}
 
 	for _, p := range parts {
@@ -261,7 +319,15 @@ func (s *Scheduler) runTaskSet(parts []int, mkTask func(part int) *cluster.Task,
 	remaining := len(parts)
 	excludedByPart := make(map[int][]int)
 	for remaining > 0 {
+		// The select picks randomly among ready cases; check
+		// cancellation first so a flood of ready events cannot delay
+		// the abort.
+		if gctx.Err() != nil {
+			return cancelled()
+		}
 		select {
+		case <-gctx.Done():
+			return cancelled()
 		case ev := <-events:
 			if done[ev.part] {
 				continue // late duplicate (speculation)
@@ -269,19 +335,26 @@ func (s *Scheduler) runTaskSet(parts []int, mkTask func(part int) *cluster.Task,
 			if ev.res.Err == nil {
 				done[ev.part] = true
 				delete(running, ev.part)
-				durations = append(durations, time.Since(ev.started))
+				d := time.Since(ev.started)
+				durations = append(durations, d)
+				job.noteTaskDone(d)
 				onSuccess(ev.part, ev.res.Value)
 				remaining--
 				continue
 			}
 			// Failure handling.
+			if errors.Is(ev.res.Err, cluster.ErrJobCancelled) {
+				// Another task set of the same job (a parallel stage)
+				// hit the cancellation first.
+				return cancelled()
+			}
 			if errors.Is(ev.res.Err, cluster.ErrWorkerLost) {
 				s.ctx.NotifyWorkerLost(ev.res.Worker)
 			}
 			var fe *shuffle.FetchError
 			if errors.As(ev.res.Err, &fe) {
 				s.metrics.FetchFailures.Add(1)
-				if err := s.recoverFetchFailure(fe); err != nil {
+				if err := s.recoverFetchFailure(gctx, job, fe); err != nil {
 					return err
 				}
 				// Retry the reduce task without penalizing it.
@@ -347,14 +420,14 @@ func (s *Scheduler) runTaskSet(parts []int, mkTask func(part int) *cluster.Task,
 
 // recoverFetchFailure regenerates the lost map outputs named by fe by
 // re-running the corresponding map tasks (lineage recovery, §2.3).
-func (s *Scheduler) recoverFetchFailure(fe *shuffle.FetchError) error {
+func (s *Scheduler) recoverFetchFailure(gctx context.Context, job *Job, fe *shuffle.FetchError) error {
 	s.ctx.tracker.MarkLost(fe.ShuffleID, fe.MapParts)
 	dep := s.lookupDep(fe.ShuffleID)
 	if dep == nil {
 		return fmt.Errorf("rdd: cannot recover unknown shuffle %d", fe.ShuffleID)
 	}
 	s.metrics.MapStageReruns.Add(int64(len(fe.MapParts)))
-	return s.ensureShuffle(dep)
+	return s.ensureShuffle(gctx, job, dep)
 }
 
 // depRegistry lets the scheduler find a ShuffleDep by ID for recovery.

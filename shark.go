@@ -4,20 +4,44 @@
 // storage, partial DAG execution (PDE), mid-query fault tolerance, and
 // first-class machine learning over query results.
 //
-// Quick start:
+// The API separates the shared compute substrate from the per-client
+// view: a Cluster owns the simulated workers, DFS, shuffle service and
+// block stores; any number of Sessions attach to it concurrently, each
+// with its own catalog view (or a shared one) and engine options.
+// Statements from concurrent sessions run as separate scheduler jobs
+// that fair-share the cluster, and every statement is cancellable via
+// ExecContext / QueryContext.
+//
+// Single-tenant quick start (a private cluster per session, the
+// original API shape):
 //
 //	s, _ := shark.NewSession(shark.Config{})
 //	defer s.Close()
 //	s.LoadRows("logs", schema, rows)
 //	s.Exec(`CREATE TABLE logs_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM logs`)
 //	res, _ := s.Exec(`SELECT status, COUNT(*) FROM logs_mem GROUP BY status`)
+//
+// Multi-tenant quick start (one cluster, many sessions):
+//
+//	cl, _ := shark.NewCluster(shark.ClusterConfig{Workers: 8})
+//	defer cl.Close()
+//	etl, _ := cl.NewSession(shark.SessionConfig{Name: "etl"})
+//	dash, _ := cl.NewSession(shark.SessionConfig{Name: "dash"})
+//	defer etl.Close() // releases only etl's tables, not the cluster
+//	go etl.Exec(longScanSQL)
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	res, err := dash.ExecContext(ctx, shortQuerySQL) // cancellable
 package shark
 
 import (
 	"fmt"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
+	"shark/internal/catalog"
 	"shark/internal/cluster"
 	"shark/internal/core"
 	"shark/internal/dfs"
@@ -51,6 +75,13 @@ type (
 	EngineOptions = exec.Options
 	// QueryStats describes what the engine did for a query.
 	QueryStats = exec.QueryStats
+	// SessionStats snapshots a session's cluster activity: jobs,
+	// tasks, task-time, cache hits / remote hits / recomputes, and
+	// evictions attributed to the session.
+	SessionStats = rdd.SessionStats
+	// SchedulingPolicy selects how freed slots pick among queued
+	// tasks of concurrent jobs.
+	SchedulingPolicy = cluster.Policy
 )
 
 // Column types.
@@ -69,7 +100,218 @@ const (
 	StrategyStatic         = exec.StrategyStatic
 )
 
-// Config sizes the embedded simulated cluster.
+// Scheduling policies.
+const (
+	// FairScheduling (default) runs the queued task whose job has the
+	// fewest tasks executing — short interactive queries are not
+	// starved behind a long scan's task wave.
+	FairScheduling = cluster.FairShare
+	// FIFOScheduling always runs the oldest queued task (the
+	// single-tenant behavior; kept for the abl_concurrency ablation).
+	FIFOScheduling = cluster.FIFO
+)
+
+// ClusterConfig sizes a shared simulated cluster.
+type ClusterConfig struct {
+	// Workers is the number of simulated nodes (default 8).
+	Workers int
+	// SlotsPerWorker is concurrent tasks per node (default 2).
+	SlotsPerWorker int
+	// DataDir backs the simulated DFS and shuffle spills; a temp
+	// directory is created when empty.
+	DataDir string
+	// TaskLaunchOverhead overrides the per-task scheduling cost
+	// (default: Spark profile, 50µs).
+	TaskLaunchOverhead time.Duration
+	// DiskShuffle stores shuffle map outputs on disk instead of in
+	// worker memory (ablation; default memory).
+	DiskShuffle bool
+	// Speculation enables backup tasks for stragglers.
+	Speculation bool
+	// WorkerMemoryBytes bounds each simulated worker's block store:
+	// cached table partitions are LRU-evicted under pressure and
+	// recovered by remote cache reads or lineage recomputation.
+	// 0 = unbounded.
+	WorkerMemoryBytes int64
+	// Scheduling selects the cross-job dequeue policy (default
+	// FairScheduling).
+	Scheduling SchedulingPolicy
+}
+
+// Cluster is a shared Shark compute substrate: simulated workers with
+// slots and block stores, a DFS, and a shuffle service. Sessions
+// attach to it with NewSession; their statements run as concurrent,
+// fair-shared, cancellable scheduler jobs.
+type Cluster struct {
+	cl     *cluster.Cluster
+	fs     *dfs.FS
+	svc    *shuffle.Service
+	rddCtx *rdd.Context
+	shared *catalog.Catalog
+	tmpDir string
+
+	mu          sync.Mutex
+	closed      bool
+	nextSession int
+	// sessionNames enforces distinct session tags per cluster, keyed
+	// case-insensitively: the tag keys job attribution, scoped
+	// teardown (catalog Owner stamps) and DFS path scoping (which
+	// lowercases), so two live sessions must never share one in any
+	// case variant.
+	sessionNames map[string]bool
+}
+
+// NewCluster boots a shared simulated cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	profile := cluster.SparkProfile()
+	if cfg.TaskLaunchOverhead > 0 {
+		profile.TaskLaunchOverhead = cfg.TaskLaunchOverhead
+	}
+	cl := cluster.New(cluster.Config{
+		Workers:           cfg.Workers,
+		Slots:             cfg.SlotsPerWorker,
+		Profile:           profile,
+		WorkerMemoryBytes: cfg.WorkerMemoryBytes,
+		Policy:            cfg.Scheduling,
+	})
+	dir := cfg.DataDir
+	tmp := ""
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "shark-*")
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("shark: %w", err)
+		}
+		tmp = dir
+	}
+	fs, err := dfs.New(dfs.Config{Dir: dir + "/dfs"})
+	if err != nil {
+		cl.Close()
+		if tmp != "" {
+			os.RemoveAll(tmp)
+		}
+		return nil, err
+	}
+	mode := shuffle.Memory
+	if cfg.DiskShuffle {
+		mode = shuffle.Disk
+	}
+	svc := shuffle.NewService(cl, mode, dir+"/shuffle")
+	rddCtx := rdd.NewContext(cl, svc, rdd.Options{Speculation: cfg.Speculation})
+	return &Cluster{
+		cl:           cl,
+		fs:           fs,
+		svc:          svc,
+		rddCtx:       rddCtx,
+		shared:       catalog.New(),
+		tmpDir:       tmp,
+		sessionNames: make(map[string]bool),
+	}, nil
+}
+
+// SessionConfig shapes one session's view of a shared cluster.
+type SessionConfig struct {
+	// Name tags the session in job attribution and Stats; a name
+	// already used on the cluster is rejected. Auto-generated when
+	// empty.
+	Name string
+	// SharedCatalog attaches the session to the cluster's shared
+	// metastore (tables visible across all shared-catalog sessions)
+	// instead of a private catalog.
+	SharedCatalog bool
+	// Engine tunes this session's execution engine independently of
+	// other sessions.
+	Engine EngineOptions
+}
+
+// NewSession attaches a session to the shared cluster. Closing the
+// session releases only its own tables; closing the cluster is a
+// separate, explicit step.
+func (c *Cluster) NewSession(cfg SessionConfig) (*Session, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("shark: cluster is closed")
+	}
+	name := cfg.Name
+	if name == "" {
+		// Auto-generate, skipping names the user already claimed.
+		for name == "" || c.sessionNames[strings.ToLower(name)] {
+			c.nextSession++
+			name = fmt.Sprintf("session-%d", c.nextSession)
+		}
+	} else {
+		// The tag scopes DFS paths ("data/<tag>/", lowercased for
+		// warehouse files), so slashes would nest one session's
+		// namespace inside another's and case variants would collide
+		// on disk.
+		if strings.ContainsAny(name, "/\\") {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("shark: session name %q must not contain path separators", name)
+		}
+		if c.sessionNames[strings.ToLower(name)] {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("shark: session name %q already in use on this cluster", name)
+		}
+	}
+	c.sessionNames[strings.ToLower(name)] = true
+	c.mu.Unlock()
+	cat := catalog.New()
+	if cfg.SharedCatalog {
+		cat = c.shared
+	}
+	return &Session{
+		Session: core.NewSessionNamed(c.rddCtx, c.fs, cat, name, cfg.Engine),
+		Cluster: c,
+	}, nil
+}
+
+// Close shuts the cluster down: outstanding tasks are abandoned and
+// temporary state is removed. Sessions still attached become unusable.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.cl.Close()
+	if c.tmpDir != "" {
+		os.RemoveAll(c.tmpDir)
+	}
+}
+
+// NumWorkers returns the configured worker count.
+func (c *Cluster) NumWorkers() int { return c.cl.NumWorkers() }
+
+// TotalSlots returns the cluster-wide slot count.
+func (c *Cluster) TotalSlots() int { return c.cl.TotalSlots() }
+
+// AliveWorkers returns the IDs of live workers.
+func (c *Cluster) AliveWorkers() []int { return c.cl.AliveWorkers() }
+
+// Worker returns worker i (block-store introspection for tests and
+// tools).
+func (c *Cluster) Worker(i int) *cluster.Worker { return c.cl.Worker(i) }
+
+// Metrics returns the dispatcher counters (steals, locality,
+// evictions, cancellations).
+func (c *Cluster) Metrics() *cluster.DispatchMetrics { return c.cl.Metrics() }
+
+// Kill simulates a node failure, wiping the worker's local state and
+// notifying the scheduler's bookkeeping.
+func (c *Cluster) Kill(id int) {
+	c.cl.Kill(id)
+	c.rddCtx.NotifyWorkerLost(id)
+}
+
+// Restart brings a failed node back (empty, as a fresh node).
+func (c *Cluster) Restart(id int) { c.cl.Restart(id) }
+
+// Config sizes the embedded simulated cluster of the single-tenant
+// NewSession wrapper.
 type Config struct {
 	// Workers is the number of simulated nodes (default 8).
 	Workers int
@@ -95,67 +337,65 @@ type Config struct {
 	WorkerMemoryBytes int64
 }
 
-// Session is a connected Shark instance: simulated cluster, DFS,
-// metastore and engines.
+// Session is a connected Shark client attached to a Cluster. Exec /
+// ExecContext run SQL; Query / QueryContext bridge to RDDs; Stats
+// reports the session's share of cluster activity.
 type Session struct {
 	*core.Session
-	Cluster *cluster.Cluster
-	tmpDir  string
+	// Cluster is the substrate the session runs on (shared unless the
+	// session came from the single-tenant NewSession wrapper).
+	Cluster *Cluster
+	// owned marks a session whose Close also shuts its private
+	// cluster down (the back-compat NewSession shape).
+	owned bool
 }
 
-// NewSession boots a simulated cluster and connects a session to it.
+// NewSession boots a private cluster and connects a single session to
+// it — the original single-tenant API, now a thin wrapper over
+// NewCluster + Cluster.NewSession. Closing the session closes the
+// private cluster too.
 func NewSession(cfg Config) (*Session, error) {
-	profile := cluster.SparkProfile()
-	if cfg.TaskLaunchOverhead > 0 {
-		profile.TaskLaunchOverhead = cfg.TaskLaunchOverhead
-	}
-	cl := cluster.New(cluster.Config{
-		Workers:           cfg.Workers,
-		Slots:             cfg.SlotsPerWorker,
-		Profile:           profile,
-		WorkerMemoryBytes: cfg.WorkerMemoryBytes,
+	cl, err := NewCluster(ClusterConfig{
+		Workers:            cfg.Workers,
+		SlotsPerWorker:     cfg.SlotsPerWorker,
+		DataDir:            cfg.DataDir,
+		TaskLaunchOverhead: cfg.TaskLaunchOverhead,
+		DiskShuffle:        cfg.DiskShuffle,
+		Speculation:        cfg.Speculation,
+		WorkerMemoryBytes:  cfg.WorkerMemoryBytes,
 	})
-	dir := cfg.DataDir
-	tmp := ""
-	if dir == "" {
-		var err error
-		dir, err = os.MkdirTemp("", "shark-*")
-		if err != nil {
-			cl.Close()
-			return nil, fmt.Errorf("shark: %w", err)
-		}
-		tmp = dir
+	if err != nil {
+		return nil, err
 	}
-	fs, err := dfs.New(dfs.Config{Dir: dir + "/dfs"})
+	s, err := cl.NewSession(SessionConfig{Engine: cfg.Engine})
 	if err != nil {
 		cl.Close()
 		return nil, err
 	}
-	mode := shuffle.Memory
-	if cfg.DiskShuffle {
-		mode = shuffle.Disk
-	}
-	svc := shuffle.NewService(cl, mode, dir+"/shuffle")
-	ctx := rdd.NewContext(cl, svc, rdd.Options{Speculation: cfg.Speculation})
-	return &Session{
-		Session: core.NewSession(ctx, fs, cfg.Engine),
-		Cluster: cl,
-		tmpDir:  tmp,
-	}, nil
+	s.owned = true
+	return s, nil
 }
 
-// Close shuts the cluster down and removes temporary state.
+// Close releases the session's tables (evicting its memstore blocks)
+// and frees its name for reuse. A session that owns a private cluster
+// (shark.NewSession) also shuts the cluster down; a session on a
+// shared cluster leaves the cluster and other sessions untouched.
 func (s *Session) Close() {
-	s.Cluster.Close()
-	if s.tmpDir != "" {
-		os.RemoveAll(s.tmpDir)
+	s.Session.Close()
+	s.Cluster.mu.Lock()
+	delete(s.Cluster.sessionNames, strings.ToLower(s.Tag))
+	s.Cluster.mu.Unlock()
+	if s.owned {
+		s.Cluster.Close()
 	}
 }
 
 // LoadRows writes rows into the DFS as a text table and registers it
-// in the catalog — the ingestion path for examples and tests.
+// in the catalog — the ingestion path for examples and tests. The DFS
+// path is scoped by session tag so concurrent sessions can load the
+// same table name independently.
 func (s *Session) LoadRows(table string, schema Schema, rows []Row) error {
-	file := "data/" + table
+	file := "data/" + s.Tag + "/" + table
 	w, err := s.FS.Create(file, dfs.Text, schema)
 	if err != nil {
 		return err
@@ -172,12 +412,7 @@ func (s *Session) LoadRows(table string, schema Schema, rows []Row) error {
 }
 
 // KillWorker simulates a node failure (fault-tolerance demos).
-func (s *Session) KillWorker(id int) {
-	s.Cluster.Kill(id)
-	s.Ctx.NotifyWorkerLost(id)
-}
+func (s *Session) KillWorker(id int) { s.Cluster.Kill(id) }
 
 // RestartWorker brings a failed node back (empty, as a fresh node).
-func (s *Session) RestartWorker(id int) {
-	s.Cluster.Restart(id)
-}
+func (s *Session) RestartWorker(id int) { s.Cluster.Restart(id) }
