@@ -8,12 +8,13 @@ build:
 test:
 	$(GO) test ./...
 
-# The dispatcher, shuffle, eviction and multi-session paths are
+# The dispatcher, shuffle, eviction/spill and multi-session paths are
 # concurrency-heavy; race-clean is the bar for them. The root package
 # and internal/core carry the shared-cluster / concurrent-session /
-# cancellation suites.
+# cancellation suites; cluster carries the disk-tier race suite, and
+# columnar the spill marshalling the tiers serialize through.
 race:
-	$(GO) test -race . ./internal/rdd ./internal/cluster ./internal/shuffle ./internal/memtable ./internal/core
+	$(GO) test -race . ./internal/rdd ./internal/cluster ./internal/shuffle ./internal/memtable ./internal/core ./internal/columnar
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -30,10 +31,12 @@ vet:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Harness smoke: the dispatcher, memory-pressure and multi-tenant
-# concurrency ablations at CI scale, with a Markdown report for the
-# artifact trail.
+# Harness smoke: the dispatcher, memory-pressure, tiered-storage and
+# multi-tenant concurrency ablations at CI scale, with a Markdown
+# report plus a JSON trajectory point (renamed BENCH_<sha>.json by CI)
+# for the artifact trail — the non-gating perf check comparing the
+# spill-read path against lineage recomputation.
 bench-smoke:
-	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory,abl_concurrency -scale small -markdown bench-report.md
+	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory,abl_storage,abl_concurrency -scale small -markdown bench-report.md -json bench-trajectory.json
 
 ci: build vet fmt test race

@@ -4,8 +4,9 @@
 //
 //	shark-bench -run all                 # every experiment, default scale
 //	shark-bench -run fig7,fig8 -scale small
+//	shark-bench -run abl_storage -scale large -disk 1048576
 //	shark-bench -list
-//	shark-bench -run all -markdown out.md
+//	shark-bench -run all -markdown out.md -json BENCH_point.json
 package main
 
 import (
@@ -19,11 +20,13 @@ import (
 
 func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-	scaleFlag := flag.String("scale", "default", "data scale: small | default")
+	scaleFlag := flag.String("scale", "default", "data scale: small | default | large")
 	listFlag := flag.Bool("list", false, "list experiment ids and exit")
 	markdownFlag := flag.String("markdown", "", "also write a Markdown report to this file")
+	jsonFlag := flag.String("json", "", "also write a JSON trajectory point (BENCH_*.json) to this file")
 	workersFlag := flag.Int("workers", 0, "override simulated worker count")
 	memoryFlag := flag.Int64("memory", 0, "per-worker block-store capacity in bytes (0 = unbounded)")
+	diskFlag := flag.Int64("disk", 0, "per-worker disk spill tier in bytes (0 = disabled, negative = unbounded)")
 	flag.Parse()
 
 	if *listFlag {
@@ -39,8 +42,10 @@ func main() {
 		sc = harness.SmallScale()
 	case "default":
 		sc = harness.DefaultScale()
+	case "large":
+		sc = harness.LargeScale()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (small|default)\n", *scaleFlag)
+		fmt.Fprintf(os.Stderr, "unknown scale %q (small|default|large)\n", *scaleFlag)
 		os.Exit(2)
 	}
 	if *workersFlag > 0 {
@@ -48,6 +53,9 @@ func main() {
 	}
 	if *memoryFlag > 0 {
 		sc.WorkerMemoryBytes = *memoryFlag
+	}
+	if *diskFlag != 0 {
+		sc.WorkerDiskBytes = *diskFlag
 	}
 
 	report := &harness.Report{}
@@ -67,6 +75,17 @@ func main() {
 		}
 	}
 	report.Fprint(os.Stdout)
+	if *jsonFlag != "" {
+		f, ferr := os.Create(*jsonFlag)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		if ferr := harness.WriteJSON(f, *scaleFlag, report); ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+		}
+		f.Close()
+	}
 	if *markdownFlag != "" {
 		f, ferr := os.Create(*markdownFlag)
 		if ferr != nil {

@@ -29,6 +29,8 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -128,6 +130,21 @@ type Config struct {
 	// while pinned blocks (shuffle outputs) survive until pruned.
 	// 0 = unbounded (the pre-limit behavior).
 	WorkerMemoryBytes int64
+	// WorkerDiskBytes sizes each worker's local-disk spill tier:
+	// spillable LRU victims of the memory tier land there and are read
+	// back instead of recomputed. 0 disables the tier (evictions drop
+	// blocks, the pre-spill behavior); negative = unbounded disk.
+	WorkerDiskBytes int64
+	// WorkerShuffleBytes gives pinned shuffle outputs their own byte
+	// budget so a shuffle-heavy job cannot starve the cache: pinned
+	// bytes stop counting against WorkerMemoryBytes, and the coldest
+	// pinned buckets spill to the disk tier when the budget overflows.
+	// 0 keeps the legacy shared accounting.
+	WorkerShuffleBytes int64
+	// SpillDir roots the per-worker spill directories. Created (and a
+	// temp dir when empty) only when WorkerDiskBytes != 0; the spill
+	// files are removed on Close.
+	SpillDir string
 	// Policy selects the dequeue discipline for freed slots. Default
 	// FairShare (min-running-tasks-first across jobs).
 	Policy Policy
@@ -249,10 +266,18 @@ type DispatchMetrics struct {
 	// queue full (or every preferred worker busy) and spilled to the
 	// central pending list.
 	PendingOverflows atomic.Int64
-	// CacheEvictions / BytesEvicted aggregate LRU evictions across
-	// all worker block stores (memory pressure, not failures).
+	// CacheEvictions / BytesEvicted aggregate LRU drops across all
+	// worker block stores (memory pressure, not failures) that left no
+	// disk copy behind — the blocks that are actually gone.
 	CacheEvictions atomic.Int64
 	BytesEvicted   atomic.Int64
+	// SpilledBlocks / BytesSpilled aggregate memory-tier victims the
+	// disk tiers caught instead (still locally readable).
+	SpilledBlocks atomic.Int64
+	BytesSpilled  atomic.Int64
+	// DiskEvictions aggregates blocks the disk budgets dropped for
+	// good (no copy left on any local tier).
+	DiskEvictions atomic.Int64
 }
 
 // Cluster is the simulated cluster.
@@ -286,8 +311,16 @@ type Cluster struct {
 	metrics DispatchMetrics
 
 	// evictObserver, when set, hears every capacity eviction on any
-	// worker (the RDD layer prunes cache-tracker locations with it).
-	evictObserver atomic.Value // func(worker int, key string, sizeBytes int64)
+	// worker (the RDD layer prunes cache-tracker locations with it —
+	// except for spilled blocks, which remain valid disk-resident
+	// locations).
+	evictObserver atomic.Value // func(worker int, key string, sizeBytes int64, spilled bool)
+
+	// spillRoot is the directory under the per-worker spill dirs;
+	// ownsSpillRoot marks a temp dir the cluster created (removed
+	// whole on Close, versus only the per-worker subdirs).
+	spillRoot     string
+	ownsSpillRoot bool
 }
 
 // New starts a simulated cluster.
@@ -301,14 +334,45 @@ func New(cfg Config) *Cluster {
 		jobQueued:  make(map[int64]int),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	if cfg.WorkerDiskBytes != 0 {
+		c.spillRoot = cfg.SpillDir
+		if c.spillRoot == "" {
+			dir, err := os.MkdirTemp("", "shark-spill-*")
+			if err == nil {
+				c.spillRoot = dir
+				c.ownsSpillRoot = true
+			} else {
+				// Running without the configured tier would be silent
+				// degradation (every spill becomes an eviction) — say
+				// why, loudly, the one time it can happen.
+				fmt.Fprintf(os.Stderr,
+					"cluster: WorkerDiskBytes set but no spill dir available (%v); disk tier disabled\n", err)
+			}
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
-		w := &Worker{ID: i, store: NewBoundedBlockStore(cfg.WorkerMemoryBytes)}
+		var disk *DiskStore
+		if cfg.WorkerDiskBytes != 0 && c.spillRoot != "" {
+			disk = NewDiskStore(filepath.Join(c.spillRoot, fmt.Sprintf("w%d", i)), cfg.WorkerDiskBytes)
+		}
+		w := &Worker{ID: i, store: NewTieredBlockStore(cfg.WorkerMemoryBytes, cfg.WorkerShuffleBytes, disk)}
 		wid := i
-		w.store.SetOnEvict(func(key string, sizeBytes int64) {
-			c.metrics.CacheEvictions.Add(1)
-			c.metrics.BytesEvicted.Add(sizeBytes)
-			if fn, ok := c.evictObserver.Load().(func(int, string, int64)); ok {
-				fn(wid, key, sizeBytes)
+		w.store.SetOnEvict(func(key string, sizeBytes int64, spilled bool) {
+			if spilled {
+				c.metrics.SpilledBlocks.Add(1)
+				c.metrics.BytesSpilled.Add(sizeBytes)
+			} else {
+				c.metrics.CacheEvictions.Add(1)
+				c.metrics.BytesEvicted.Add(sizeBytes)
+			}
+			if fn, ok := c.evictObserver.Load().(func(int, string, int64, bool)); ok {
+				fn(wid, key, sizeBytes, spilled)
+			}
+		})
+		w.store.SetOnDiskEvict(func(key string, sizeBytes int64) {
+			c.metrics.DiskEvictions.Add(1)
+			if fn, ok := c.evictObserver.Load().(func(int, string, int64, bool)); ok {
+				fn(wid, key, sizeBytes, false)
 			}
 		})
 		w.alive.Store(true)
@@ -352,13 +416,23 @@ func (c *Cluster) Metrics() *DispatchMetrics { return &c.metrics }
 func (c *Cluster) WorkerMemoryBytes() int64 { return c.cfg.WorkerMemoryBytes }
 
 // SetEvictionObserver installs a single cluster-wide listener for
-// capacity evictions (worker ID, block key, accounted bytes). The RDD
-// layer uses it to prune cache-tracker locations promptly; the tracker
-// stays correct without it (a remote-read miss also prunes), so the
-// single slot is not a correctness constraint.
-func (c *Cluster) SetEvictionObserver(fn func(worker int, key string, sizeBytes int64)) {
+// capacity evictions (worker ID, block key, accounted bytes, and
+// whether the block survived on the worker's disk tier). The RDD layer
+// uses it to prune cache-tracker locations promptly — only for
+// non-spilled losses, since a disk-resident block is still a valid
+// location. The tracker stays correct without it (a remote-read miss
+// also prunes), so the single slot is not a correctness constraint.
+func (c *Cluster) SetEvictionObserver(fn func(worker int, key string, sizeBytes int64, spilled bool)) {
 	c.evictObserver.Store(fn)
 }
+
+// WorkerDiskBytes returns the per-worker disk spill budget (0 = tier
+// disabled, negative = unbounded).
+func (c *Cluster) WorkerDiskBytes() int64 { return c.cfg.WorkerDiskBytes }
+
+// WorkerShuffleBytes returns the per-worker pinned-shuffle budget
+// (0 = shared with the cache budget).
+func (c *Cluster) WorkerShuffleBytes() int64 { return c.cfg.WorkerShuffleBytes }
 
 // TasksPerWorker snapshots how many tasks each worker has executed.
 func (c *Cluster) TasksPerWorker() []int64 {
@@ -917,4 +991,16 @@ func (c *Cluster) Close() {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	close(c.stopTick)
+	// Spill files are never durable: remove the whole temp root when
+	// the cluster created it, else just the per-worker dirs it wrote
+	// under the caller-provided root.
+	if c.ownsSpillRoot {
+		os.RemoveAll(c.spillRoot)
+	} else if c.spillRoot != "" {
+		for _, w := range c.workers {
+			if d := w.store.Disk(); d != nil {
+				os.RemoveAll(d.Dir())
+			}
+		}
+	}
 }

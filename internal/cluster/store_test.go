@@ -156,7 +156,7 @@ func TestBlockStoreEvictionCallback(t *testing.T) {
 	s := NewBoundedBlockStore(100)
 	var mu sync.Mutex
 	evicted := map[string]int64{}
-	s.SetOnEvict(func(key string, size int64) {
+	s.SetOnEvict(func(key string, size int64, spilled bool) {
 		mu.Lock()
 		evicted[key] += size
 		mu.Unlock()
@@ -184,7 +184,7 @@ func TestClusterEvictionMetricsAndObserver(t *testing.T) {
 		key    string
 	}
 	var seen []ev
-	c.SetEvictionObserver(func(worker int, key string, size int64) {
+	c.SetEvictionObserver(func(worker int, key string, size int64, spilled bool) {
 		mu.Lock()
 		seen = append(seen, ev{worker, key})
 		mu.Unlock()
@@ -215,7 +215,7 @@ func TestClusterEvictionMetricsAndObserver(t *testing.T) {
 // under -race this is the eviction-path race test.
 func TestBlockStoreRace(t *testing.T) {
 	s := NewBoundedBlockStore(4096)
-	s.SetOnEvict(func(string, int64) {})
+	s.SetOnEvict(func(string, int64, bool) {})
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)

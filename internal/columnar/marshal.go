@@ -1,0 +1,73 @@
+package columnar
+
+import (
+	"fmt"
+
+	"shark/internal/row"
+)
+
+// PartitionTag is the DiskMarshaler tag of a sealed partition; the
+// matching decoder is registered by the memtable package (the producer
+// of columnar cache partitions).
+const PartitionTag = "columnar.Partition"
+
+// MarshalShuffle flattens the partition into one scalar row — schema
+// header, row count, then the values row-major — implementing the
+// shuffle package's DiskMarshaler structurally. This is what lets a
+// cached columnar partition cross a disk boundary: disk-mode shuffles
+// and the block stores' spill tier both serialize engine values
+// through it.
+func (p *Partition) MarshalShuffle() (string, row.Row) {
+	fields := make(row.Row, 0, 2+2*len(p.Schema)+p.N*len(p.Cols))
+	fields = append(fields, int64(len(p.Schema)))
+	for _, f := range p.Schema {
+		fields = append(fields, f.Name, int64(f.Type))
+	}
+	fields = append(fields, int64(p.N))
+	for i := 0; i < p.N; i++ {
+		for _, c := range p.Cols {
+			fields = append(fields, c.Get(i))
+		}
+	}
+	return PartitionTag, fields
+}
+
+// UnmarshalPartition inverts MarshalShuffle, rebuilding the partition
+// through a Builder so each column re-picks its compression (and its
+// stats) from the restored values.
+func UnmarshalPartition(fields row.Row) (*Partition, error) {
+	fail := func() (*Partition, error) {
+		return nil, fmt.Errorf("columnar: malformed marshalled partition (%d fields)", len(fields))
+	}
+	if len(fields) < 1 {
+		return fail()
+	}
+	ncols, ok := fields[0].(int64)
+	if !ok || ncols < 0 || len(fields) < int(1+2*ncols+1) {
+		return fail()
+	}
+	schema := make(row.Schema, ncols)
+	i := 1
+	for c := range schema {
+		name, nok := fields[i].(string)
+		typ, tok := fields[i+1].(int64)
+		if !nok || !tok {
+			return fail()
+		}
+		schema[c] = row.Field{Name: name, Type: row.Type(typ)}
+		i += 2
+	}
+	n, ok := fields[i].(int64)
+	if !ok || n < 0 || len(fields)-(i+1) != int(n*ncols) {
+		return fail()
+	}
+	i++
+	b := NewBuilder(schema)
+	for r := int64(0); r < n; r++ {
+		if err := b.Append(row.Row(fields[i : i+int(ncols)])); err != nil {
+			return nil, err
+		}
+		i += int(ncols)
+	}
+	return b.Seal(), nil
+}

@@ -1,0 +1,60 @@
+package columnar
+
+import (
+	"reflect"
+	"testing"
+
+	"shark/internal/row"
+)
+
+func TestPartitionMarshalRoundTrip(t *testing.T) {
+	schema := row.Schema{
+		{Name: "id", Type: row.TInt},
+		{Name: "name", Type: row.TString},
+		{Name: "score", Type: row.TFloat},
+		{Name: "ok", Type: row.TBool},
+		{Name: "day", Type: row.TDate},
+	}
+	b := NewBuilder(schema)
+	rows := []row.Row{
+		{int64(1), "alpha", 1.5, true, int64(100)},
+		{int64(2), "beta", -2.25, false, int64(200)},
+		{nil, "alpha", nil, true, nil},
+		{int64(4), "", 0.0, false, int64(100)},
+	}
+	for _, r := range rows {
+		if err := b.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := b.Seal()
+	tag, fields := p.MarshalShuffle()
+	if tag != PartitionTag {
+		t.Fatalf("tag = %q", tag)
+	}
+	q, err := UnmarshalPartition(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.N != p.N || !reflect.DeepEqual(q.Schema, p.Schema) {
+		t.Fatalf("shape differs: N=%d/%d", q.N, p.N)
+	}
+	for i := 0; i < p.N; i++ {
+		if !reflect.DeepEqual(q.Row(i), p.Row(i)) {
+			t.Errorf("row %d: got %v want %v", i, q.Row(i), p.Row(i))
+		}
+	}
+}
+
+func TestUnmarshalPartitionRejectsGarbage(t *testing.T) {
+	for _, fields := range []row.Row{
+		nil,
+		{int64(3)},
+		{"not-a-count"},
+		{int64(1), "col", int64(row.TInt), int64(2), int64(5)}, // wrong value count
+	} {
+		if _, err := UnmarshalPartition(fields); err == nil {
+			t.Errorf("malformed fields %v decoded", fields)
+		}
+	}
+}

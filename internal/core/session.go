@@ -46,6 +46,12 @@ type Session struct {
 	// partitioning, e.g. one partition per DFS block).
 	DefaultCacheParts int
 
+	// DefaultStorageLevel is the storage level cached tables persist
+	// at when TBLPROPERTIES names none ("shark.cache"="true").
+	// Per-table levels override it: "shark.cache"="MEMORY_AND_DISK"
+	// (or "DISK_ONLY"), or a separate "shark.storageLevel" property.
+	DefaultStorageLevel rdd.StorageLevel
+
 	// mu guards created: the tables this session registered, in
 	// order. Close drops exactly these — never another session's.
 	mu      sync.Mutex
@@ -269,9 +275,38 @@ func (s *Session) createExternal(ct *sqlparse.CreateTableStmt) (*Result, error) 
 	return &Result{Message: fmt.Sprintf("created external table %s (%d rows)", ct.Name, meta.TotalRows())}, nil
 }
 
+// cacheLevel resolves a CTAS's storage level from TBLPROPERTIES:
+// "shark.cache" accepts "true" (the session's default level) or a
+// level name directly ("MEMORY_ONLY" / "MEMORY_AND_DISK" /
+// "DISK_ONLY"); a "shark.storageLevel" property overrides either.
+// cached=false when the table is not cached at all.
+func (s *Session) cacheLevel(props map[string]string) (level rdd.StorageLevel, cached bool) {
+	v := props["shark.cache"]
+	switch {
+	case strings.EqualFold(v, "true"):
+		level, cached = s.DefaultStorageLevel, true
+	default:
+		level, cached = rdd.ParseStorageLevel(v)
+	}
+	if !cached {
+		return 0, false
+	}
+	// The parser lowercases TBLPROPERTIES keys; accept the verbatim
+	// spelling too for programmatic callers.
+	for _, k := range []string{"shark.storagelevel", "shark.storageLevel"} {
+		if lv, ok := rdd.ParseStorageLevel(props[k]); ok {
+			level = lv
+			break
+		}
+	}
+	return level, true
+}
+
 // createAsSelect runs CTAS. With TBLPROPERTIES("shark.cache"="true")
-// the result is loaded into the memstore (optionally DISTRIBUTE BY for
-// co-partitioning); otherwise it is written to a DFS file.
+// — or a storage level name, e.g. "shark.cache"="MEMORY_AND_DISK" —
+// the result is loaded into the memstore at that level (optionally
+// DISTRIBUTE BY for co-partitioning); otherwise it is written to a
+// DFS file.
 func (s *Session) createAsSelect(gctx context.Context, ct *sqlparse.CreateTableStmt) (*Result, error) {
 	sel := ct.As
 	p, err := plan.Analyze(s.Cat, sel)
@@ -280,7 +315,7 @@ func (s *Session) createAsSelect(gctx context.Context, ct *sqlparse.CreateTableS
 	}
 	schema := p.Schema()
 
-	cached := strings.EqualFold(ct.Props["shark.cache"], "true")
+	level, cached := s.cacheLevel(ct.Props)
 	if !cached {
 		return s.ctasToDFS(gctx, ct, p, schema)
 	}
@@ -309,12 +344,13 @@ func (s *Session) createAsSelect(gctx context.Context, ct *sqlparse.CreateTableS
 			}
 			numParts = ot.Mem.NumPartitions()
 		}
-		mem, err = memtable.LoadDistributedCtx(gctx, ct.Name, schema, srcRDD, keyCol, numParts)
+		mem, err = memtable.LoadDistributedWith(gctx, ct.Name, schema, srcRDD, keyCol, numParts,
+			memtable.LoadOptions{Level: level})
 	} else {
 		if n := s.DefaultCacheParts; n > 0 && srcRDD.NumPartitions() != n {
 			srcRDD = repartitionRows(srcRDD, n)
 		}
-		mem, err = memtable.LoadCtx(gctx, ct.Name, schema, srcRDD)
+		mem, err = memtable.LoadWith(gctx, ct.Name, schema, srcRDD, memtable.LoadOptions{Level: level})
 	}
 	if err != nil {
 		return nil, err
@@ -332,8 +368,8 @@ func (s *Session) createAsSelect(gctx context.Context, ct *sqlparse.CreateTableS
 		mem.Drop()
 		return nil, err
 	}
-	return &Result{Message: fmt.Sprintf("cached table %s (%d rows, %d partitions, %d bytes)",
-		ct.Name, mem.TotalRows(), mem.NumPartitions(), mem.TotalBytes())}, nil
+	return &Result{Message: fmt.Sprintf("cached table %s (%d rows, %d partitions, %d bytes, %s)",
+		ct.Name, mem.TotalRows(), mem.NumPartitions(), mem.TotalBytes(), level)}, nil
 }
 
 func (s *Session) ctasToDFS(gctx context.Context, ct *sqlparse.CreateTableStmt, p plan.Node, schema row.Schema) (*Result, error) {

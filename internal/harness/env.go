@@ -46,6 +46,10 @@ type Scale struct {
 	// (0 = unbounded). Threaded into the simulated cluster so every
 	// experiment can run under memory pressure.
 	WorkerMemoryBytes int64
+	// WorkerDiskBytes sizes each Shark worker's local-disk spill tier
+	// (0 = disabled, negative = unbounded) — the abl_storage sweep and
+	// any experiment run with shark-bench -disk exercise it.
+	WorkerDiskBytes int64
 	// Reps is how many timed repetitions to average (after one
 	// discarded warm-up, mirroring §6.1).
 	Reps int
@@ -68,6 +72,18 @@ func DefaultScale() Scale {
 		Lineitem: 250000, LineitemBig: 1000000, Supplier: 20000,
 		Sessions: 250000, MLPoints: 100000, MLDim: 10, MLIters: 5,
 		Workers: 8, Slots: 2, Reps: 2,
+	}
+}
+
+// LargeScale is soak-sized: several times the default data volumes on
+// a wider cluster, for trajectory runs on real hardware rather than
+// CI (minutes, not seconds).
+func LargeScale() Scale {
+	return Scale{
+		Rankings: 500000, UserVisits: 1500000,
+		Lineitem: 800000, LineitemBig: 3000000, Supplier: 60000,
+		Sessions: 800000, MLPoints: 300000, MLDim: 10, MLIters: 5,
+		Workers: 16, Slots: 2, Reps: 3,
 	}
 }
 
@@ -106,6 +122,8 @@ func NewEnv(sc Scale, opts exec.Options) (*Env, error) {
 		Slots:             sc.Slots,
 		Profile:           cluster.SparkProfile(),
 		WorkerMemoryBytes: sc.WorkerMemoryBytes,
+		WorkerDiskBytes:   sc.WorkerDiskBytes,
+		SpillDir:          dir + "/spill",
 	})
 	svc := shuffle.NewService(sparkCl, shuffle.Memory, dir+"/shuffle")
 	ctx := rdd.NewContext(sparkCl, svc, rdd.Options{})

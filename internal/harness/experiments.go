@@ -37,6 +37,7 @@ var experiments = map[string]func(Scale, *Report) error{
 	"abl_binpack":     runSkewAblation,
 	"abl_dispatch":    runDispatch,
 	"abl_memory":      runMemory,
+	"abl_storage":     runStorage,
 	"abl_concurrency": runConcurrency,
 	"pruning":         runPruning,
 }

@@ -33,7 +33,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"fig1", "fig5_selection", "fig5_agg", "fig6_join", "loading",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"tbl_columnar", "abl_shuffle", "abl_compile", "abl_binpack",
-		"abl_dispatch", "abl_memory", "abl_concurrency", "pruning",
+		"abl_dispatch", "abl_memory", "abl_storage", "abl_concurrency", "pruning",
 	}
 	have := map[string]bool{}
 	for _, id := range ExperimentIDs() {
@@ -107,6 +107,24 @@ func TestFig9FaultTolerance(t *testing.T) {
 	if secs["Single failure (recovery in-query)"] >= secs["Full reload (load + query)"] {
 		t.Errorf("recovery (%.3f) should beat full reload (%.3f)",
 			secs["Single failure (recovery in-query)"], secs["Full reload (load + query)"])
+	}
+}
+
+// TestStorageExperiment: the tiered-storage ablation's internal
+// assertions (identical results, DiskHits > 0 on the spill point,
+// recomputes strictly below the eviction-only point) hold at tiny
+// scale, and all four sweep points report.
+func TestStorageExperiment(t *testing.T) {
+	r := runOne(t, "abl_storage")
+	if len(r.Entries) != 4 {
+		t.Fatalf("entries = %d, want 4 sweep points", len(r.Entries))
+	}
+	notes := map[string]string{}
+	for _, e := range r.Entries {
+		notes[e.Series] = e.Notes
+	}
+	if n := notes["25% memory + disk, MEMORY_AND_DISK"]; !strings.Contains(n, "disk hits") {
+		t.Errorf("spill point notes missing disk hits: %q", n)
 	}
 }
 

@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"shark/internal/rdd"
 )
@@ -70,14 +72,17 @@ func noteClusterMetrics(label string, ctx *rdd.Context) {
 	}
 	cm := ctx.Cluster.Metrics()
 	sm := ctx.Scheduler().Metrics()
+	ds := ctx.Cluster.DiskTierStats()
 	r.AddClusterNote(exp, label, fmt.Sprintf(
 		"steals %d events/%d tasks, locality %d/%d hits/misses, pending overflows %d, "+
-			"cache hits %d, remote hits %d, recomputes %d, evictions %d (%d KB), cancelled tasks %d",
+			"cache hits %d, remote hits %d, disk hits %d, recomputes %d, evictions %d (%d KB), "+
+			"spilled %d (%d KB), disk evictions %d, cancelled tasks %d",
 		cm.Steals.Load(), cm.StolenTasks.Load(),
 		cm.LocalityHits.Load(), cm.LocalityMisses.Load(),
 		cm.PendingOverflows.Load(),
-		sm.CacheHits.Load(), sm.RemoteCacheHits.Load(), sm.CacheRecomputes.Load(),
+		sm.CacheHits.Load(), sm.RemoteCacheHits.Load(), sm.DiskHits.Load(), sm.CacheRecomputes.Load(),
 		cm.CacheEvictions.Load(), cm.BytesEvicted.Load()/1024,
+		ds.SpilledBlocks, ds.BytesSpilled/1024, ds.DiskEvictions,
 		cm.CancelledTasks.Load()))
 }
 
@@ -161,6 +166,28 @@ func (r *Report) Markdown(w io.Writer) {
 			fmt.Fprintf(w, "| %s | %s | %s |\n", n.Experiment, n.Label, n.Notes)
 		}
 	}
+}
+
+// trajectoryPoint is the JSON shape of one recorded bench run — the
+// per-commit BENCH_*.json artifacts CI uploads so the perf trajectory
+// can be compared across commits (non-gating).
+type trajectoryPoint struct {
+	GeneratedAt  string        `json:"generated_at"`
+	Scale        string        `json:"scale"`
+	Entries      []Entry       `json:"entries"`
+	ClusterNotes []ClusterNote `json:"cluster_notes,omitempty"`
+}
+
+// WriteJSON renders the report as one trajectory point.
+func WriteJSON(w io.Writer, scaleName string, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(trajectoryPoint{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		Scale:        scaleName,
+		Entries:      r.Entries,
+		ClusterNotes: r.ClusterNotes,
+	})
 }
 
 // ExperimentIDs lists the registered experiments, sorted.

@@ -1,6 +1,7 @@
 package memtable
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -14,6 +15,18 @@ import (
 func newBoundedCtx(t *testing.T, memBytes int64) *rdd.Context {
 	t.Helper()
 	c := cluster.New(cluster.Config{Workers: 4, Slots: 2, WorkerMemoryBytes: memBytes})
+	t.Cleanup(c.Close)
+	return rdd.NewContext(c, shuffle.NewService(c, shuffle.Memory, t.TempDir()), rdd.Options{})
+}
+
+// newTieredCtx adds an unbounded disk spill tier to newBoundedCtx.
+func newTieredCtx(t *testing.T, memBytes int64) *rdd.Context {
+	t.Helper()
+	c := cluster.New(cluster.Config{
+		Workers: 4, Slots: 2,
+		WorkerMemoryBytes: memBytes,
+		WorkerDiskBytes:   -1,
+	})
 	t.Cleanup(c.Close)
 	return rdd.NewContext(c, shuffle.NewService(c, shuffle.Memory, t.TempDir()), rdd.Options{})
 }
@@ -83,6 +96,103 @@ func TestPartialCachingMatchesUnbounded(t *testing.T) {
 	for i := 0; i < ctx.Cluster.NumWorkers(); i++ {
 		if b := ctx.Cluster.Worker(i).Store().ApproxBytes(); b > capBytes {
 			t.Errorf("worker %d holds %d bytes over the %d cap", i, b, capBytes)
+		}
+	}
+}
+
+// TestMemoryAndDiskMatchesUnbounded: the end-to-end storage-level
+// check — a MEMORY_AND_DISK table whose footprint is ~2× aggregate
+// worker memory answers Scan and Prune queries identically to the
+// unbounded run, with cold partitions read back from the disk tier
+// (DiskHits > 0) and essentially no lineage recomputation.
+func TestMemoryAndDiskMatchesUnbounded(t *testing.T) {
+	const nRows, nParts = 4000, 16
+	preds := []ColPredicate{{Col: 2, Lo: int64(1000), Hi: int64(2999)}}
+
+	// Reference: unbounded, memory-only.
+	refCtx := newCtx(t)
+	refTbl, err := Load("sessions", schema, refCtx.Parallelize(clusteredRows(nRows), nParts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScan, err := refTbl.Scan(nil, nil).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPruned := refTbl.Prune(preds)
+	wantPruned, err := refTbl.Scan(refPruned, []int{0, 2}).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tiered: aggregate memory = half the footprint, unbounded disk.
+	capBytes := refTbl.TotalBytes() / (2 * 4)
+	ctx := newTieredCtx(t, capBytes)
+	tbl, err := LoadWith(context.Background(), "sessions", schema,
+		ctx.Parallelize(clusteredRows(nRows), nParts), LoadOptions{Level: rdd.MemoryAndDisk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Level != rdd.MemoryAndDisk {
+		t.Errorf("table level = %v, want MEMORY_AND_DISK", tbl.Level)
+	}
+
+	for rep := 0; rep < 2; rep++ {
+		gotScan, err := tbl.Scan(nil, nil).Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotScan, wantScan) {
+			t.Fatalf("rep %d: tiered full scan differs from unbounded (%d vs %d rows)",
+				rep, len(gotScan), len(wantScan))
+		}
+		gotPruned, err := tbl.Scan(tbl.Prune(preds), []int{0, 2}).Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotPruned, wantPruned) {
+			t.Fatalf("rep %d: tiered pruned scan differs from unbounded", rep)
+		}
+	}
+
+	m := ctx.Scheduler().Metrics()
+	if m.DiskHits.Load() == 0 {
+		t.Error("no disk hits despite the table exceeding aggregate memory")
+	}
+	if got := m.CacheRecomputes.Load(); got != 0 {
+		t.Errorf("%d lineage recomputes; spilled partitions should be read back instead", got)
+	}
+	if ctx.Cluster.Metrics().SpilledBlocks.Load() == 0 {
+		t.Error("no spills recorded")
+	}
+	for i := 0; i < ctx.Cluster.NumWorkers(); i++ {
+		if b := ctx.Cluster.Worker(i).Store().ApproxBytes(); b > capBytes {
+			t.Errorf("worker %d holds %d bytes over the %d cap", i, b, capBytes)
+		}
+	}
+}
+
+// TestDropReleasesSpilledPartitions: Drop on a MEMORY_AND_DISK table
+// frees the disk tier too.
+func TestDropReleasesSpilledPartitions(t *testing.T) {
+	ctx := newTieredCtx(t, 2000)
+	tbl, err := LoadWith(context.Background(), "sessions", schema,
+		ctx.Parallelize(clusteredRows(1000), 8), LoadOptions{Level: rdd.MemoryAndDisk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spilled int64
+	for i := 0; i < ctx.Cluster.NumWorkers(); i++ {
+		spilled += ctx.Cluster.Worker(i).Store().Disk().ApproxBytes()
+	}
+	if spilled == 0 {
+		t.Fatal("nothing spilled before Drop")
+	}
+	tbl.Drop()
+	for i := 0; i < ctx.Cluster.NumWorkers(); i++ {
+		st := ctx.Cluster.Worker(i).Store()
+		if b := st.ApproxBytes() + st.Disk().ApproxBytes(); b != 0 {
+			t.Errorf("worker %d still accounts %d bytes after Drop", i, b)
 		}
 	}
 }

@@ -19,6 +19,19 @@ import (
 	"shark/internal/shuffle"
 )
 
+// The memtable package is the producer of columnar cache partitions,
+// so it owns the decoder that lets them come back from a disk
+// boundary (spill tier reads, disk-mode shuffles).
+func init() {
+	shuffle.RegisterDiskDecoder(columnar.PartitionTag, func(fields row.Row) any {
+		p, err := columnar.UnmarshalPartition(fields)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	})
+}
+
 // Table is a cached, columnar, distributed table.
 type Table struct {
 	Name   string
@@ -35,6 +48,8 @@ type Table struct {
 	// is not key-partitioned. Partitioner is non-nil iff DistKeyCol>=0.
 	DistKeyCol  int
 	Partitioner shuffle.Partitioner
+	// Level is the storage level the table's partitions persist at.
+	Level rdd.StorageLevel
 }
 
 // NumPartitions returns the table's partition count.
@@ -85,11 +100,18 @@ func columnarize(src *rdd.RDD, schema row.Schema) *rdd.RDD {
 	})
 }
 
+// LoadOptions tunes a memstore load.
+type LoadOptions struct {
+	// Level is the storage level the cached partitions persist at
+	// (default MemoryOnly).
+	Level rdd.StorageLevel
+}
+
 // Load materializes src (an RDD of row.Row) into a cached columnar
 // table, choosing compression per column per partition and collecting
 // pruning statistics. The load is itself a distributed job (§3.3).
 func Load(name string, schema row.Schema, src *rdd.RDD) (*Table, error) {
-	return LoadCtx(context.Background(), name, schema, src)
+	return LoadWith(context.Background(), name, schema, src, LoadOptions{})
 }
 
 // LoadCtx is Load under a context: the load job runs under the
@@ -97,8 +119,13 @@ func Load(name string, schema row.Schema, src *rdd.RDD) (*Table, error) {
 // partitions already cached are evicted so no orphaned blocks survive
 // the aborted load.
 func LoadCtx(gctx context.Context, name string, schema row.Schema, src *rdd.RDD) (*Table, error) {
-	t := &Table{Name: name, Schema: schema.Clone(), DistKeyCol: -1}
-	t.RDD = columnarize(src, schema).Cache()
+	return LoadWith(gctx, name, schema, src, LoadOptions{})
+}
+
+// LoadWith is LoadCtx with explicit options (storage level).
+func LoadWith(gctx context.Context, name string, schema row.Schema, src *rdd.RDD, opts LoadOptions) (*Table, error) {
+	t := &Table{Name: name, Schema: schema.Clone(), DistKeyCol: -1, Level: opts.Level}
+	t.RDD = columnarize(src, schema).Persist(opts.Level)
 	if err := t.materialize(gctx); err != nil {
 		t.RDD.Uncache()
 		return nil, err
@@ -110,12 +137,17 @@ func LoadCtx(gctx context.Context, name string, schema row.Schema, src *rdd.RDD)
 // (the DISTRIBUTE BY clause), recording the partitioner so the planner
 // can use co-partitioned joins.
 func LoadDistributed(name string, schema row.Schema, src *rdd.RDD, keyCol, numParts int) (*Table, error) {
-	return LoadDistributedCtx(context.Background(), name, schema, src, keyCol, numParts)
+	return LoadDistributedWith(context.Background(), name, schema, src, keyCol, numParts, LoadOptions{})
 }
 
 // LoadDistributedCtx is LoadDistributed under a context, with the same
 // cleanup-on-failure semantics as LoadCtx.
 func LoadDistributedCtx(gctx context.Context, name string, schema row.Schema, src *rdd.RDD, keyCol, numParts int) (*Table, error) {
+	return LoadDistributedWith(gctx, name, schema, src, keyCol, numParts, LoadOptions{})
+}
+
+// LoadDistributedWith is LoadDistributedCtx with explicit options.
+func LoadDistributedWith(gctx context.Context, name string, schema row.Schema, src *rdd.RDD, keyCol, numParts int, opts LoadOptions) (*Table, error) {
 	if keyCol < 0 || keyCol >= len(schema) {
 		return nil, fmt.Errorf("memtable: bad DISTRIBUTE BY column %d", keyCol)
 	}
@@ -127,8 +159,8 @@ func LoadDistributedCtx(gctx context.Context, name string, schema row.Schema, sr
 	repart := pairs.PartitionBy(part).
 		Map(func(v any) any { return v.(shuffle.Pair).V.(row.Row) }).
 		KeepPartitioner(part)
-	t := &Table{Name: name, Schema: schema.Clone(), DistKeyCol: keyCol, Partitioner: part}
-	t.RDD = columnarize(repart, schema).Cache()
+	t := &Table{Name: name, Schema: schema.Clone(), DistKeyCol: keyCol, Partitioner: part, Level: opts.Level}
+	t.RDD = columnarize(repart, schema).Persist(opts.Level)
 	if err := t.materialize(gctx); err != nil {
 		t.RDD.Uncache()
 		return nil, err

@@ -70,11 +70,18 @@ func NewContext(c *cluster.Cluster, svc *shuffle.Service, opts Options) *Context
 	ctx.sched = NewScheduler(ctx, opts.withDefaults())
 	// Hear capacity evictions so cache-tracker locations are pruned
 	// the moment a block store drops a partition, and so the eviction
-	// is charged to the session whose table lost it. The tracker is
-	// also self-healing (remoteCacheRead prunes entries it finds
-	// stale), so a Context that loses this single observer slot to a
-	// newer Context on the same cluster stays correct.
-	c.SetEvictionObserver(func(worker int, key string, sizeBytes int64) {
+	// is charged to the session whose table lost it. A block that was
+	// spilled to the worker's disk tier is NOT pruned: disk-resident
+	// is still a valid location — the worker serves it locally and
+	// remote readers fetch it — and pruning it would turn every spill
+	// into a recompute. The tracker is also self-healing
+	// (remoteCacheRead prunes entries it finds stale), so a Context
+	// that loses this single observer slot to a newer Context on the
+	// same cluster stays correct.
+	c.SetEvictionObserver(func(worker int, key string, sizeBytes int64, spilled bool) {
+		if spilled {
+			return
+		}
 		if rddID, part, ok := parseCacheKey(key); ok {
 			ctx.cache.RemoveLocation(rddID, part, worker, ctx)
 			ctx.noteEviction(rddID, sizeBytes)

@@ -31,6 +31,7 @@ type Job struct {
 	taskTime        atomic.Int64 // ns of completed task bodies
 	cacheHits       atomic.Int64
 	remoteCacheHits atomic.Int64
+	diskHits        atomic.Int64
 	cacheRecomputes atomic.Int64
 
 	agg *sessionAgg
@@ -44,9 +45,9 @@ type JobStats struct {
 	// TaskTime sums the wall-clock duration of completed task
 	// attempts.
 	TaskTime time.Duration
-	// CacheHits / RemoteCacheHits / CacheRecomputes attribute the
-	// cache traffic of the job's tasks.
-	CacheHits, RemoteCacheHits, CacheRecomputes int64
+	// CacheHits / RemoteCacheHits / DiskHits / CacheRecomputes
+	// attribute the cache traffic of the job's tasks.
+	CacheHits, RemoteCacheHits, DiskHits, CacheRecomputes int64
 }
 
 // Stats snapshots the job's counters.
@@ -56,6 +57,7 @@ func (j *Job) Stats() JobStats {
 		TaskTime:        time.Duration(j.taskTime.Load()),
 		CacheHits:       j.cacheHits.Load(),
 		RemoteCacheHits: j.remoteCacheHits.Load(),
+		DiskHits:        j.diskHits.Load(),
 		CacheRecomputes: j.cacheRecomputes.Load(),
 	}
 }
@@ -95,6 +97,14 @@ func (j *Job) noteRemoteCacheHit() {
 	j.agg.remoteCacheHits.Add(1)
 }
 
+func (j *Job) noteDiskHit() {
+	if j == nil {
+		return
+	}
+	j.diskHits.Add(1)
+	j.agg.diskHits.Add(1)
+}
+
 func (j *Job) noteRecompute() {
 	if j == nil {
 		return
@@ -111,6 +121,7 @@ type sessionAgg struct {
 	taskTime        atomic.Int64
 	cacheHits       atomic.Int64
 	remoteCacheHits atomic.Int64
+	diskHits        atomic.Int64
 	cacheRecomputes atomic.Int64
 	evictions       atomic.Int64
 	bytesEvicted    atomic.Int64
@@ -125,8 +136,9 @@ type SessionStats struct {
 	// completed task-body durations.
 	Tasks    int64
 	TaskTime time.Duration
-	// Cache traffic of the session's tasks.
-	CacheHits, RemoteCacheHits, CacheRecomputes int64
+	// Cache traffic of the session's tasks (DiskHits: partitions read
+	// back from a worker's local spill tier).
+	CacheHits, RemoteCacheHits, DiskHits, CacheRecomputes int64
 	// Evictions / BytesEvicted count memory-pressure evictions of
 	// cache partitions this session materialized (wherever the
 	// evicting put came from).
@@ -141,6 +153,7 @@ func (a *sessionAgg) snapshot() SessionStats {
 		TaskTime:        time.Duration(a.taskTime.Load()),
 		CacheHits:       a.cacheHits.Load(),
 		RemoteCacheHits: a.remoteCacheHits.Load(),
+		DiskHits:        a.diskHits.Load(),
 		CacheRecomputes: a.cacheRecomputes.Load(),
 		Evictions:       a.evictions.Load(),
 		BytesEvicted:    a.bytesEvicted.Load(),

@@ -75,6 +75,9 @@ type RDD struct {
 	partitioner shuffle.Partitioner
 
 	cached atomic.Bool
+	// level is the StorageLevel in effect while cached (set by
+	// Persist; MemoryOnly for plain Cache).
+	level atomic.Int32
 }
 
 // Context returns the owning context.
@@ -91,14 +94,22 @@ func (r *RDD) Dependencies() []Dependency { return r.deps }
 func (r *RDD) Partitioner() shuffle.Partitioner { return r.partitioner }
 
 // Cache marks the RDD's partitions for in-memory materialization in
-// worker block stores on first computation. Returns r.
-func (r *RDD) Cache() *RDD {
+// worker block stores on first computation (MEMORY_ONLY). Returns r.
+func (r *RDD) Cache() *RDD { return r.Persist(MemoryOnly) }
+
+// Persist marks the RDD's partitions for materialization at the given
+// storage level on first computation. Returns r.
+func (r *RDD) Persist(level StorageLevel) *RDD {
+	r.level.Store(int32(level))
 	r.cached.Store(true)
 	return r
 }
 
-// IsCached reports whether Cache was called.
+// IsCached reports whether Cache/Persist was called.
 func (r *RDD) IsCached() bool { return r.cached.Load() }
+
+// Level returns the storage level in effect while cached.
+func (r *RDD) Level() StorageLevel { return StorageLevel(r.level.Load()) }
 
 // Uncache drops the cache flag and evicts materialized partitions.
 func (r *RDD) Uncache() {
@@ -110,13 +121,16 @@ func (r *RDD) Uncache() {
 func cacheKey(rddID, part int) string { return fmt.Sprintf("rdd/%d/%d", rddID, part) }
 
 // Iterator returns the partition's elements, serving from the local
-// block-store cache when the RDD is cached. On a local miss it first
-// tries a remote cache read — fetching the partition from another
-// live worker that still holds it — and only then recomputes from
+// block-store cache when the RDD is cached. A local memory miss
+// resolves down the storage hierarchy: the worker's own disk tier
+// (promoting the partition back into free memory room), then a remote
+// cache read — fetching the partition from another live worker that
+// still holds it on either tier — and only then recomputation from
 // lineage (recompute-on-miss is lineage recovery). The materialized
-// partition is cached evictably: under memory pressure the block
-// store may refuse or later evict it, and the table still answers
-// queries by recomputing cold partitions (§3.2 partial caching).
+// partition is cached at the RDD's storage level: under memory
+// pressure the block store may refuse, spill or later evict it, and
+// the table still answers queries by reading back or recomputing cold
+// partitions (§3.2 partial caching).
 func (r *RDD) Iterator(tc *TaskContext, part int) Iter {
 	if !r.cached.Load() {
 		return r.compute(tc, part)
@@ -126,6 +140,9 @@ func (r *RDD) Iterator(tc *TaskContext, part int) Iter {
 		r.ctx.sched.metrics.CacheHits.Add(1)
 		tc.Job.noteCacheHit()
 		return SliceIter(v.([]any))
+	}
+	if data, ok := r.diskRead(tc, key); ok {
+		return SliceIter(data)
 	}
 	if data, ok := r.remoteCacheRead(tc, part, key); ok {
 		return SliceIter(data)
@@ -150,20 +167,49 @@ func (r *RDD) Iterator(tc *TaskContext, part int) Iter {
 	return SliceIter(data)
 }
 
+// diskRead tries to serve a memory miss from the worker's own disk
+// spill tier — the partition was evicted (or DISK_ONLY-materialized)
+// here and reading it back is far cheaper than a remote fetch or a
+// lineage recompute. Unless the RDD is DISK_ONLY, the partition is
+// promoted back into free memory room (admission replaces the spilled
+// copy, so the bytes are charged to exactly one tier; it re-spills on
+// the next eviction).
+func (r *RDD) diskRead(tc *TaskContext, key string) ([]any, bool) {
+	v, ok := tc.Worker.Store().GetSpilled(key)
+	if !ok {
+		return nil, false
+	}
+	data := v.([]any)
+	r.ctx.sched.metrics.DiskHits.Add(1)
+	tc.Job.noteDiskHit()
+	if r.Level() != DiskOnly {
+		tc.Worker.Store().PutEvictableIfRoomSpillable(key, data, sliceSize(data))
+	}
+	return data, true
+}
+
 // remoteCacheRead tries to serve a cache miss from another live worker
-// still holding the partition — cheaper than recomputing the lineage
-// when the local copy was evicted or the task landed off-holder.
-// Locations it finds stale (the block vanished since the tracker
-// entry) are pruned so later readers stop chasing them.
+// still holding the partition on either tier — cheaper than
+// recomputing the lineage when the local copy was evicted or the task
+// landed off-holder. Locations it finds stale (the block vanished
+// since the tracker entry) are pruned so later readers stop chasing
+// them.
 func (r *RDD) remoteCacheRead(tc *TaskContext, part int, key string) ([]any, bool) {
 	for _, loc := range r.ctx.cache.Locations(r.ID, part, r.ctx) {
 		if loc == tc.Worker.ID {
-			// Locations validated the epoch, yet the local Get missed:
-			// the block was evicted here. Prune the entry.
+			// Locations validated the epoch, yet the local lookups
+			// missed both tiers: the block is gone here. Prune the
+			// entry.
 			r.ctx.cache.RemoveLocation(r.ID, part, loc, r.ctx)
 			continue
 		}
-		v, ok := r.ctx.Cluster.Worker(loc).Store().Get(key)
+		st := r.ctx.Cluster.Worker(loc).Store()
+		v, ok := st.Get(key)
+		if !ok {
+			// The holder may have spilled the partition: its disk tier
+			// is still a valid place to read from.
+			v, ok = st.GetSpilled(key)
+		}
 		if !ok {
 			r.ctx.cache.RemoveLocation(r.ID, part, loc, r.ctx)
 			continue
@@ -180,21 +226,43 @@ func (r *RDD) remoteCacheRead(tc *TaskContext, part int, key string) ([]any, boo
 	return nil, false
 }
 
-// cacheLocally stores a materialized partition evictably and records
-// the location if the block store admitted it. evictOthers allows the
-// put to displace LRU residents (the compute path — this is the only
-// copy); without it admission is opportunistic (the replication path).
+// cacheLocally stores a materialized partition at the RDD's storage
+// level and records the location if any tier admitted it. evictOthers
+// allows the put to displace LRU residents (the compute path — this is
+// the only copy); without it admission is opportunistic (the
+// replication path).
 func (r *RDD) cacheLocally(tc *TaskContext, part int, key string, data []any, evictOthers bool) {
 	// Snapshot the wipe epoch before storing: if the worker dies
 	// around the Put the entry registers as stale rather than claiming
 	// a wiped store still holds the partition.
 	epoch := tc.Worker.Store().Epoch()
 	store := tc.Worker.Store()
+	size := sliceSize(data)
 	var admitted bool
-	if evictOthers {
-		admitted = store.PutEvictable(key, data, sliceSize(data))
-	} else {
-		admitted = store.PutEvictableIfRoom(key, data, sliceSize(data))
+	switch level := r.Level(); {
+	case level == DiskOnly:
+		// Straight to disk, leaving memory to hotter tables. If the
+		// disk tier is absent or cannot take the value, degrade to the
+		// memory path so the table still caches somewhere.
+		admitted = store.PutDisk(key, data, size)
+		if !admitted && evictOthers {
+			admitted = store.PutEvictable(key, data, size)
+		} else if !admitted {
+			admitted = store.PutEvictableIfRoom(key, data, size)
+		}
+	case level == MemoryAndDisk && evictOthers:
+		admitted = store.PutEvictableSpillable(key, data, size)
+		if !admitted {
+			// Infeasible beside the pinned footprint: at least leave a
+			// disk-resident copy so the next read is not a recompute.
+			admitted = store.PutDisk(key, data, size)
+		}
+	case level == MemoryAndDisk:
+		admitted = store.PutEvictableIfRoomSpillable(key, data, size)
+	case evictOthers:
+		admitted = store.PutEvictable(key, data, size)
+	default:
+		admitted = store.PutEvictableIfRoom(key, data, size)
 	}
 	if admitted {
 		r.ctx.cache.Add(r.ID, part, tc.Worker.ID, epoch, r.ctx)

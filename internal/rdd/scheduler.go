@@ -35,9 +35,10 @@ type Metrics struct {
 	MapStageReruns   atomic.Int64 // map tasks re-executed to regenerate lost output
 	SpeculativeTasks atomic.Int64
 	StagesRun        atomic.Int64
-	CacheHits        atomic.Int64 // cached partitions served from the local block store
+	CacheHits        atomic.Int64 // cached partitions served from local worker memory
 	CacheRecomputes  atomic.Int64 // previously-cached partitions rebuilt from lineage
 	RemoteCacheHits  atomic.Int64 // cached partitions fetched from another live worker
+	DiskHits         atomic.Int64 // cached partitions read back from the local disk tier
 }
 
 // NewScheduler creates a scheduler bound to ctx.

@@ -216,6 +216,11 @@ func (s *Service) Fetch(shuffleID, bucket int, locations map[int]int) ([]Pair, e
 		w := s.cluster.Worker(wid)
 		key := blockKey(shuffleID, mapPart, bucket)
 		v, ok := w.Store().Get(key)
+		if !ok {
+			// A bucket the shuffle budget pushed to the producer's disk
+			// tier is still that worker's output — read it back.
+			v, ok = w.Store().GetSpilled(key)
+		}
 		if !ok || !w.Alive() {
 			missing = append(missing, mapPart)
 			continue
@@ -324,6 +329,10 @@ func rowToValue(r row.Row) any {
 }
 
 // Unregister drops all trace of a shuffle (cleanup between queries).
+// Store Keys/Delete span both tiers, so buckets the shuffle budget
+// spilled to a worker's disk are deleted — files included — along
+// with the in-memory ones: epoch pruning must not leak spill-dir
+// space on a long-lived cluster.
 func (s *Service) Unregister(shuffleID int) {
 	prefix := fmt.Sprintf("shuf/%d/", shuffleID)
 	for i := 0; i < s.cluster.NumWorkers(); i++ {

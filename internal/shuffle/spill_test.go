@@ -1,0 +1,123 @@
+package shuffle
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"shark/internal/cluster"
+	"shark/internal/row"
+)
+
+// TestSpillCodecRoundTrip: pairs, row slices, scalars and nils survive
+// the spill encoding.
+func TestSpillCodecRoundTrip(t *testing.T) {
+	codec := sparkSpillCodec{}
+	cases := []any{
+		[]Pair{{K: int64(1), V: row.Row{int64(2), "x"}}, {K: "k", V: int64(9)}},
+		[]any{row.Row{int64(1), "a", 2.5, true, nil}, row.Row{int64(2), "b", 0.0, false, "z"}},
+		[]any{int64(7), "str", 1.25, true, nil},
+		[]any{Pair{K: int64(3), V: "v"}, int64(4)},
+		[]any{},
+	}
+	for _, in := range cases {
+		data, err := codec.EncodeSpill(in)
+		if err != nil {
+			t.Fatalf("encode %T: %v", in, err)
+		}
+		out, err := codec.DecodeSpill(data)
+		if err != nil {
+			t.Fatalf("decode %T: %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip %T: got %#v want %#v", in, out, in)
+		}
+	}
+}
+
+// TestSpillCodecRejectsUnknown: values that cannot cross a disk
+// boundary report an error instead of panicking.
+func TestSpillCodecRejectsUnknown(t *testing.T) {
+	codec := sparkSpillCodec{}
+	if _, err := codec.EncodeSpill("just a string"); err == nil {
+		t.Error("bare string encoded")
+	}
+	if _, err := codec.EncodeSpill([]any{[]float64{1, 2}}); err == nil {
+		t.Error("slice with unencodable element encoded")
+	}
+	if _, err := codec.DecodeSpill([]byte{'?'}); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+// TestFetchFromSpilledBucket: a map output the shuffle budget pushed
+// to the producer's disk tier is still fetchable.
+func TestFetchFromSpilledBucket(t *testing.T) {
+	// Tiny shuffle budget + disk tier: the first bucket spills as soon
+	// as the second commits.
+	c := cluster.New(cluster.Config{
+		Workers:            1,
+		Slots:              1,
+		WorkerShuffleBytes: 1,
+		WorkerDiskBytes:    -1,
+	})
+	defer c.Close()
+	svc := NewService(c, Memory, "")
+	id := svc.NewShuffleID()
+	w := c.Worker(0)
+	for mapPart := 0; mapPart < 2; mapPart++ {
+		wr := svc.NewWriter(id, mapPart, 1, w)
+		wr.Write(0, Pair{K: int64(mapPart), V: int64(mapPart * 10)})
+		if _, err := wr.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.DiskTierStats().SpilledBlocks == 0 {
+		t.Fatal("no buckets spilled despite the 1-byte shuffle budget")
+	}
+	out, err := svc.Fetch(id, 0, map[int]int{0: 0, 1: 0})
+	if err != nil {
+		t.Fatalf("fetch across tiers: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("fetched %d pairs, want 2", len(out))
+	}
+}
+
+// TestUnregisterDeletesSpilledBuckets: epoch pruning sweeps spilled
+// buckets — entries and files — so a long-lived cluster does not leak
+// spill-dir disk.
+func TestUnregisterDeletesSpilledBuckets(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Workers:            1,
+		Slots:              1,
+		WorkerShuffleBytes: 1,
+		WorkerDiskBytes:    -1,
+	})
+	defer c.Close()
+	svc := NewService(c, Memory, "")
+	id := svc.NewShuffleID()
+	w := c.Worker(0)
+	for mapPart := 0; mapPart < 3; mapPart++ {
+		wr := svc.NewWriter(id, mapPart, 1, w)
+		wr.Write(0, Pair{K: int64(mapPart), V: int64(1)})
+		if _, err := wr.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk := w.Store().Disk()
+	if disk.Len() == 0 {
+		t.Fatal("nothing spilled before Unregister")
+	}
+	dir := disk.Dir()
+	svc.Unregister(id)
+	if n := disk.Len(); n != 0 {
+		t.Errorf("%d spilled buckets survive Unregister", n)
+	}
+	if got := disk.ApproxBytes(); got != 0 {
+		t.Errorf("disk still accounts %d bytes after Unregister", got)
+	}
+	if ents, err := os.ReadDir(dir); err == nil && len(ents) != 0 {
+		t.Errorf("%d spill files leaked after Unregister", len(ents))
+	}
+}

@@ -82,6 +82,25 @@ type (
 	// SchedulingPolicy selects how freed slots pick among queued
 	// tasks of concurrent jobs.
 	SchedulingPolicy = cluster.Policy
+	// StorageLevel selects which tiers (memory / local disk) a cached
+	// table's partitions may occupy.
+	StorageLevel = rdd.StorageLevel
+	// DiskTierStats aggregates the per-worker disk spill tiers.
+	DiskTierStats = cluster.DiskTierStats
+)
+
+// Storage levels for cached tables.
+const (
+	// StorageMemoryOnly keeps cached partitions in worker memory;
+	// eviction victims are dropped and rebuilt from remote copies or
+	// lineage (the default).
+	StorageMemoryOnly = rdd.MemoryOnly
+	// StorageMemoryAndDisk spills eviction victims to the worker's
+	// local disk tier and reads them back on a miss.
+	StorageMemoryAndDisk = rdd.MemoryAndDisk
+	// StorageDiskOnly materializes cached partitions straight to the
+	// disk tier, leaving worker memory to hotter tables.
+	StorageDiskOnly = rdd.DiskOnly
 )
 
 // Column types.
@@ -130,9 +149,20 @@ type ClusterConfig struct {
 	Speculation bool
 	// WorkerMemoryBytes bounds each simulated worker's block store:
 	// cached table partitions are LRU-evicted under pressure and
-	// recovered by remote cache reads or lineage recomputation.
-	// 0 = unbounded.
+	// recovered from the disk tier, remote cache reads or lineage
+	// recomputation. 0 = unbounded.
 	WorkerMemoryBytes int64
+	// WorkerDiskBytes sizes each worker's local-disk spill tier:
+	// MEMORY_AND_DISK eviction victims (and over-budget shuffle
+	// buckets) land there instead of being dropped. 0 disables the
+	// tier; negative = unbounded disk.
+	WorkerDiskBytes int64
+	// WorkerShuffleBytes gives pinned shuffle outputs a separate
+	// budget so a shuffle-heavy job cannot starve the cache: pinned
+	// bytes stop counting against WorkerMemoryBytes and the coldest
+	// buckets spill to disk when the budget overflows. 0 keeps the
+	// shared accounting.
+	WorkerShuffleBytes int64
 	// Scheduling selects the cross-job dequeue policy (default
 	// FairScheduling).
 	Scheduling SchedulingPolicy
@@ -167,24 +197,26 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.TaskLaunchOverhead > 0 {
 		profile.TaskLaunchOverhead = cfg.TaskLaunchOverhead
 	}
-	cl := cluster.New(cluster.Config{
-		Workers:           cfg.Workers,
-		Slots:             cfg.SlotsPerWorker,
-		Profile:           profile,
-		WorkerMemoryBytes: cfg.WorkerMemoryBytes,
-		Policy:            cfg.Scheduling,
-	})
 	dir := cfg.DataDir
 	tmp := ""
 	if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "shark-*")
 		if err != nil {
-			cl.Close()
 			return nil, fmt.Errorf("shark: %w", err)
 		}
 		tmp = dir
 	}
+	cl := cluster.New(cluster.Config{
+		Workers:            cfg.Workers,
+		Slots:              cfg.SlotsPerWorker,
+		Profile:            profile,
+		WorkerMemoryBytes:  cfg.WorkerMemoryBytes,
+		WorkerDiskBytes:    cfg.WorkerDiskBytes,
+		WorkerShuffleBytes: cfg.WorkerShuffleBytes,
+		SpillDir:           dir + "/spill",
+		Policy:             cfg.Scheduling,
+	})
 	fs, err := dfs.New(dfs.Config{Dir: dir + "/dfs"})
 	if err != nil {
 		cl.Close()
@@ -223,6 +255,10 @@ type SessionConfig struct {
 	// Engine tunes this session's execution engine independently of
 	// other sessions.
 	Engine EngineOptions
+	// StorageLevel is the default storage level for tables this
+	// session caches with "shark.cache"="true" (per-table
+	// TBLPROPERTIES levels override it).
+	StorageLevel StorageLevel
 }
 
 // NewSession attaches a session to the shared cluster. Closing the
@@ -261,10 +297,9 @@ func (c *Cluster) NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.SharedCatalog {
 		cat = c.shared
 	}
-	return &Session{
-		Session: core.NewSessionNamed(c.rddCtx, c.fs, cat, name, cfg.Engine),
-		Cluster: c,
-	}, nil
+	cs := core.NewSessionNamed(c.rddCtx, c.fs, cat, name, cfg.Engine)
+	cs.DefaultStorageLevel = cfg.StorageLevel
+	return &Session{Session: cs, Cluster: c}, nil
 }
 
 // Close shuts the cluster down: outstanding tasks are abandoned and
@@ -297,8 +332,12 @@ func (c *Cluster) AliveWorkers() []int { return c.cl.AliveWorkers() }
 func (c *Cluster) Worker(i int) *cluster.Worker { return c.cl.Worker(i) }
 
 // Metrics returns the dispatcher counters (steals, locality,
-// evictions, cancellations).
+// evictions, spills, cancellations).
 func (c *Cluster) Metrics() *cluster.DispatchMetrics { return c.cl.Metrics() }
+
+// DiskStats aggregates the per-worker disk spill tiers (spilled
+// blocks/bytes, disk hits, disk evictions).
+func (c *Cluster) DiskStats() DiskTierStats { return c.cl.DiskTierStats() }
 
 // Kill simulates a node failure, wiping the worker's local state and
 // notifying the scheduler's bookkeeping.
@@ -332,9 +371,18 @@ type Config struct {
 	Speculation bool
 	// WorkerMemoryBytes bounds each simulated worker's block store:
 	// cached table partitions are LRU-evicted under pressure and
-	// recovered by remote cache reads or lineage recomputation.
-	// 0 = unbounded.
+	// recovered from the disk tier, remote cache reads or lineage
+	// recomputation. 0 = unbounded.
 	WorkerMemoryBytes int64
+	// WorkerDiskBytes sizes each worker's local-disk spill tier
+	// (0 disables it; negative = unbounded disk).
+	WorkerDiskBytes int64
+	// WorkerShuffleBytes gives pinned shuffle outputs a separate
+	// budget (0 keeps the shared accounting).
+	WorkerShuffleBytes int64
+	// StorageLevel is the default storage level for cached tables
+	// (per-table TBLPROPERTIES levels override it).
+	StorageLevel StorageLevel
 }
 
 // Session is a connected Shark client attached to a Cluster. Exec /
@@ -363,11 +411,13 @@ func NewSession(cfg Config) (*Session, error) {
 		DiskShuffle:        cfg.DiskShuffle,
 		Speculation:        cfg.Speculation,
 		WorkerMemoryBytes:  cfg.WorkerMemoryBytes,
+		WorkerDiskBytes:    cfg.WorkerDiskBytes,
+		WorkerShuffleBytes: cfg.WorkerShuffleBytes,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s, err := cl.NewSession(SessionConfig{Engine: cfg.Engine})
+	s, err := cl.NewSession(SessionConfig{Engine: cfg.Engine, StorageLevel: cfg.StorageLevel})
 	if err != nil {
 		cl.Close()
 		return nil, err

@@ -102,6 +102,80 @@ func TestPublicWorkerMemoryBytesOption(t *testing.T) {
 	}
 }
 
+// TestPublicStorageLevels: the same over-budget table, cached
+// MEMORY_AND_DISK through the public knobs, answers from the disk
+// tier instead of recomputing — the storage-level cliff the unbounded
+// baseline never sees and the eviction-only path pays in recomputes.
+func TestPublicStorageLevels(t *testing.T) {
+	const capBytes = 20 << 10
+	s := newSession(t, shark.Config{
+		WorkerMemoryBytes: capBytes,
+		WorkerDiskBytes:   -1, // unbounded local disk
+		StorageLevel:      shark.StorageMemoryAndDisk,
+	})
+	loadLogs(t, s, 5000)
+	if _, err := s.Exec(`CREATE TABLE logs_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM logs`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := s.Exec(`SELECT status, COUNT(*) AS n FROM logs_mem GROUP BY status ORDER BY n DESC`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 2 || res.Rows[0][0].(int64) != 200 || res.Rows[0][1].(int64) != 4500 {
+			t.Fatalf("pass %d: rows = %v", i, res.Rows)
+		}
+	}
+	ds := s.Cluster.DiskStats()
+	if ds.SpilledBlocks == 0 || ds.DiskHits == 0 {
+		t.Errorf("disk tier unused: %+v", ds)
+	}
+	m := s.Ctx.Scheduler().Metrics()
+	if got := m.CacheRecomputes.Load(); got != 0 {
+		t.Errorf("CacheRecomputes = %d; the spilled partition should be read back, not rebuilt", got)
+	}
+	if got := m.DiskHits.Load(); got == 0 {
+		t.Error("no DiskHits despite the partition living on disk")
+	}
+	for i := 0; i < s.Cluster.NumWorkers(); i++ {
+		if b := s.Cluster.Worker(i).Store().ApproxBytes(); b > capBytes {
+			t.Errorf("worker %d holds %d bytes over the %d-byte bound", i, b, capBytes)
+		}
+	}
+}
+
+// TestPublicShuffleBudget: with a separate shuffle budget, a
+// shuffle-heavy query beside a cached table does not evict the
+// table's partitions under the cache budget.
+func TestPublicShuffleBudget(t *testing.T) {
+	s := newSession(t, shark.Config{
+		WorkerMemoryBytes:  256 << 10,
+		WorkerShuffleBytes: 1 << 10,
+		WorkerDiskBytes:    -1,
+	})
+	loadLogs(t, s, 4000)
+	if _, err := s.Exec(`CREATE TABLE logs_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM logs`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`SELECT status, COUNT(*) FROM logs_mem GROUP BY status`); err != nil {
+		t.Fatal(err) // warm the cache
+	}
+	evictionsBefore := s.Cluster.Metrics().CacheEvictions.Load()
+	// A high-cardinality group-by: lots of pinned shuffle bytes, well
+	// over the 1KB shuffle budget.
+	res, err := s.Exec(`SELECT url, SUM(bytes) FROM logs_mem GROUP BY url`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 50 {
+		t.Fatalf("group count = %d, want 50", len(res.Rows))
+	}
+	if got := s.Cluster.Metrics().CacheEvictions.Load(); got != evictionsBefore {
+		t.Errorf("shuffle-heavy query evicted %d cached partitions despite the split budget",
+			got-evictionsBefore)
+	}
+}
+
 func TestPublicSql2RddAndML(t *testing.T) {
 	s := newSession(t, shark.Config{})
 	loadLogs(t, s, 3000)
