@@ -1,4 +1,4 @@
-.PHONY: build test race fmt vet bench ci
+.PHONY: build test race fmt vet bench perfgate ci
 
 GO ?= go
 
@@ -11,10 +11,12 @@ test:
 # The dispatcher, shuffle, eviction/spill and multi-session paths are
 # concurrency-heavy; race-clean is the bar for them. The root package
 # and internal/core carry the shared-cluster / concurrent-session /
-# cancellation suites; cluster carries the disk-tier race suite, and
-# columnar the spill marshalling the tiers serialize through.
+# cancellation / admission suites; cluster carries the disk-tier and
+# scheduler-torture race suites, columnar the spill marshalling the
+# tiers serialize through, and exec the join/aggregate pipelines that
+# now poll cancellation from inside task bodies.
 race:
-	$(GO) test -race . ./internal/rdd ./internal/cluster ./internal/shuffle ./internal/memtable ./internal/core ./internal/columnar
+	$(GO) test -race . ./internal/rdd ./internal/cluster ./internal/shuffle ./internal/memtable ./internal/core ./internal/columnar ./internal/exec
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -31,12 +33,19 @@ vet:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Harness smoke: the dispatcher, memory-pressure, tiered-storage and
-# multi-tenant concurrency ablations at CI scale, with a Markdown
-# report plus a JSON trajectory point (renamed BENCH_<sha>.json by CI)
-# for the artifact trail — the non-gating perf check comparing the
-# spill-read path against lineage recomputation.
+# Harness smoke: the dispatcher, memory-pressure, tiered-storage,
+# multi-tenant concurrency and weighted-priority ablations at CI
+# scale, with a Markdown report plus a JSON trajectory point (renamed
+# BENCH_<sha>.json by CI) for the artifact trail — the non-gating perf
+# check comparing the spill-read path against lineage recomputation
+# and asserting the weighted p95 ordering.
 bench-smoke:
-	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory,abl_storage,abl_concurrency -scale small -markdown bench-report.md -json bench-trajectory.json
+	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory,abl_storage,abl_concurrency,abl_priority -scale small -markdown bench-report.md -json bench-trajectory.json
+
+# Perf gate: compare the newest BENCH_<sha>.json against the previous
+# trajectory point and fail on >25% regressions of recorded experiment
+# timings. Warn-only until the trajectory holds >= 3 points.
+perfgate:
+	./scripts/perfgate.sh
 
 ci: build vet fmt test race

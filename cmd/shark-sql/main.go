@@ -5,6 +5,7 @@
 //
 //	shark-sql -demo                 # preload demo tables, then REPL
 //	shark-sql -e "SELECT ..."       # one-shot
+//	shark-sql -priority 4           # weighted fair-share session weight
 //	echo "SELECT 1+1" | shark-sql
 //
 // The -demo flag loads two Pavlo-benchmark tables (rankings,
@@ -29,9 +30,10 @@ func main() {
 	demo := flag.Bool("demo", false, "preload demo tables")
 	oneShot := flag.String("e", "", "execute one statement and exit")
 	workers := flag.Int("workers", 8, "simulated workers")
+	priority := flag.Int("priority", 1, "session fair-share weight (weighted fair scheduling)")
 	flag.Parse()
 
-	s, err := shark.NewSession(shark.Config{Workers: *workers})
+	s, err := shark.NewSession(shark.Config{Workers: *workers, Priority: *priority})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

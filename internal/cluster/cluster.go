@@ -14,12 +14,13 @@
 // expired. This is what makes "many small tasks" actually balance
 // (§7.1) instead of one worker draining a global queue.
 //
-// Tasks carry a JobID. Under the default FairShare policy a freed slot
-// runs the queued task whose job has the fewest task bodies executing
-// cluster-wide (min-running-tasks-first), so concurrent sessions
-// sharing the cluster each make progress instead of queueing behind
-// the largest job's task wave; CancelJob drops a job's queued tasks
-// without touching other jobs.
+// Tasks carry a JobID and a Weight. Under the default FairShare policy
+// a freed slot runs the queued task whose job has the smallest
+// running/weight ratio cluster-wide (weighted fair sharing, after the
+// Spark fair scheduler's pool weights), so concurrent sessions sharing
+// the cluster each make progress in proportion to their priority
+// instead of queueing behind the largest job's task wave; CancelJob
+// drops a job's queued tasks without touching other jobs.
 //
 // The cluster runs tasks for both the Spark-like engine (internal/rdd)
 // and the Hadoop-like engine (internal/mr); the two differ only in the
@@ -60,11 +61,13 @@ type Policy int
 
 const (
 	// FairShare (default) picks the eligible task whose job currently
-	// has the fewest running tasks cluster-wide, breaking ties in
-	// queue order. With a single active job this degenerates to FIFO;
-	// with a short interactive job queued behind a long scan's task
-	// wave it is what keeps the short job's latency bounded by task
-	// duration instead of queue depth.
+	// has the smallest running/weight ratio cluster-wide, breaking
+	// ties in queue order. With a single active job this degenerates
+	// to FIFO; with a short interactive job queued behind a long
+	// scan's task wave it is what keeps the short job's latency
+	// bounded by task duration instead of queue depth, and a
+	// weight-4 job holds 4x the slots of a weight-1 job when both are
+	// backlogged.
 	FairShare Policy = iota
 	// FIFO always takes the oldest eligible queued task, regardless of
 	// which job it belongs to (the pre-multi-tenant behavior; kept for
@@ -187,6 +190,12 @@ type Task struct {
 	// CancelJob drops queued tasks by it. 0 = untagged (legacy
 	// submitters), which fair-shares as one shared bucket.
 	JobID int64
+	// Weight is the job's fair-share weight (<=0 reads as 1): under
+	// FairShare a freed slot picks the queued task whose job has the
+	// smallest running/weight ratio, so a weight-4 job sustains 4x the
+	// running tasks of a weight-1 job before losing priority. Every
+	// task of one job must carry the same weight.
+	Weight int
 
 	result chan Result
 	// deadline is when the locality window expires (guarded by the
@@ -199,6 +208,14 @@ type Task struct {
 	// placedOn holds workerID+1 of the queue the task was last
 	// placed on (0 = pending/unplaced).
 	placedOn atomic.Int32
+}
+
+// weight normalizes the task's fair-share weight (unset reads as 1).
+func (t *Task) weight() int {
+	if t.Weight <= 0 {
+		return 1
+	}
+	return t.Weight
 }
 
 // RunningOn reports the worker currently (or last) executing the task,
@@ -617,10 +634,19 @@ func (c *Cluster) takePending(w *Worker) *Task {
 	return nil
 }
 
+// starvedLess reports whether task a's job is strictly more starved
+// than task b's under weighted fair sharing: smaller running/weight
+// ratio wins. Cross-multiplied so the comparison stays in integers —
+// running_a/w_a < running_b/w_b ⇔ running_a·w_b < running_b·w_a.
+// Caller holds the cluster mutex.
+func (c *Cluster) starvedLess(a, b *Task) bool {
+	return c.jobRunning[a.JobID]*b.weight() < c.jobRunning[b.JobID]*a.weight()
+}
+
 // bestAgedPending returns the index of the aged pending task w should
 // run, or -1. FIFO takes the longest-waiting eligible task; fair
-// sharing the eligible task whose job has the fewest running tasks
-// (ties go to waiting order). Caller holds the cluster mutex.
+// sharing the eligible task whose job has the smallest running/weight
+// ratio (ties go to waiting order). Caller holds the cluster mutex.
 func (c *Cluster) bestAgedPending(w *Worker, now time.Time) int {
 	best := -1
 	for i, t := range c.pending {
@@ -630,10 +656,10 @@ func (c *Cluster) bestAgedPending(w *Worker, now time.Time) int {
 		if c.cfg.Policy == FIFO {
 			return i
 		}
-		if best < 0 || c.jobRunning[t.JobID] < c.jobRunning[c.pending[best].JobID] {
+		if best < 0 || c.starvedLess(t, c.pending[best]) {
 			best = i
 			if c.jobRunning[t.JobID] == 0 {
-				break // nothing beats an idle job; earliest wins
+				break // ratio 0 is unbeatable; earliest wins ties
 			}
 		}
 	}
@@ -654,7 +680,7 @@ func (c *Cluster) bestQueued(w *Worker) int {
 		if c.jobRunning[t.JobID] == 0 {
 			return i
 		}
-		if best < 0 || c.jobRunning[t.JobID] < c.jobRunning[w.queue[best].JobID] {
+		if best < 0 || c.starvedLess(t, w.queue[best]) {
 			best = i
 		}
 	}
@@ -755,14 +781,14 @@ func (c *Cluster) takeTask(w *Worker, canSteal bool) *Task {
 	// candidate pool. Under FIFO, aged pending tasks outrank queued
 	// work outright: a task past its locality window has already
 	// waited longer than anything sitting in a bounded queue. Under
-	// fair sharing the two pools compete on running-task counts (aged
-	// pending wins ties, preserving the anti-starvation order), so a
-	// long job that saturates the queues into pending cannot use the
-	// aged-first rule to starve a short job all over again.
+	// fair sharing the two pools compete on weighted running ratios
+	// (aged pending wins ties, preserving the anti-starvation order),
+	// so a long job that saturates the queues into pending cannot use
+	// the aged-first rule to starve a short job all over again.
 	pi := c.bestAgedPending(w, now)
 	qi := c.bestQueued(w)
 	if pi >= 0 && (qi < 0 || c.cfg.Policy == FIFO ||
-		c.jobRunning[c.pending[pi].JobID] <= c.jobRunning[w.queue[qi].JobID]) {
+		!c.starvedLess(w.queue[qi], c.pending[pi])) {
 		t := c.pending[pi]
 		c.pending = append(c.pending[:pi], c.pending[pi+1:]...)
 		return t

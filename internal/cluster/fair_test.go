@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"errors"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -256,6 +258,231 @@ func TestBatchStealingFewerEvents(t *testing.T) {
 	}
 	if events >= tasks {
 		t.Errorf("steal events = %d for %d stolen tasks; batching should need fewer events", events, tasks)
+	}
+}
+
+// blockN occupies n slots with tasks of jobID that each hold until a
+// value arrives on release, returning the result channels once all n
+// have started.
+func blockN(t *testing.T, c *Cluster, jobID int64, weight, n int, release chan struct{}) []<-chan Result {
+	t.Helper()
+	started := make(chan struct{}, n)
+	var chans []<-chan Result
+	for i := 0; i < n; i++ {
+		chans = append(chans, c.Submit(&Task{
+			JobID:  jobID,
+			Weight: weight,
+			Fn: func(w *Worker) (any, error) {
+				started <- struct{}{}
+				<-release
+				return nil, nil
+			},
+		}))
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-started:
+		case <-time.After(2 * time.Second):
+			t.Fatal("blockers never started")
+		}
+	}
+	return chans
+}
+
+// TestWeightedFairShareDequeue: with equal running counts a weighted
+// job outranks an unweighted one — the heavy job H (weight 4) holding
+// 1 running task (ratio 1/4) beats the light job L (weight 1) holding
+// 1 running task (ratio 1/1), even though L's task was queued first.
+// Under the old unweighted policy this tie (1 running vs 1 running)
+// went to queue order.
+func TestWeightedFairShareDequeue(t *testing.T) {
+	c := newTest(t, Config{Workers: 1, Slots: 3, Policy: FairShare})
+	const hJob, lJob = 1, 2
+	relH := make(chan struct{}, 2)
+	relL := make(chan struct{}, 1)
+	hBlockers := blockN(t, c, hJob, 4, 2, relH) // H: 2 running
+	lBlockers := blockN(t, c, lJob, 1, 1, relL) // L: 1 running
+
+	var mu sync.Mutex
+	var order []int64
+	record := func(jobID int64, weight int) <-chan Result {
+		return c.Submit(&Task{JobID: jobID, Weight: weight, Fn: func(w *Worker) (any, error) {
+			mu.Lock()
+			order = append(order, jobID)
+			mu.Unlock()
+			return nil, nil
+		}})
+	}
+	lCh := record(lJob, 1) // queued first
+	hCh := record(hJob, 4)
+
+	// Free exactly one H slot: running becomes H=1 (ratio 0.25) vs
+	// L=1 (ratio 1.0) — the freed slot must take H's queued task.
+	relH <- struct{}{}
+	if r := <-hCh; r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	relH <- struct{}{}
+	close(relL)
+	for _, ch := range append(hBlockers, lBlockers...) {
+		if r := <-ch; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if r := <-lCh; r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != hJob {
+		t.Errorf("dequeue order = %v, want weight-4 job first despite later queueing", order)
+	}
+}
+
+// TestWeightedShareConvergence: three saturating jobs at weights 1:2:4
+// must receive long-run shares of executed task-time proportional to
+// their weights (torture-test criterion (c)). Each job keeps a deep
+// backlog of equal-duration tasks, so completed-task counts are a
+// direct proxy for slot-time share.
+func TestWeightedShareConvergence(t *testing.T) {
+	c := newTest(t, Config{Workers: 2, Slots: 4, Policy: FairShare})
+	weights := []int{1, 2, 4}
+	const taskDur = 2 * time.Millisecond
+	const window = 900 * time.Millisecond
+
+	var stop atomic.Bool
+	counts := make([]atomic.Int64, len(weights))
+	var wg sync.WaitGroup
+	for i, w := range weights {
+		jobID, weight := int64(i+1), w
+		// Keep 16 tasks outstanding per job: the backlog must always
+		// exceed what the job's fair share can absorb.
+		for k := 0; k < 16; k++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for !stop.Load() {
+					ch := c.Submit(&Task{JobID: jobID, Weight: weight, Fn: func(wk *Worker) (any, error) {
+						time.Sleep(taskDur)
+						return nil, nil
+					}})
+					if r := <-ch; r.Err != nil {
+						return
+					}
+					counts[i].Add(1)
+				}
+			}(i)
+		}
+	}
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+
+	var total, weightSum int64
+	for i := range weights {
+		total += counts[i].Load()
+		weightSum += int64(weights[i])
+	}
+	if total == 0 {
+		t.Fatal("no tasks completed")
+	}
+	for i, w := range weights {
+		share := float64(counts[i].Load()) / float64(total)
+		want := float64(w) / float64(weightSum)
+		if share < want*0.55 || share > want*1.65 {
+			t.Errorf("weight-%d job share = %.3f (count %d), want ~%.3f (±45%%); all counts: %d/%d/%d",
+				w, share, counts[i].Load(), want,
+				counts[0].Load(), counts[1].Load(), counts[2].Load())
+		}
+	}
+}
+
+// TestSchedulerTortureRandomized: 12 jobs with random weights submit
+// random task waves while roughly half of them are cancelled
+// mid-stream; afterwards (a) every slot is free again, (b) every
+// per-job running count is back to zero, and (c) the cluster still
+// executes fresh work. The invariants must hold for any schedule, so
+// the seed is fresh per run and logged for replay.
+func TestSchedulerTortureRandomized(t *testing.T) {
+	seed := time.Now().UnixNano()
+	t.Logf("torture seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	c := newTest(t, Config{Workers: 3, Slots: 2, Policy: FairShare})
+	const jobs = 12
+	type jobState struct {
+		id    int64
+		chans []<-chan Result
+	}
+	states := make([]*jobState, jobs)
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		st := &jobState{id: int64(j + 1)}
+		states[j] = st
+		weight := 1 << rng.Intn(4) // 1, 2, 4 or 8
+		n := 10 + rng.Intn(30)
+		dur := time.Duration(rng.Intn(1500)) * time.Microsecond
+		for i := 0; i < n; i++ {
+			st.chans = append(st.chans, c.Submit(&Task{
+				JobID:  st.id,
+				Weight: weight,
+				Fn: func(w *Worker) (any, error) {
+					if dur > 0 {
+						time.Sleep(dur)
+					}
+					return nil, nil
+				},
+			}))
+		}
+		if rng.Intn(2) == 0 {
+			// Cancel roughly half the jobs from a racing goroutine.
+			wg.Add(1)
+			go func(id int64, delay time.Duration) {
+				defer wg.Done()
+				time.Sleep(delay)
+				c.CancelJob(id)
+			}(st.id, time.Duration(rng.Intn(5000))*time.Microsecond)
+		}
+	}
+
+	// Every task resolves exactly once: completed or ErrJobCancelled.
+	for _, st := range states {
+		for _, ch := range st.chans {
+			select {
+			case r := <-ch:
+				if r.Err != nil && !errors.Is(r.Err, ErrJobCancelled) {
+					t.Fatalf("job %d task failed: %v", st.id, r.Err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("job %d task never resolved (slot leak?)", st.id)
+			}
+		}
+	}
+	wg.Wait()
+
+	// (b) running counts return to zero for every job.
+	deadline := time.Now().Add(2 * time.Second)
+	for _, st := range states {
+		for c.RunningTasks(st.id) != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %d still has %d running tasks after drain", st.id, c.RunningTasks(st.id))
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// (a) no slot leak: every slot can be occupied again...
+	release := make(chan struct{})
+	probes := blockN(t, c, 999, 1, c.TotalSlots(), release)
+	close(release)
+	for _, ch := range probes {
+		if r := <-ch; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	// ...and (c) fresh work still executes.
+	if r := <-c.Submit(&Task{JobID: 1, Fn: func(w *Worker) (any, error) { return 7, nil }}); r.Err != nil || r.Value != 7 {
+		t.Fatalf("post-torture task = (%v, %v)", r.Value, r.Err)
 	}
 }
 

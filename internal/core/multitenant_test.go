@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -270,6 +271,260 @@ func TestCloseSkipsReCreatedTableOnSharedCatalog(t *testing.T) {
 	}
 	if res.Rows[0][0].(int64) != 300 {
 		t.Errorf("count = %v, want 300", res.Rows[0][0])
+	}
+}
+
+// TestCooperativeCancelMidPartitionScan: a deliberately slow
+// single-partition scan (a per-row UDF that sleeps) must abort
+// mid-partition within a bounded wall-clock when its context is
+// cancelled — not at the partition boundary seconds later — and leave
+// the session fully reusable.
+func TestCooperativeCancelMidPartitionScan(t *testing.T) {
+	w := newSharedWorld(t)
+	s := w.session("slowpoke", false)
+	defer s.Close()
+	s.DefaultCacheParts = 1 // one partition: boundary-only cancel would wait out the whole scan
+	const rows = 40000
+	loadTenantTable(t, s, "big", rows, 0)
+	err := s.RegisterUDF("SLOWROW", row.TBool, 1, 1, func(args []any) any {
+		time.Sleep(100 * time.Microsecond) // full scan ≈ 4s
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = s.ExecContext(gctx, `SELECT COUNT(*) FROM big_mem WHERE SLOWROW(k)`)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The single partition needs ~4s to finish; the cooperative abort
+	// must land far earlier. 1.5s leaves slack for slow CI under -race.
+	if elapsed > 1500*time.Millisecond {
+		t.Errorf("cancel took %v; the scan ran its partition to the boundary", elapsed)
+	}
+	// The abort is visible in the session's stats once the task body
+	// lands (it may trail the master's return by one row checkpoint).
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().CancelledMidPartition == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("CancelledMidPartition stayed 0")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Session stays usable and correct.
+	res, err := s.Exec(`SELECT COUNT(*) FROM big_mem`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].(int64); got != rows {
+		t.Errorf("post-abort count = %d, want %d", got, rows)
+	}
+}
+
+// gateUDF installs a blocking UDF over a one-row table: the single
+// evaluation per statement signals entered and holds until the gate
+// channel yields. Used to park statements mid-execution
+// deterministically and count how many execute concurrently.
+func gateUDF(t *testing.T, s *Session, entered *atomic.Int64, gate chan struct{}) {
+	t.Helper()
+	err := s.RegisterUDF("GATE", row.TBool, 1, 1, func(args []any) any {
+		entered.Add(1)
+		<-gate
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmissionControlSerializesStatements: a session capped at
+// MaxConcurrentJobs=1 issuing three concurrent ExecContext calls must
+// run them strictly one at a time (FIFO admission), recording two
+// admission waits and three admitted jobs.
+func TestAdmissionControlSerializesStatements(t *testing.T) {
+	w := newSharedWorld(t)
+	s := w.session("capped", false)
+	defer s.Close()
+	s.DefaultCacheParts = 1
+	loadTenantTable(t, s, "small", 1, 0)
+	var entered atomic.Int64
+	gate := make(chan struct{})
+	gateUDF(t, s, &entered, gate)
+	s.MaxConcurrentJobs = 1 // after setup: the loads above should not queue
+
+	const stmts = 3
+	errs := make(chan error, stmts)
+	var wg sync.WaitGroup
+	for i := 0; i < stmts; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.ExecContext(context.Background(), `SELECT COUNT(*) FROM small_mem WHERE GATE(k)`)
+			errs <- err
+		}()
+	}
+	// Exactly one statement may reach execution while the gate holds.
+	deadline := time.Now().Add(2 * time.Second)
+	for entered.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no statement ever started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // give stragglers time to (incorrectly) start
+	if got := entered.Load(); got != 1 {
+		t.Fatalf("%d statements executing concurrently under MaxConcurrentJobs=1", got)
+	}
+	if got := s.Stats().AdmissionWaits; got != 2 {
+		t.Errorf("AdmissionWaits = %d, want 2", got)
+	}
+	// Release everyone: each statement passes the gate once admitted.
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := entered.Load(); got != stmts {
+		t.Errorf("entered = %d, want %d", got, stmts)
+	}
+	if got := s.Stats().AdmittedJobs; got != stmts {
+		t.Errorf("AdmittedJobs = %d, want %d", got, stmts)
+	}
+}
+
+// TestAdmissionCancelWhileQueuedNeverDispatches: cancelling a
+// statement that is still waiting for admission releases it
+// immediately — it never becomes a job and never dispatches a task.
+func TestAdmissionCancelWhileQueuedNeverDispatches(t *testing.T) {
+	w := newSharedWorld(t)
+	s := w.session("queued", false)
+	defer s.Close()
+	s.DefaultCacheParts = 1
+	loadTenantTable(t, s, "small", 1, 0)
+	var entered atomic.Int64
+	gate := make(chan struct{})
+	gateUDF(t, s, &entered, gate)
+	s.MaxConcurrentJobs = 1
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.ExecContext(context.Background(), `SELECT COUNT(*) FROM small_mem WHERE GATE(k)`)
+		first <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for entered.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first statement never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Second statement queues for admission; cancel it there.
+	gctx, cancel := context.WithCancel(context.Background())
+	second := make(chan error, 1)
+	go func() {
+		_, err := s.ExecContext(gctx, `SELECT COUNT(*) FROM small_mem`)
+		second <- err
+	}()
+	for s.Stats().AdmissionWaits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second statement never queued for admission")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	launchedBefore := w.cl.TasksLaunched()
+	jobsBefore := s.Stats().Jobs
+	cancel()
+	select {
+	case err := <-second:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled queued statement err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled queued statement never returned")
+	}
+	// No job was created and no task was dispatched for it (the first
+	// statement is parked inside the gate, so the counters are quiet).
+	if got := w.cl.TasksLaunched(); got != launchedBefore {
+		t.Errorf("TasksLaunched went %d -> %d during a queued-statement cancel", launchedBefore, got)
+	}
+	if got := s.Stats().Jobs; got != jobsBefore {
+		t.Errorf("Jobs went %d -> %d: the cancelled wait produced a job", jobsBefore, got)
+	}
+
+	close(gate)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	// The slot freed by the finished first statement admits new work.
+	res, err := s.Exec(`SELECT COUNT(*) FROM small_mem`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].(int64); got != 1 {
+		t.Errorf("post-cancel count = %d, want 1", got)
+	}
+}
+
+// TestStatementShuffleOutputsReleased: a join-heavy statement pins
+// shuffle map outputs in worker memory while it runs; once it
+// completes with no live RDD over those shuffles, the pinned bytes
+// must return to baseline instead of outliving the statement (the
+// PR 4 storage follow-up).
+func TestStatementShuffleOutputsReleased(t *testing.T) {
+	w := newSharedWorld(t)
+	// Broadcast threshold 1 byte forces a real shuffle join.
+	s := NewSessionNamed(w.ctx, w.fs, catalog.New(), "joiner", exec.Options{BroadcastThreshold: 1})
+	defer s.Close()
+	loadTenantTable(t, s, "lhs", 600, 0)
+	loadTenantTable(t, s, "rhs", 400, 0)
+
+	pinned := func() int64 {
+		var n int64
+		for i := 0; i < w.cl.NumWorkers(); i++ {
+			n += w.cl.Worker(i).Store().PinnedBytes()
+		}
+		return n
+	}
+	baseline := pinned()
+
+	res, err := s.Exec(`SELECT lhs_mem.grp, COUNT(*) FROM lhs_mem JOIN rhs_mem ON lhs_mem.k = rhs_mem.k GROUP BY lhs_mem.grp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := false
+	for _, st := range res.Stats.JoinStrategies {
+		if strings.Contains(st, "shuffle-join") {
+			shuffled = true
+		}
+	}
+	if !shuffled {
+		t.Fatalf("scenario broken: join strategies %v include no shuffle join", res.Stats.JoinStrategies)
+	}
+	var total int64
+	for _, r := range res.Rows {
+		total += r[1].(int64)
+	}
+	if total != 400 {
+		t.Errorf("join row count = %d, want 400", total)
+	}
+	if got := pinned(); got != baseline {
+		t.Errorf("pinned shuffle bytes = %d after statement, want baseline %d: map outputs outlived the statement", got, baseline)
+	}
+	// The session keeps answering after the cleanup.
+	if _, err := s.Exec(`SELECT COUNT(*) FROM lhs_mem`); err != nil {
+		t.Fatal(err)
 	}
 }
 

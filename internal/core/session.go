@@ -39,6 +39,18 @@ type Session struct {
 	// SessionStats.
 	Tag string
 
+	// Priority is the session's fair-share weight (<=0 reads as 1):
+	// every statement's cluster tasks carry it, and under weighted
+	// fair scheduling a priority-4 session sustains 4x the running
+	// tasks of a priority-1 session when both are backlogged.
+	Priority int
+
+	// MaxConcurrentJobs caps how many of the session's statements may
+	// execute at once (0 = unlimited). Excess statements wait in a
+	// FIFO admission queue before dispatching any tasks; cancelling a
+	// waiting statement's context releases its place immediately.
+	MaxConcurrentJobs int
+
 	// DefaultCacheParts is the partition count used when caching
 	// tables. DISTRIBUTE BY loads use it as the hash-partition count
 	// (0 = 4 × cluster slots); plain cached CTAS repartitions the
@@ -141,10 +153,48 @@ func (s *Session) Close() {
 }
 
 // Stats snapshots what the cluster has done for this session: jobs,
-// tasks and task-time, cache hits / remote hits / recomputes, and
-// evictions of partitions the session materialized.
+// tasks and task-time, cache hits / remote hits / recomputes,
+// evictions of partitions the session materialized, admission-control
+// activity (waits, admitted jobs), and mid-partition cancellations.
 func (s *Session) Stats() rdd.SessionStats {
 	return s.Ctx.SessionStats(s.Tag)
+}
+
+// startJob opens the scheduler job for one statement, applying the
+// session's Priority (fair-share weight) and MaxConcurrentJobs
+// (admission cap). It blocks while the session is at its cap; a
+// cancelled gctx releases the admission wait with an error wrapping
+// the cancellation, before any job exists or any task is dispatched.
+func (s *Session) startJob(gctx context.Context) (*rdd.Job, error) {
+	return s.Ctx.StartJobCfg(gctx, s.Tag, rdd.JobConfig{
+		Weight:            s.Priority,
+		MaxConcurrentJobs: s.MaxConcurrentJobs,
+	})
+}
+
+// releaseStatementShuffles frees the shuffle map outputs a finished
+// statement's job pinned in worker memory, keeping every shuffle still
+// reachable from a live RDD: the lineage of any cached table in the
+// session's catalog (shared catalogs cover other sessions' tables) and
+// any RDD handed back to the caller (sql2rdd). Without this, each
+// join- or aggregate-bearing statement leaks its map outputs into
+// worker memory for the life of the cluster.
+func (s *Session) releaseStatementShuffles(job *rdd.Job, retained *rdd.RDD) {
+	keep := make(map[int]bool)
+	add := func(r *rdd.RDD) {
+		for _, id := range rdd.LineageShuffleIDs(r) {
+			keep[id] = true
+		}
+	}
+	for _, name := range s.Cat.List() {
+		if t, err := s.Cat.Get(name); err == nil && t.Mem != nil {
+			add(t.Mem.RDD)
+		}
+	}
+	if retained != nil {
+		add(retained)
+	}
+	s.Ctx.ReleaseJobShuffles(job, keep)
 }
 
 func (s *Session) cacheParts() int {
@@ -169,17 +219,29 @@ func (s *Session) Exec(sql string) (*Result, error) {
 }
 
 // ExecContext parses and executes one SQL statement as one scheduler
-// job tagged with the session. Cancelling gctx aborts the statement —
-// its queued tasks are dropped, running tasks finish their partition,
-// and the returned error wraps context.Canceled — while the session
-// stays fully usable for subsequent statements.
+// job tagged with the session, carrying the session's Priority as its
+// fair-share weight and honoring MaxConcurrentJobs admission control.
+// Cancelling gctx aborts the statement — its queued tasks are dropped,
+// running tasks abort cooperatively at the next mid-partition
+// checkpoint, a statement still waiting for admission is released
+// without dispatching anything, and the returned error wraps
+// context.Canceled — while the session stays fully usable for
+// subsequent statements. When the statement completes, shuffle map
+// outputs it pinned in worker memory are unregistered unless a live
+// RDD (a cached table's lineage) still depends on them.
 func (s *Session) ExecContext(gctx context.Context, sql string) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	job := s.Ctx.StartJob(s.Tag)
-	defer s.Ctx.FinishJob(job)
+	job, err := s.startJob(gctx)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		s.Ctx.FinishJob(job)
+		s.releaseStatementShuffles(job, nil)
+	}()
 	gctx = rdd.WithJob(gctx, job)
 	switch t := stmt.(type) {
 	case *sqlparse.SelectStmt:
@@ -519,8 +581,10 @@ func (s *Session) Query(sql string) (*TableRDD, error) {
 
 // QueryContext is Query under a context: the compilation-time work
 // (PDE pre-shuffles, subquery materializations) runs as a session-
-// tagged job and honors cancellation. Actions on the returned
-// TableRDD run as their own jobs later.
+// tagged job honoring the session's Priority and MaxConcurrentJobs,
+// and honors cancellation. Actions on the returned TableRDD run as
+// their own jobs later; shuffles its lineage still reads stay
+// registered, while the statement's other map outputs are freed.
 func (s *Session) QueryContext(gctx context.Context, sql string) (*TableRDD, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -534,12 +598,20 @@ func (s *Session) QueryContext(gctx context.Context, sql string) (*TableRDD, err
 	if err != nil {
 		return nil, err
 	}
-	job := s.Ctx.StartJob(s.Tag)
-	defer s.Ctx.FinishJob(job)
+	job, err := s.startJob(gctx)
+	if err != nil {
+		return nil, err
+	}
+	var retained *rdd.RDD
+	defer func() {
+		s.Ctx.FinishJob(job)
+		s.releaseStatementShuffles(job, retained)
+	}()
 	r, err := s.planToRDD(rdd.WithJob(gctx, job), p)
 	if err != nil {
 		return nil, err
 	}
+	retained = r
 	return &TableRDD{RDD: r, Schema: p.Schema()}, nil
 }
 

@@ -263,11 +263,18 @@ func (e *Engine) shuffleJoinRead(lDep, rDep *rdd.ShuffleDep, lStats, rStats *pde
 	return joinSource(ctx, lDep, rDep, groups, lRecs, rRecs)
 }
 
-// joinSource builds the reduce-side RDD of a shuffle join.
+// joinSource builds the reduce-side RDD of a shuffle join. The two
+// shuffle dependencies are declared on the RDD even though compute
+// fetches their buckets directly: lineage walks must see that a live
+// join RDD still needs them (shuffle cleanup, recovery). Each bucket
+// boundary polls the task's context so a cancelled query aborts the
+// join mid-partition.
 func joinSource(ctx *rdd.Context, lDep, rDep *rdd.ShuffleDep, groups [][]int, lRecs, rRecs []int64) *rdd.RDD {
-	return ctx.Source("shuffle-join", len(groups), func(tc *rdd.TaskContext, part int) rdd.Iter {
+	deps := []rdd.Dependency{lDep, rDep}
+	return ctx.SourceWithDeps("shuffle-join", len(groups), deps, func(tc *rdd.TaskContext, part int) rdd.Iter {
 		var out []any
 		for _, b := range groups[part] {
+			tc.FailIfCancelled()
 			lPairs := fetchBucket(tc, lDep, b)
 			rPairs := fetchBucket(tc, rDep, b)
 			// Run-time local algorithm choice: build on the smaller

@@ -39,6 +39,7 @@ var experiments = map[string]func(Scale, *Report) error{
 	"abl_memory":      runMemory,
 	"abl_storage":     runStorage,
 	"abl_concurrency": runConcurrency,
+	"abl_priority":    runPriority,
 	"pruning":         runPruning,
 }
 

@@ -60,6 +60,126 @@ func TestRunJobCtxCancelMidJob(t *testing.T) {
 	}
 }
 
+// TestCancelAbortsMidPartition: a single-partition task body that
+// would run for seconds must abort cooperatively within a bounded
+// wall-clock once its context is cancelled — the iterator polls the
+// context every cancelCheckRows rows instead of finishing the
+// partition — and the context stays usable.
+func TestCancelAbortsMidPartition(t *testing.T) {
+	ctx := newTestCtx(t, 2, Options{})
+	const rows = 40000
+	const perRow = 100 * time.Microsecond // full partition ≈ 4s
+	slow := ctx.Source("slow-rows", 1, func(tc *TaskContext, part int) Iter {
+		i := 0
+		return FuncIter(func() (any, bool) {
+			if i >= rows {
+				return nil, false
+			}
+			i++
+			time.Sleep(perRow)
+			return int64(i), true
+		})
+	}, nil)
+
+	gctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := slow.CountCtx(gctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The partition takes ~4s to finish; a cooperative abort must land
+	// orders of magnitude earlier. 1s leaves slack for slow CI.
+	if elapsed > time.Second {
+		t.Errorf("cancellation took %v; task ran its partition to completion?", elapsed)
+	}
+	// The master returns the moment the cancel lands; the running task
+	// body aborts at its next row checkpoint shortly after. Wait for
+	// the abort to land rather than racing it.
+	abortDeadline := time.Now().Add(2 * time.Second)
+	for ctx.Scheduler().Metrics().CancelledMidPartition.Load() == 0 {
+		if time.Now().After(abortDeadline) {
+			t.Fatal("CancelledMidPartition stayed 0; the task body never aborted mid-partition")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The context still runs fresh jobs to completion.
+	if got, err := ctx.Parallelize(ints(50), 4).Count(); err != nil || got != 50 {
+		t.Errorf("post-abort count = (%d, %v)", got, err)
+	}
+}
+
+// TestStartJobCfgAdmissionFIFO: a session capped at one concurrent job
+// admits jobs strictly in arrival order, counts waits, and a cancelled
+// waiter is released without ever producing a job.
+func TestStartJobCfgAdmissionFIFO(t *testing.T) {
+	ctx := newTestCtx(t, 1, Options{})
+	cfg := JobConfig{MaxConcurrentJobs: 1}
+	first, err := ctx.StartJobCfg(context.Background(), "s", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type admitted struct {
+		j   *Job
+		err error
+	}
+	second := make(chan admitted, 1)
+	go func() {
+		j, err := ctx.StartJobCfg(context.Background(), "s", cfg)
+		second <- admitted{j, err}
+	}()
+	// The second job must wait while the first is in flight.
+	select {
+	case a := <-second:
+		t.Fatalf("second job admitted while first in flight: %+v", a)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	// A third, cancellable waiter joins the queue and is cancelled:
+	// it must return promptly, with no job created.
+	gctx, cancel := context.WithCancel(context.Background())
+	third := make(chan admitted, 1)
+	go func() {
+		j, err := ctx.StartJobCfg(gctx, "s", cfg)
+		third <- admitted{j, err}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case a := <-third:
+		if a.j != nil || !errors.Is(a.err, context.Canceled) {
+			t.Fatalf("cancelled waiter = (%v, %v), want (nil, context.Canceled)", a.j, a.err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+
+	// Finishing the first job admits the second (FIFO head).
+	ctx.FinishJob(first)
+	select {
+	case a := <-second:
+		if a.err != nil {
+			t.Fatal(a.err)
+		}
+		ctx.FinishJob(a.j)
+	case <-time.After(time.Second):
+		t.Fatal("second job never admitted after first finished")
+	}
+
+	st := ctx.SessionStats("s")
+	if st.AdmittedJobs != 2 {
+		t.Errorf("AdmittedJobs = %d, want 2 (cancelled waiter must not count)", st.AdmittedJobs)
+	}
+	if st.AdmissionWaits != 2 {
+		t.Errorf("AdmissionWaits = %d, want 2", st.AdmissionWaits)
+	}
+}
+
 // TestCancelBeforeStart: a context cancelled before the job starts
 // fails fast without launching anything.
 func TestCancelBeforeStart(t *testing.T) {

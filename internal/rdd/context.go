@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -123,6 +124,44 @@ type TaskContext struct {
 	// Job is the scheduler job the task runs under (nil for work
 	// executed outside any job); cache traffic is attributed to it.
 	Job *Job
+	// Gctx is the governing context of the job's current task set (nil
+	// for work executed outside a cancellable job). Iterators returned
+	// by RDD.Iterator poll it every cancelCheckRows elements, so a
+	// cancelled statement aborts long task bodies mid-partition
+	// instead of running each partition to completion.
+	Gctx context.Context
+}
+
+// CancelErr reports why the task's governing context was cancelled, or
+// nil while the task should keep running. Long non-iterator loops in
+// task bodies (bucket fetches, hash-join builds) poll it explicitly.
+func (tc *TaskContext) CancelErr() error {
+	if tc == nil || tc.Gctx == nil {
+		return nil
+	}
+	select {
+	case <-tc.Gctx.Done():
+		return tc.Gctx.Err()
+	default:
+		return nil
+	}
+}
+
+// FailIfCancelled aborts the task body when the governing context has
+// been cancelled, counting the abort in the mid-partition cancellation
+// metrics (scheduler, job, session). Long non-iterator loops in task
+// bodies call it at natural checkpoints — shuffle bucket boundaries,
+// hash-join builds — so every cooperative abort path reports alike.
+func (tc *TaskContext) FailIfCancelled() {
+	err := tc.CancelErr()
+	if err == nil {
+		return
+	}
+	if tc.Ctx != nil {
+		tc.Ctx.sched.metrics.CancelledMidPartition.Add(1)
+	}
+	tc.Job.noteCancelledMidPartition()
+	Fail(err)
 }
 
 // Broadcast is a value shared read-only with all tasks. In this

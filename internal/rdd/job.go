@@ -2,6 +2,7 @@ package rdd
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -26,15 +27,33 @@ type Job struct {
 	// Session is the tag of the session that started the job ("" for
 	// anonymous jobs).
 	Session string
+	// Weight is the job's fair-share weight (set at start, immutable;
+	// always >= 1). Every cluster task the job launches carries it:
+	// under weighted fair sharing a weight-4 job sustains 4x the
+	// running tasks of a weight-1 job before losing dequeue priority.
+	Weight int
 
-	tasks           atomic.Int64
-	taskTime        atomic.Int64 // ns of completed task bodies
-	cacheHits       atomic.Int64
-	remoteCacheHits atomic.Int64
-	diskHits        atomic.Int64
-	cacheRecomputes atomic.Int64
+	tasks            atomic.Int64
+	taskTime         atomic.Int64 // ns of completed task bodies
+	cacheHits        atomic.Int64
+	remoteCacheHits  atomic.Int64
+	diskHits         atomic.Int64
+	cacheRecomputes  atomic.Int64
+	cancelledMidPart atomic.Int64
 
 	agg *sessionAgg
+	// gate is the admission gate the job was admitted under (nil when
+	// the session caps nothing); FinishJob hands the slot to the
+	// gate's next waiter. Held directly so a racing ReleaseSession
+	// (which forgets the registry entry) cannot strand waiters.
+	gate *admission
+
+	// mu guards shuffles: the shuffle dependencies whose map stages
+	// this job executed. Once the statement that owns the job retains
+	// no live RDD over them, their pinned map outputs can be
+	// unregistered cluster-wide (ReleaseJobShuffles).
+	mu       sync.Mutex
+	shuffles []*ShuffleDep
 }
 
 // JobStats is a point-in-time snapshot of one job's activity.
@@ -48,18 +67,48 @@ type JobStats struct {
 	// CacheHits / RemoteCacheHits / DiskHits / CacheRecomputes
 	// attribute the cache traffic of the job's tasks.
 	CacheHits, RemoteCacheHits, DiskHits, CacheRecomputes int64
+	// CancelledMidPartition counts task bodies that aborted inside a
+	// partition when the job's context was cancelled (cooperative
+	// mid-partition cancellation).
+	CancelledMidPartition int64
 }
 
 // Stats snapshots the job's counters.
 func (j *Job) Stats() JobStats {
 	return JobStats{
-		Tasks:           j.tasks.Load(),
-		TaskTime:        time.Duration(j.taskTime.Load()),
-		CacheHits:       j.cacheHits.Load(),
-		RemoteCacheHits: j.remoteCacheHits.Load(),
-		DiskHits:        j.diskHits.Load(),
-		CacheRecomputes: j.cacheRecomputes.Load(),
+		Tasks:                 j.tasks.Load(),
+		TaskTime:              time.Duration(j.taskTime.Load()),
+		CacheHits:             j.cacheHits.Load(),
+		RemoteCacheHits:       j.remoteCacheHits.Load(),
+		DiskHits:              j.diskHits.Load(),
+		CacheRecomputes:       j.cacheRecomputes.Load(),
+		CancelledMidPartition: j.cancelledMidPart.Load(),
 	}
+}
+
+// noteShuffle records that this job executed (some of) dep's map
+// stage, making the job the candidate owner of its pinned outputs.
+func (j *Job) noteShuffle(dep *ShuffleDep) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, d := range j.shuffles {
+		if d == dep {
+			return
+		}
+	}
+	j.shuffles = append(j.shuffles, dep)
+}
+
+// takeShuffles drains the job's recorded shuffle dependencies.
+func (j *Job) takeShuffles() []*ShuffleDep {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := j.shuffles
+	j.shuffles = nil
+	return out
 }
 
 // The note helpers are nil-safe: task-side code calls them through
@@ -113,18 +162,29 @@ func (j *Job) noteRecompute() {
 	j.agg.cacheRecomputes.Add(1)
 }
 
+func (j *Job) noteCancelledMidPartition() {
+	if j == nil {
+		return
+	}
+	j.cancelledMidPart.Add(1)
+	j.agg.cancelledMidPart.Add(1)
+}
+
 // sessionAgg accumulates every job's counters for one session tag,
 // plus the evictions attributed to RDDs the session materialized.
 type sessionAgg struct {
-	jobs            atomic.Int64
-	tasks           atomic.Int64
-	taskTime        atomic.Int64
-	cacheHits       atomic.Int64
-	remoteCacheHits atomic.Int64
-	diskHits        atomic.Int64
-	cacheRecomputes atomic.Int64
-	evictions       atomic.Int64
-	bytesEvicted    atomic.Int64
+	jobs             atomic.Int64
+	tasks            atomic.Int64
+	taskTime         atomic.Int64
+	cacheHits        atomic.Int64
+	remoteCacheHits  atomic.Int64
+	diskHits         atomic.Int64
+	cacheRecomputes  atomic.Int64
+	evictions        atomic.Int64
+	bytesEvicted     atomic.Int64
+	admissionWaits   atomic.Int64
+	admittedJobs     atomic.Int64
+	cancelledMidPart atomic.Int64
 }
 
 // SessionStats is a point-in-time snapshot of everything one session
@@ -144,19 +204,33 @@ type SessionStats struct {
 	// evicting put came from).
 	Evictions    int64
 	BytesEvicted int64
+	// AdmissionWaits counts jobs that had to queue for admission
+	// because the session was at its MaxConcurrentJobs cap;
+	// AdmittedJobs counts jobs that passed admission control (with or
+	// without waiting). A job cancelled while queued for admission
+	// counts a wait but never an admitted job.
+	AdmissionWaits int64
+	AdmittedJobs   int64
+	// CancelledMidPartition counts task bodies the session's cancelled
+	// statements aborted inside a partition (cooperative cancellation)
+	// instead of running to the partition boundary.
+	CancelledMidPartition int64
 }
 
 func (a *sessionAgg) snapshot() SessionStats {
 	return SessionStats{
-		Jobs:            a.jobs.Load(),
-		Tasks:           a.tasks.Load(),
-		TaskTime:        time.Duration(a.taskTime.Load()),
-		CacheHits:       a.cacheHits.Load(),
-		RemoteCacheHits: a.remoteCacheHits.Load(),
-		DiskHits:        a.diskHits.Load(),
-		CacheRecomputes: a.cacheRecomputes.Load(),
-		Evictions:       a.evictions.Load(),
-		BytesEvicted:    a.bytesEvicted.Load(),
+		Jobs:                  a.jobs.Load(),
+		Tasks:                 a.tasks.Load(),
+		TaskTime:              time.Duration(a.taskTime.Load()),
+		CacheHits:             a.cacheHits.Load(),
+		RemoteCacheHits:       a.remoteCacheHits.Load(),
+		DiskHits:              a.diskHits.Load(),
+		CacheRecomputes:       a.cacheRecomputes.Load(),
+		Evictions:             a.evictions.Load(),
+		BytesEvicted:          a.bytesEvicted.Load(),
+		AdmissionWaits:        a.admissionWaits.Load(),
+		AdmittedJobs:          a.admittedJobs.Load(),
+		CancelledMidPartition: a.cancelledMidPart.Load(),
 	}
 }
 
@@ -167,20 +241,90 @@ func (a *sessionAgg) snapshot() SessionStats {
 // context cancel another's job.
 var nextJobID atomic.Int64
 
-// jobRegistry tracks active jobs, per-session aggregates, and which
-// session materialized each cached RDD (for eviction attribution).
+// jobRegistry tracks active jobs, per-session aggregates, per-session
+// admission gates, and which session materialized each cached RDD (for
+// eviction attribution).
 type jobRegistry struct {
-	mu       sync.Mutex
-	active   map[int64]*Job
-	sessions map[string]*sessionAgg
-	owners   map[int]*sessionAgg // rddID → materializing session
+	mu         sync.Mutex
+	active     map[int64]*Job
+	sessions   map[string]*sessionAgg
+	owners     map[int]*sessionAgg   // rddID → materializing session
+	admissions map[string]*admission // session → concurrency gate
+}
+
+// admission serializes one session's jobs past its MaxConcurrentJobs
+// cap: excess jobs park on the FIFO waiter list and are granted slots
+// strictly in arrival order as running jobs finish.
+type admission struct {
+	limit    int
+	inflight int
+	waiters  []chan struct{} // FIFO; a closed channel is a granted slot
 }
 
 func newJobRegistry() *jobRegistry {
 	return &jobRegistry{
-		active:   make(map[int64]*Job),
-		sessions: make(map[string]*sessionAgg),
-		owners:   make(map[int]*sessionAgg),
+		active:     make(map[int64]*Job),
+		sessions:   make(map[string]*sessionAgg),
+		owners:     make(map[int]*sessionAgg),
+		admissions: make(map[string]*admission),
+	}
+}
+
+// admit blocks until the session is below its concurrency cap (FIFO
+// within the session) or gctx is cancelled, returning the gate the
+// slot was taken from. A cancelled wait releases the queue position
+// without the job ever existing — no tasks are dispatched, nothing to
+// clean up.
+func (r *jobRegistry) admit(gctx context.Context, session string, limit int, agg *sessionAgg) (*admission, error) {
+	r.mu.Lock()
+	a := r.admissions[session]
+	if a == nil {
+		a = &admission{}
+		r.admissions[session] = a
+	}
+	a.limit = limit
+	if a.inflight < a.limit && len(a.waiters) == 0 {
+		a.inflight++
+		agg.admittedJobs.Add(1)
+		r.mu.Unlock()
+		return a, nil
+	}
+	ch := make(chan struct{})
+	a.waiters = append(a.waiters, ch)
+	agg.admissionWaits.Add(1)
+	r.mu.Unlock()
+	select {
+	case <-ch:
+		agg.admittedJobs.Add(1)
+		return a, nil
+	case <-gctx.Done():
+		r.mu.Lock()
+		for i, w := range a.waiters {
+			if w == ch {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				r.mu.Unlock()
+				return nil, fmt.Errorf("rdd: session %q job cancelled awaiting admission: %w",
+					session, gctx.Err())
+			}
+		}
+		// The slot was granted concurrently with the cancellation:
+		// hand it straight to the next waiter instead of leaking it.
+		r.releaseLocked(a)
+		r.mu.Unlock()
+		return nil, fmt.Errorf("rdd: session %q job cancelled awaiting admission: %w",
+			session, gctx.Err())
+	}
+}
+
+// releaseLocked returns one admission slot and wakes waiters in FIFO
+// order. Caller holds r.mu.
+func (r *jobRegistry) releaseLocked(a *admission) {
+	a.inflight--
+	for a.inflight < a.limit && len(a.waiters) > 0 {
+		ch := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		a.inflight++
+		close(ch)
 	}
 }
 
@@ -195,27 +339,68 @@ func (r *jobRegistry) aggFor(session string) *sessionAgg {
 	return a
 }
 
+// JobConfig shapes one job's scheduling behaviour.
+type JobConfig struct {
+	// Weight is the fair-share weight the job's cluster tasks carry
+	// (<=0 reads as 1): under weighted fair sharing a weight-4 job
+	// sustains 4x the running tasks of a weight-1 job.
+	Weight int
+	// MaxConcurrentJobs caps how many of the session's jobs may be
+	// in flight at once (0 = unlimited). A job past the cap waits in
+	// the session's FIFO admission queue before it exists at all —
+	// no tasks are dispatched while waiting.
+	MaxConcurrentJobs int
+}
+
 // StartJob opens a job attributed to session (may be "" for anonymous
-// work). Pair with FinishJob.
+// work) with default config. Pair with FinishJob.
 func (c *Context) StartJob(session string) *Job {
+	j, _ := c.StartJobCfg(context.Background(), session, JobConfig{})
+	return j
+}
+
+// StartJobCfg opens a job attributed to session under a scheduling
+// config, blocking for per-session admission when MaxConcurrentJobs is
+// set. It fails only when gctx is cancelled while the job waits for
+// admission — in that case no job was created and no tasks were ever
+// dispatched. Pair a returned job with FinishJob.
+func (c *Context) StartJobCfg(gctx context.Context, session string, cfg JobConfig) (*Job, error) {
 	r := c.jobs
-	j := &Job{ID: nextJobID.Add(1), Session: session, agg: r.aggFor(session)}
+	agg := r.aggFor(session)
+	var gate *admission
+	if cfg.MaxConcurrentJobs > 0 {
+		var err error
+		if gate, err = r.admit(gctx, session, cfg.MaxConcurrentJobs, agg); err != nil {
+			return nil, err
+		}
+	}
+	w := cfg.Weight
+	if w < 1 {
+		w = 1
+	}
+	j := &Job{ID: nextJobID.Add(1), Session: session, Weight: w, agg: agg, gate: gate}
 	j.agg.jobs.Add(1)
 	r.mu.Lock()
 	r.active[j.ID] = j
 	r.mu.Unlock()
-	return j
+	return j, nil
 }
 
-// FinishJob closes a job: it leaves the active set and any of its
+// FinishJob closes a job: it leaves the active set, any of its
 // still-queued cluster tasks are dropped (normal completions leave
-// none; error and cancellation paths may).
+// none; error and cancellation paths may), and its admission slot — if
+// the session caps concurrent jobs — passes to the session's next
+// waiting job.
 func (c *Context) FinishJob(j *Job) {
 	if j == nil {
 		return
 	}
 	c.jobs.mu.Lock()
 	delete(c.jobs.active, j.ID)
+	if j.gate != nil {
+		c.jobs.releaseLocked(j.gate)
+		j.gate = nil // release exactly once
+	}
 	c.jobs.mu.Unlock()
 	c.Cluster.CancelJob(j.ID)
 }
@@ -256,6 +441,7 @@ func (c *Context) ReleaseSession(session string) {
 	r.mu.Lock()
 	agg := r.sessions[session]
 	delete(r.sessions, session)
+	delete(r.admissions, session)
 	if agg != nil {
 		for id, a := range r.owners {
 			if a == agg {

@@ -37,11 +37,23 @@ func (c *Context) Parallelize(data []any, numParts int) *RDD {
 // generic adapter for DFS scans, memstore scans and data generators.
 // prefLocs may be nil.
 func (c *Context) Source(name string, numParts int, gen func(tc *TaskContext, part int) Iter, prefLocs func(part int) []int) *RDD {
+	return c.SourceWithDeps(name, numParts, nil, gen, prefLocs)
+}
+
+// SourceWithDeps is Source for reduce-side readers whose compute
+// fetches shuffle buckets directly instead of pulling a parent
+// iterator (the shuffle join). Declaring the dependencies keeps
+// lineage walks honest: the scheduler re-materializes the shuffles
+// before running the stage, and LineageShuffleIDs sees that a live RDD
+// still needs them (so a statement's shuffle cleanup keeps them
+// registered).
+func (c *Context) SourceWithDeps(name string, numParts int, deps []Dependency, gen func(tc *TaskContext, part int) Iter, prefLocs func(part int) []int) *RDD {
 	return &RDD{
 		ID:       c.newRDDID(),
 		Name:     name,
 		ctx:      c,
 		numParts: numParts,
+		deps:     deps,
 		compute:  gen,
 		prefLocs: prefLocs,
 	}
@@ -191,22 +203,30 @@ func (c *Context) Shuffled(dep *ShuffleDep, groups [][]int, kind ReadKind) *RDD 
 			return c.tracker.PreferredReduceWorkers(dep.ID, groups[part], 2)
 		},
 		compute: func(tc *TaskContext, part int) Iter {
-			return c.readShuffle(dep, groups[part], kind)
+			return c.readShuffle(tc, dep, groups[part], kind)
 		},
 	}
 }
 
-func (c *Context) readShuffle(dep *ShuffleDep, buckets []int, kind ReadKind) Iter {
+func (c *Context) readShuffle(tc *TaskContext, dep *ShuffleDep, buckets []int, kind ReadKind) Iter {
 	locations := c.tracker.Locations(dep.ID)
+	// Polled between buckets and every cancelCheckRows merged pairs, so
+	// a cancelled job stops paying for a large reduce input
+	// mid-partition instead of merging it to completion.
+	checkCancel := tc.FailIfCancelled
 	switch kind {
 	case ReadCombine:
 		merged := make(map[any]any)
 		for _, b := range buckets {
+			checkCancel()
 			pairs, err := c.Shuffle.Fetch(dep.ID, b, locations)
 			if err != nil {
 				Fail(err)
 			}
-			for _, p := range pairs {
+			for i, p := range pairs {
+				if i%cancelCheckRows == cancelCheckRows-1 {
+					checkCancel()
+				}
 				if prev, ok := merged[p.K]; ok {
 					merged[p.K] = dep.Combiner(prev, p.V)
 				} else {
@@ -222,11 +242,15 @@ func (c *Context) readShuffle(dep *ShuffleDep, buckets []int, kind ReadKind) Ite
 	case ReadGroup:
 		grouped := make(map[any][]any)
 		for _, b := range buckets {
+			checkCancel()
 			pairs, err := c.Shuffle.Fetch(dep.ID, b, locations)
 			if err != nil {
 				Fail(err)
 			}
-			for _, p := range pairs {
+			for i, p := range pairs {
+				if i%cancelCheckRows == cancelCheckRows-1 {
+					checkCancel()
+				}
 				grouped[p.K] = append(grouped[p.K], p.V)
 			}
 		}
@@ -238,6 +262,7 @@ func (c *Context) readShuffle(dep *ShuffleDep, buckets []int, kind ReadKind) Ite
 	default:
 		var out []any
 		for _, b := range buckets {
+			checkCancel()
 			pairs, err := c.Shuffle.Fetch(dep.ID, b, locations)
 			if err != nil {
 				Fail(err)

@@ -120,6 +120,39 @@ func (r *RDD) Uncache() {
 
 func cacheKey(rddID, part int) string { return fmt.Sprintf("rdd/%d/%d", rddID, part) }
 
+// cancelCheckRows is how many elements an iterator yields between
+// polls of the task's governing context. Small enough that a cancelled
+// statement stops paying for row-at-a-time work within milliseconds,
+// large enough that the poll is invisible next to per-row compute.
+const cancelCheckRows = 128
+
+// wrapCancel makes an iterator cooperative: every cancelCheckRows
+// elements it polls the task's governing context and, once cancelled,
+// aborts the task body mid-partition by panicking with an error that
+// wraps the cancellation cause (recovered by the cluster's task
+// wrapper, recognized by the scheduler as the abort landing). Tasks
+// without a cancellable context get the iterator back unchanged.
+func (r *RDD) wrapCancel(tc *TaskContext, it Iter) Iter {
+	if tc == nil || tc.Gctx == nil || tc.Gctx.Done() == nil {
+		return it
+	}
+	gctx := tc.Gctx
+	n := 0
+	return FuncIter(func() (any, bool) {
+		n++
+		if n%cancelCheckRows == 0 {
+			select {
+			case <-gctx.Done():
+				r.ctx.sched.metrics.CancelledMidPartition.Add(1)
+				tc.Job.noteCancelledMidPartition()
+				panic(fmt.Errorf("rdd: task body aborted mid-partition: %w", gctx.Err()))
+			default:
+			}
+		}
+		return it.Next()
+	})
+}
+
 // Iterator returns the partition's elements, serving from the local
 // block-store cache when the RDD is cached. A local memory miss
 // resolves down the storage hierarchy: the worker's own disk tier
@@ -133,19 +166,19 @@ func cacheKey(rddID, part int) string { return fmt.Sprintf("rdd/%d/%d", rddID, p
 // partitions (§3.2 partial caching).
 func (r *RDD) Iterator(tc *TaskContext, part int) Iter {
 	if !r.cached.Load() {
-		return r.compute(tc, part)
+		return r.wrapCancel(tc, r.compute(tc, part))
 	}
 	key := cacheKey(r.ID, part)
 	if v, ok := tc.Worker.Store().Get(key); ok {
 		r.ctx.sched.metrics.CacheHits.Add(1)
 		tc.Job.noteCacheHit()
-		return SliceIter(v.([]any))
+		return r.wrapCancel(tc, SliceIter(v.([]any)))
 	}
 	if data, ok := r.diskRead(tc, key); ok {
-		return SliceIter(data)
+		return r.wrapCancel(tc, SliceIter(data))
 	}
 	if data, ok := r.remoteCacheRead(tc, part, key); ok {
-		return SliceIter(data)
+		return r.wrapCancel(tc, SliceIter(data))
 	}
 	if r.ctx.cache.WasMaterialized(r.ID, part) && len(r.ctx.cache.Locations(r.ID, part, r.ctx)) == 0 &&
 		r.ctx.cache.NoteRecompute(r.ID, part) {
@@ -159,12 +192,16 @@ func (r *RDD) Iterator(tc *TaskContext, part int) Iter {
 		r.ctx.sched.metrics.CacheRecomputes.Add(1)
 		tc.Job.noteRecompute()
 	}
-	data := Drain(r.compute(tc, part))
+	// The materializing Drain is itself cancellable: compute's own
+	// child iterators are wrapped, and wrapping here too covers
+	// source RDDs with no children (their compute yields rows
+	// directly).
+	data := Drain(r.wrapCancel(tc, r.compute(tc, part)))
 	r.cacheLocally(tc, part, key, data, true)
 	// Even if the bounded store rejected the copy, the partition was
 	// materialized: the next miss is a recompute, and must count.
 	r.ctx.cache.NoteMaterialized(r.ID, part)
-	return SliceIter(data)
+	return r.wrapCancel(tc, SliceIter(data))
 }
 
 // diskRead tries to serve a memory miss from the worker's own disk

@@ -39,6 +39,10 @@ type Metrics struct {
 	CacheRecomputes  atomic.Int64 // previously-cached partitions rebuilt from lineage
 	RemoteCacheHits  atomic.Int64 // cached partitions fetched from another live worker
 	DiskHits         atomic.Int64 // cached partitions read back from the local disk tier
+	// CancelledMidPartition counts task bodies that aborted inside a
+	// partition when their job's context was cancelled, instead of
+	// running to the partition boundary (cooperative cancellation).
+	CancelledMidPartition atomic.Int64
 }
 
 // NewScheduler creates a scheduler bound to ctx.
@@ -90,9 +94,10 @@ func (s *Scheduler) RunJobCtx(gctx context.Context, r *RDD, parts []int, fn Resu
 	err := s.runTaskSet(gctx, job, parts, func(part int) *cluster.Task {
 		return &cluster.Task{
 			JobID:     job.ID,
+			Weight:    job.Weight,
 			Preferred: r.PreferredLocations(part),
 			Fn: func(w *cluster.Worker) (any, error) {
-				tc := &TaskContext{Worker: w, Ctx: s.ctx, Part: part, Job: job}
+				tc := &TaskContext{Worker: w, Ctx: s.ctx, Part: part, Job: job, Gctx: gctx}
 				return fn(tc, part, r.Iterator(tc, part))
 			},
 		}
@@ -171,17 +176,31 @@ func (s *Scheduler) ensureShuffle(gctx context.Context, job *Job, dep *ShuffleDe
 	if err := s.ensureParents(gctx, job, dep.Parent); err != nil {
 		return err
 	}
+	// Idempotent for live shuffles; re-creates the tracker state (all
+	// parts missing) and the recovery-registry entry for a dependency
+	// a statement's shuffle cleanup released while an exotic caller
+	// still held the RDD — the stage re-materializes in full instead
+	// of panicking on unknown state, and a later fetch failure can
+	// still find the dep to rebuild it.
+	s.ctx.tracker.RegisterShuffle(dep.ID, dep.Partitioner.NumPartitions(), dep.Parent.NumPartitions())
+	RegisterDepForRecovery(dep)
 	missing := s.ctx.tracker.MissingParts(dep.ID)
 	if len(missing) == 0 {
 		return nil
 	}
 	s.metrics.StagesRun.Add(1)
+	// This job is executing (at least part of) the map stage: it
+	// becomes the candidate owner of the shuffle's pinned outputs, so
+	// the statement that owns the job can unregister them once no live
+	// RDD depends on the shuffle.
+	job.noteShuffle(dep)
 	return s.runTaskSet(gctx, job, missing, func(part int) *cluster.Task {
 		return &cluster.Task{
 			JobID:     job.ID,
+			Weight:    job.Weight,
 			Preferred: dep.Parent.PreferredLocations(part),
 			Fn: func(w *cluster.Worker) (any, error) {
-				return s.runMapTask(job, dep, part, w)
+				return s.runMapTask(gctx, job, dep, part, w)
 			},
 		}
 	}, func(part int, value any) {
@@ -197,9 +216,11 @@ type mapTaskOutput struct {
 
 // runMapTask computes one partition of the map side of dep and
 // materializes its buckets, applying map-side combining and gathering
-// PDE statistics.
-func (s *Scheduler) runMapTask(job *Job, dep *ShuffleDep, part int, w *cluster.Worker) (any, error) {
-	tc := &TaskContext{Worker: w, Ctx: s.ctx, Part: part, Job: job}
+// PDE statistics. The parent iterator polls gctx (via the task
+// context), so a cancelled job aborts mid-partition instead of
+// finishing the scan.
+func (s *Scheduler) runMapTask(gctx context.Context, job *Job, dep *ShuffleDep, part int, w *cluster.Worker) (any, error) {
+	tc := &TaskContext{Worker: w, Ctx: s.ctx, Part: part, Job: job, Gctx: gctx}
 	writer := s.ctx.Shuffle.NewWriter(dep.ID, part, dep.Partitioner.NumPartitions(), w)
 	collector := dep.Stats.NewTaskCollector()
 	it := dep.Parent.Iterator(tc, part)
@@ -349,6 +370,13 @@ func (s *Scheduler) runTaskSet(gctx context.Context, job *Job, parts []int, mkTa
 				// hit the cancellation first.
 				return cancelled()
 			}
+			if errors.Is(ev.res.Err, context.Canceled) || errors.Is(ev.res.Err, context.DeadlineExceeded) {
+				// A task body aborted itself mid-partition when it saw
+				// the job's context cancelled (cooperative
+				// cancellation) — this is the abort landing, not a task
+				// failure to retry.
+				return cancelled()
+			}
 			if errors.Is(ev.res.Err, cluster.ErrWorkerLost) {
 				s.ctx.NotifyWorkerLost(ev.res.Worker)
 			}
@@ -444,6 +472,55 @@ func (s *Scheduler) lookupDep(id int) *ShuffleDep {
 		return nil
 	}
 	return v.(*ShuffleDep)
+}
+
+// ReleaseJobShuffles unregisters the map outputs of every shuffle the
+// job materialized, except shuffles whose IDs appear in keep. The
+// pinned buckets are deleted from every worker's block store (spilled
+// copies included), the map-output tracker forgets the shuffle, and
+// the recovery registry entry is dropped — this is how a statement's
+// shuffle outputs stop outliving the statement in worker memory. The
+// caller is responsible for putting every shuffle still reachable from
+// a live RDD (a cached table's lineage, a TableRDD handed to the user)
+// into keep; LineageShuffleIDs computes exactly that set.
+func (c *Context) ReleaseJobShuffles(j *Job, keep map[int]bool) {
+	if j == nil {
+		return
+	}
+	for _, dep := range j.takeShuffles() {
+		if keep[dep.ID] {
+			continue
+		}
+		c.tracker.Unregister(dep.ID)
+		c.Shuffle.Unregister(dep.ID)
+		// Drop the recovery entry only if it is still this dep:
+		// shuffle IDs are per-service, so another cluster in the same
+		// process may have registered the same numeric ID since.
+		depRegistry.CompareAndDelete(dep.ID, dep)
+	}
+}
+
+// LineageShuffleIDs returns the IDs of every shuffle dependency
+// reachable from r's lineage (crossing shuffle boundaries), the set of
+// shuffles a live RDD may still need to read or regenerate.
+func LineageShuffleIDs(r *RDD) []int {
+	var out []int
+	visited := make(map[int]bool)
+	var walk func(*RDD)
+	walk = func(cur *RDD) {
+		if cur == nil || visited[cur.ID] {
+			return
+		}
+		visited[cur.ID] = true
+		for _, d := range cur.deps {
+			if sd, ok := d.(*ShuffleDep); ok {
+				out = append(out, sd.ID)
+			}
+			walk(d.ParentRDD())
+		}
+	}
+	walk(r)
+	return out
 }
 
 // coversAllAlive reports whether the exclusion list blocks every live

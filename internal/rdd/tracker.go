@@ -72,11 +72,16 @@ func (t *MapOutputTracker) AddMapOutput(id, mapPart, worker int, report pde.MapR
 }
 
 // MarkLost invalidates the outputs of specific map partitions
-// (after a fetch failure).
+// (after a fetch failure). A shuffle already unregistered (a
+// statement's cleanup racing a straggling reader) is a no-op: the
+// reader's recovery will re-register and re-materialize it.
 func (t *MapOutputTracker) MarkLost(id int, mapParts []int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	st := t.state(id)
+	st, ok := t.shuffles[id]
+	if !ok {
+		return
+	}
 	for _, p := range mapParts {
 		if p >= 0 && p < len(st.done) {
 			st.done[p] = false

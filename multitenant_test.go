@@ -207,3 +207,50 @@ func TestClusterClosedRejectsNewSessions(t *testing.T) {
 		t.Error("NewSession on a closed cluster must fail")
 	}
 }
+
+// TestPublicPriorityAndAdmission: the public SessionConfig knobs reach
+// the scheduler — a Priority session's statements carry its weight,
+// and MaxConcurrentJobs=1 serializes concurrent ExecContext calls with
+// the waits visible in Stats().
+func TestPublicPriorityAndAdmission(t *testing.T) {
+	cl := newTestCluster(t, shark.ClusterConfig{Workers: 2})
+	s, err := cl.NewSession(shark.SessionConfig{Name: "gold", Priority: 4, MaxConcurrentJobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []shark.Row{{"/a", int64(200), int64(1), int64(15000)}, {"/b", int64(404), int64(2), int64(16000)}}
+	if err := s.LoadRows("logs", logsSchema, rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`CREATE TABLE logs_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM logs`); err != nil {
+		t.Fatal(err)
+	}
+
+	const stmts = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, stmts)
+	for i := 0; i < stmts; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.ExecContext(context.Background(), `SELECT COUNT(*), SUM(bytes) FROM logs_mem`)
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	// The four SELECTs all passed admission (the CREATE ran before
+	// any contention).
+	if st.AdmittedJobs < stmts {
+		t.Errorf("AdmittedJobs = %d, want >= %d", st.AdmittedJobs, stmts)
+	}
+	if st.AdmissionWaits == 0 {
+		t.Error("AdmissionWaits = 0: four concurrent statements under a cap of 1 never waited")
+	}
+}

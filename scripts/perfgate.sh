@@ -1,0 +1,22 @@
+#!/bin/sh
+# perfgate.sh — compare the newest BENCH_<sha>.json trajectory point
+# against the previous one and fail on >25% timing regressions once the
+# trajectory has at least 3 points (warn-only before that, so the empty
+# trajectory cannot block CI).
+#
+# Usage: scripts/perfgate.sh [dir-with-BENCH_json-files]
+set -eu
+
+dir="${1:-.}"
+cd "$(dirname "$0")/.."
+
+# Oldest-first by modification time; the comparer looks at the last two.
+# shellcheck disable=SC2012
+files=$(ls -1tr "$dir"/BENCH_*.json 2>/dev/null || true)
+if [ -z "$files" ]; then
+    echo "perfgate: no BENCH_*.json trajectory points under $dir — trajectory empty, skipping"
+    exit 0
+fi
+
+# shellcheck disable=SC2086
+exec go run ./scripts/perfgate $files

@@ -1,0 +1,108 @@
+// Command perfgate compares the newest bench-smoke trajectory point
+// (BENCH_<sha>.json, written by `make bench-smoke` / CI) against the
+// previous one and fails on regressions of recorded experiment
+// timings.
+//
+// Usage:
+//
+//	go run ./scripts/perfgate [-threshold 0.25] [-floor 0.05] [-min-points 3] point1.json point2.json ...
+//
+// Points are given oldest-first; the last two are compared. An entry
+// regresses when its timing grows by more than threshold (relative)
+// AND by more than floor seconds (absolute — sub-floor timings are
+// scheduling noise at CI scale). With fewer than min-points total
+// points the gate reports but never fails (warn-only), so a young
+// trajectory cannot block CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type entry struct {
+	Experiment string  `json:"Experiment"`
+	Series     string  `json:"Series"`
+	Seconds    float64 `json:"Seconds"`
+}
+
+type point struct {
+	GeneratedAt string  `json:"generated_at"`
+	Scale       string  `json:"scale"`
+	Entries     []entry `json:"entries"`
+}
+
+func load(path string) (*point, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p point
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &p, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "relative slowdown that counts as a regression")
+	floor := flag.Float64("floor", 0.05, "absolute slowdown floor in seconds (noise gate)")
+	minPoints := flag.Int("min-points", 3, "fail only when at least this many trajectory points exist")
+	flag.Parse()
+	files := flag.Args()
+	if len(files) < 2 {
+		fmt.Printf("perfgate: %d trajectory point(s) — need at least 2 to compare, skipping\n", len(files))
+		return
+	}
+	prev, err := load(files[len(files)-2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(files[len(files)-1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+	if prev.Scale != cur.Scale {
+		fmt.Printf("perfgate: scale changed (%q -> %q), baselines incomparable, skipping\n", prev.Scale, cur.Scale)
+		return
+	}
+
+	base := make(map[string]float64, len(prev.Entries))
+	for _, e := range prev.Entries {
+		if e.Seconds > 0 {
+			base[e.Experiment+" | "+e.Series] = e.Seconds
+		}
+	}
+	regressions := 0
+	compared := 0
+	for _, e := range cur.Entries {
+		if e.Seconds <= 0 {
+			continue
+		}
+		key := e.Experiment + " | " + e.Series
+		old, ok := base[key]
+		if !ok {
+			continue // new experiment/series: no baseline yet
+		}
+		compared++
+		if e.Seconds > old*(1+*threshold) && e.Seconds-old > *floor {
+			regressions++
+			fmt.Printf("REGRESSION %-70s %.3fs -> %.3fs (+%.0f%%)\n",
+				key, old, e.Seconds, (e.Seconds/old-1)*100)
+		}
+	}
+	fmt.Printf("perfgate: compared %d timings (%s -> %s), %d regression(s) past +%.0f%%/%.0fms\n",
+		compared, prev.GeneratedAt, cur.GeneratedAt, regressions, *threshold*100, *floor*1000)
+	if regressions == 0 {
+		return
+	}
+	if len(files) < *minPoints {
+		fmt.Printf("perfgate: only %d trajectory point(s) (<%d) — warn-only, not failing\n", len(files), *minPoints)
+		return
+	}
+	os.Exit(1)
+}

@@ -252,6 +252,20 @@ type SessionConfig struct {
 	// metastore (tables visible across all shared-catalog sessions)
 	// instead of a private catalog.
 	SharedCatalog bool
+	// Priority is the session's fair-share weight (<=0 reads as 1).
+	// Under the default FairScheduling policy a freed slot runs the
+	// queued task whose job has the smallest running/weight ratio, so
+	// a Priority-4 session sustains 4x the running tasks of a
+	// Priority-1 session when both are backlogged — and achieves
+	// correspondingly lower latency on a contended cluster.
+	Priority int
+	// MaxConcurrentJobs caps how many of the session's statements may
+	// execute at once (0 = unlimited). Excess ExecContext/QueryContext
+	// calls wait in a FIFO admission queue before dispatching any
+	// tasks; cancelling a waiting call's context releases it
+	// immediately. Session.Stats() reports AdmissionWaits and
+	// AdmittedJobs.
+	MaxConcurrentJobs int
 	// Engine tunes this session's execution engine independently of
 	// other sessions.
 	Engine EngineOptions
@@ -299,6 +313,8 @@ func (c *Cluster) NewSession(cfg SessionConfig) (*Session, error) {
 	}
 	cs := core.NewSessionNamed(c.rddCtx, c.fs, cat, name, cfg.Engine)
 	cs.DefaultStorageLevel = cfg.StorageLevel
+	cs.Priority = cfg.Priority
+	cs.MaxConcurrentJobs = cfg.MaxConcurrentJobs
 	return &Session{Session: cs, Cluster: c}, nil
 }
 
@@ -383,6 +399,15 @@ type Config struct {
 	// StorageLevel is the default storage level for cached tables
 	// (per-table TBLPROPERTIES levels override it).
 	StorageLevel StorageLevel
+	// Priority is the session's fair-share weight (<=0 reads as 1);
+	// meaningful when several contexts share the embedded cluster's
+	// slots (e.g. concurrent statements), and carried by every task
+	// the session launches.
+	Priority int
+	// MaxConcurrentJobs caps the session's concurrently executing
+	// statements (0 = unlimited); excess statements queue FIFO for
+	// admission.
+	MaxConcurrentJobs int
 }
 
 // Session is a connected Shark client attached to a Cluster. Exec /
@@ -417,7 +442,12 @@ func NewSession(cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := cl.NewSession(SessionConfig{Engine: cfg.Engine, StorageLevel: cfg.StorageLevel})
+	s, err := cl.NewSession(SessionConfig{
+		Engine:            cfg.Engine,
+		StorageLevel:      cfg.StorageLevel,
+		Priority:          cfg.Priority,
+		MaxConcurrentJobs: cfg.MaxConcurrentJobs,
+	})
 	if err != nil {
 		cl.Close()
 		return nil, err
