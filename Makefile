@@ -13,10 +13,11 @@ test:
 # and internal/core carry the shared-cluster / concurrent-session /
 # cancellation / admission suites; cluster carries the disk-tier and
 # scheduler-torture race suites, columnar the spill marshalling the
-# tiers serialize through, and exec the join/aggregate pipelines that
-# now poll cancellation from inside task bodies.
+# tiers serialize through, exec the join/aggregate pipelines that
+# now poll cancellation from inside task bodies, and pde the decision
+# layer those pipelines consult concurrently.
 race:
-	$(GO) test -race . ./internal/rdd ./internal/cluster ./internal/shuffle ./internal/memtable ./internal/core ./internal/columnar ./internal/exec
+	$(GO) test -race . ./internal/rdd ./internal/cluster ./internal/shuffle ./internal/memtable ./internal/core ./internal/columnar ./internal/exec ./internal/pde
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -34,13 +35,14 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # Harness smoke: the dispatcher, memory-pressure, tiered-storage,
-# multi-tenant concurrency and weighted-priority ablations at CI
-# scale, with a Markdown report plus a JSON trajectory point (renamed
-# BENCH_<sha>.json by CI) for the artifact trail — the non-gating perf
-# check comparing the spill-read path against lineage recomputation
-# and asserting the weighted p95 ordering.
+# multi-tenant concurrency, weighted-priority and adaptive-execution
+# ablations at CI scale, with a Markdown report plus a JSON trajectory
+# point (renamed BENCH_<sha>.json by CI) for the artifact trail — the
+# non-gating perf check comparing the spill-read path against lineage
+# recomputation, asserting the weighted p95 ordering, and requiring
+# the adaptive skewed join to beat the static plan.
 bench-smoke:
-	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory,abl_storage,abl_concurrency,abl_priority -scale small -markdown bench-report.md -json bench-trajectory.json
+	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory,abl_storage,abl_concurrency,abl_priority,abl_pde -scale small -markdown bench-report.md -json bench-trajectory.json
 
 # Perf gate: compare the newest BENCH_<sha>.json against the previous
 # trajectory point and fail on >25% regressions of recorded experiment

@@ -70,6 +70,17 @@ type Options struct {
 	// DisableCoalesce turns off PDE reducer coalescing: one reduce
 	// task per fine bucket (the paper's "just run many tasks" mode).
 	DisableCoalesce bool
+	// DisableAdaptiveExec turns off every runtime re-planning decision
+	// made from PDE statistics (the "adaptive execution off" ablation
+	// knob): joins are planned purely from static estimates, hot reduce
+	// buckets are never split, and reduce stages run one task per fine
+	// bucket instead of sizing parallelism from observed bytes.
+	DisableAdaptiveExec bool
+	// SkewFactor flags a reduce bucket of a shuffle join as skewed when
+	// its observed bytes strictly exceed SkewFactor × the mean bucket
+	// size; skewed buckets are split across multiple reduce tasks.
+	// Default 4.
+	SkewFactor float64
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +92,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BroadcastThreshold <= 0 {
 		o.BroadcastThreshold = 2 << 20
+	}
+	if o.SkewFactor <= 0 {
+		o.SkewFactor = 4
 	}
 	return o
 }
@@ -241,6 +255,29 @@ func (e *Engine) evalFn(x expr.Expr) expr.EvalFn {
 // parallelism; PDE coalesces).
 func (e *Engine) fineBuckets() int {
 	return e.Ctx.Cluster.TotalSlots() * e.opts.FineBucketsPerSlot
+}
+
+// Adaptive-execution decision accounting: each runtime plan change is
+// counted on the scheduler metrics and attributed to the statement's
+// job (flowing into JobStats and Session.Stats()). Decisions are made
+// master-side during compilation, under the statement's job context.
+
+func (e *Engine) noteBroadcastConversion(gctx context.Context) {
+	e.Ctx.Scheduler().Metrics().BroadcastConversions.Add(1)
+	rdd.JobFrom(gctx).NoteBroadcastConversion()
+}
+
+func (e *Engine) noteSkewSplits(gctx context.Context, n int) {
+	if n <= 0 {
+		return
+	}
+	e.Ctx.Scheduler().Metrics().SkewSplits.Add(int64(n))
+	rdd.JobFrom(gctx).NoteSkewSplits(int64(n))
+}
+
+func (e *Engine) noteAdaptiveCoalesce(gctx context.Context) {
+	e.Ctx.Scheduler().Metrics().AdaptiveCoalesces.Add(1)
+	rdd.JobFrom(gctx).NoteAdaptiveCoalesce()
 }
 
 // compile lowers a plan node to an RDD of row.Row. gctx scopes the
@@ -477,10 +514,14 @@ func (e *Engine) compileAggregate(gctx context.Context, a *plan.Aggregate, stats
 	}
 	stats.ShuffleBytes += shufStats.TotalBytes
 	var groups [][]int
-	if e.opts.DisableCoalesce {
+	if e.opts.DisableCoalesce || e.opts.DisableAdaptiveExec {
 		groups = nil // identity: one reduce task per fine bucket
 		stats.ReducerCounts = append(stats.ReducerCounts, nBuckets)
 	} else {
+		// Adaptive reduce parallelism: the task count follows the
+		// observed map-output volume, not a static default. Aggregate
+		// buckets are never skew-split — a group's partial states must
+		// finalize in exactly one task.
 		target := pde.TargetReducers(shufStats.TotalBytes, e.opts.TargetPerReducerBytes,
 			1, nBuckets)
 		if target < e.Ctx.Cluster.TotalSlots() && shufStats.TotalRecords > int64(e.Ctx.Cluster.TotalSlots()) {
@@ -488,6 +529,7 @@ func (e *Engine) compileAggregate(gctx context.Context, a *plan.Aggregate, stats
 		}
 		groups = pde.Coalesce(shufStats.BucketBytes, target)
 		stats.ReducerCounts = append(stats.ReducerCounts, len(groups))
+		e.noteAdaptiveCoalesce(gctx)
 	}
 
 	merged := e.Ctx.Shuffled(dep, groups, rdd.ReadCombine)

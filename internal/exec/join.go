@@ -42,11 +42,13 @@ func (e *Engine) compileJoin(gctx context.Context, j *plan.Join, stats *QuerySta
 	lKey := e.evalFn(j.LeftKey)
 	rKey := e.evalFn(j.RightKey)
 
-	switch e.opts.JoinStrategy {
-	case StrategyStatic:
+	switch {
+	case e.opts.JoinStrategy == StrategyStatic || e.opts.DisableAdaptiveExec:
+		// With adaptive execution disabled the strategy mode is moot:
+		// every join is planned purely from static estimates.
 		return e.staticJoin(gctx, j, left, right, lKey, rKey, stats)
-	case StrategyAdaptive:
-		return e.adaptiveJoin(gctx, left, right, lKey, rKey, stats)
+	case e.opts.JoinStrategy == StrategyAdaptive:
+		return e.adaptiveJoin(gctx, j, left, right, lKey, rKey, stats)
 	default:
 		return e.staticAdaptiveJoin(gctx, j, left, right, lKey, rKey, stats)
 	}
@@ -148,12 +150,12 @@ func (e *Engine) staticJoin(gctx context.Context, j *plan.Join, left, right *rdd
 	if err != nil {
 		return nil, err
 	}
-	return e.shuffleJoinRead(lDep, rDep, lStats, rStats, stats), nil
+	return e.shuffleJoinRead(gctx, lDep, rDep, lStats, rStats, stats), nil
 }
 
 // adaptiveJoin pre-shuffles both sides, then decides from observed
 // sizes (the paper's "Adaptive" bar in Fig. 8).
-func (e *Engine) adaptiveJoin(gctx context.Context, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
+func (e *Engine) adaptiveJoin(gctx context.Context, j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
 	lDep, lStats, err := e.preShuffle(gctx, left, lKey)
 	if err != nil {
 		return nil, err
@@ -162,7 +164,17 @@ func (e *Engine) adaptiveJoin(gctx context.Context, left, right *rdd.RDD, lKey, 
 	if err != nil {
 		return nil, err
 	}
-	switch pde.ChooseJoinStrategy(lStats.TotalBytes, rStats.TotalBytes, e.opts.BroadcastThreshold) {
+	choice := pde.ChooseJoinStrategy(lStats.TotalBytes, rStats.TotalBytes, e.opts.BroadcastThreshold)
+	if choice != pde.ShuffleJoin {
+		// A conversion is counted only when the static estimates would
+		// have kept the shuffle join — i.e. the observed statistics
+		// genuinely changed the plan at runtime.
+		lEst, rEst := estimateSide(j.Left), estimateSide(j.Right)
+		if pde.ChooseJoinStrategy(lEst, rEst, e.opts.BroadcastThreshold) == pde.ShuffleJoin {
+			e.noteBroadcastConversion(gctx)
+		}
+	}
+	switch choice {
 	case pde.MapJoinLeft:
 		stats.JoinStrategies = append(stats.JoinStrategies, "adaptive:map-join(left)")
 		return e.broadcastJoinFromShuffle(lDep, right, rKey, true)
@@ -171,7 +183,7 @@ func (e *Engine) adaptiveJoin(gctx context.Context, left, right *rdd.RDD, lKey, 
 		return e.broadcastJoinFromShuffle(rDep, left, lKey, false)
 	}
 	stats.JoinStrategies = append(stats.JoinStrategies, "adaptive:shuffle-join")
-	return e.shuffleJoinRead(lDep, rDep, lStats, rStats, stats), nil
+	return e.shuffleJoinRead(gctx, lDep, rDep, lStats, rStats, stats), nil
 }
 
 // staticAdaptiveJoin uses the static prior to pick the likely-small
@@ -193,8 +205,15 @@ func (e *Engine) staticAdaptiveJoin(gctx context.Context, j *plan.Join, left, ri
 	}
 	if smallStats.TotalBytes <= e.opts.BroadcastThreshold {
 		side := "right"
+		smallEst := rEst
 		if probeLeft {
 			side = "left"
+			smallEst = lEst
+		}
+		if smallEst > e.opts.BroadcastThreshold {
+			// The estimate said "too big to broadcast" but the observed
+			// map output qualified: a runtime plan conversion.
+			e.noteBroadcastConversion(gctx)
 		}
 		stats.JoinStrategies = append(stats.JoinStrategies,
 			fmt.Sprintf("static+adaptive:map-join(%s)", side))
@@ -207,9 +226,9 @@ func (e *Engine) staticAdaptiveJoin(gctx context.Context, j *plan.Join, left, ri
 		return nil, err
 	}
 	if probeLeft {
-		return e.shuffleJoinRead(smallDep, bigDep, smallStats, bigStats, stats), nil
+		return e.shuffleJoinRead(gctx, smallDep, bigDep, smallStats, bigStats, stats), nil
 	}
-	return e.shuffleJoinRead(bigDep, smallDep, bigStats, smallStats, stats), nil
+	return e.shuffleJoinRead(gctx, bigDep, smallDep, bigStats, smallStats, stats), nil
 }
 
 // preShuffle materializes the map side of a shuffle keyed by keyFn and
@@ -229,9 +248,14 @@ func (e *Engine) preShuffle(gctx context.Context, r *rdd.RDD, keyFn expr.EvalFn)
 
 // shuffleJoinRead joins two materialized shuffles bucket-by-bucket.
 // Buckets are coalesced into reduce partitions by bin-packing the
-// combined observed sizes; within each bucket the hash table is built
-// over whichever input is locally smaller (run-time choice, §3.1.1).
-func (e *Engine) shuffleJoinRead(lDep, rDep *rdd.ShuffleDep, lStats, rStats *pde.StageStats, stats *QueryStats) *rdd.RDD {
+// combined observed sizes; a bucket whose bytes exceed the skew factor
+// is instead split across several tasks, each fetching the bucket's
+// full build side but only a disjoint subset of the probe side's map
+// outputs — the union of the split tasks' outputs is exactly the
+// bucket's join result. Within each whole bucket the hash table is
+// built over whichever input is locally smaller (run-time choice,
+// §3.1.1).
+func (e *Engine) shuffleJoinRead(gctx context.Context, lDep, rDep *rdd.ShuffleDep, lStats, rStats *pde.StageStats, stats *QueryStats) *rdd.RDD {
 	n := lDep.Partitioner.NumPartitions()
 	combined := make([]int64, n)
 	for i := 0; i < n; i++ {
@@ -242,39 +266,87 @@ func (e *Engine) shuffleJoinRead(lDep, rDep *rdd.ShuffleDep, lStats, rStats *pde
 		total += b
 	}
 	stats.ShuffleBytes += total
-	var groups [][]int
-	if e.opts.DisableCoalesce {
-		groups = nil
-		stats.ReducerCounts = append(stats.ReducerCounts, n)
-	} else {
-		target := pde.TargetReducers(total, e.opts.TargetPerReducerBytes, e.Ctx.Cluster.TotalSlots(), n)
-		groups = pde.Coalesce(combined, target)
-		stats.ReducerCounts = append(stats.ReducerCounts, len(groups))
-	}
-	if groups == nil {
-		groups = make([][]int, n)
-		for i := range groups {
-			groups[i] = []int{i}
-		}
-	}
 	lRecs := append([]int64(nil), lStats.BucketRecords...)
 	rRecs := append([]int64(nil), rStats.BucketRecords...)
-	ctx := e.Ctx
-	return joinSource(ctx, lDep, rDep, groups, lRecs, rRecs)
+	// The probe side of bucket b (the side a split slices): the one
+	// with more records; the build side is replicated to every slice.
+	probeIsLeft := func(b int) bool { return lRecs[b] > rRecs[b] }
+
+	if e.opts.DisableCoalesce || e.opts.DisableAdaptiveExec {
+		// Static reduce side: one whole-bucket task per fine bucket.
+		tasks := make([][]joinSlice, n)
+		for i := range tasks {
+			tasks[i] = []joinSlice{{bucket: i}}
+		}
+		stats.ReducerCounts = append(stats.ReducerCounts, n)
+		return joinSource(e.Ctx, lDep, rDep, tasks, lRecs, rRecs)
+	}
+
+	// Adaptive reduce side: coalesce cold buckets, split hot ones.
+	plan := pde.PlanReduce(combined, func(b int) []int64 {
+		probe := rDep
+		if probeIsLeft(b) {
+			probe = lDep
+		}
+		return e.Ctx.Tracker().PerMapBucketBytes(probe.ID, b)
+	}, pde.SkewConfig{
+		TargetBytes: e.opts.TargetPerReducerBytes,
+		MinTasks:    e.Ctx.Cluster.TotalSlots(),
+		MaxTasks:    n,
+		SkewFactor:  e.opts.SkewFactor,
+		MaxSplit:    e.Ctx.Cluster.TotalSlots(),
+	})
+	tasks := make([][]joinSlice, len(plan.Tasks))
+	for i, task := range plan.Tasks {
+		tasks[i] = make([]joinSlice, len(task))
+		for j, s := range task {
+			tasks[i][j] = joinSlice{bucket: s.Bucket, probeMaps: s.Maps, probeLeft: probeIsLeft(s.Bucket)}
+		}
+	}
+	e.noteAdaptiveCoalesce(gctx)
+	e.noteSkewSplits(gctx, len(plan.SplitBuckets))
+	stats.ReducerCounts = append(stats.ReducerCounts, len(tasks))
+	return joinSource(e.Ctx, lDep, rDep, tasks, lRecs, rRecs)
+}
+
+// joinSlice is one reduce task's view of one fine bucket: the whole
+// bucket, or — for a skew-split hot bucket — the bucket's full build
+// side plus the probe-side contributions of a subset of map partitions.
+type joinSlice struct {
+	bucket    int
+	probeMaps []int // nil = whole bucket
+	probeLeft bool  // the sliced probe side is the LEFT dep (when probeMaps != nil)
 }
 
 // joinSource builds the reduce-side RDD of a shuffle join. The two
 // shuffle dependencies are declared on the RDD even though compute
 // fetches their buckets directly: lineage walks must see that a live
-// join RDD still needs them (shuffle cleanup, recovery). Each bucket
+// join RDD still needs them (shuffle cleanup, recovery). Each slice
 // boundary polls the task's context so a cancelled query aborts the
 // join mid-partition.
-func joinSource(ctx *rdd.Context, lDep, rDep *rdd.ShuffleDep, groups [][]int, lRecs, rRecs []int64) *rdd.RDD {
+func joinSource(ctx *rdd.Context, lDep, rDep *rdd.ShuffleDep, tasks [][]joinSlice, lRecs, rRecs []int64) *rdd.RDD {
 	deps := []rdd.Dependency{lDep, rDep}
-	return ctx.SourceWithDeps("shuffle-join", len(groups), deps, func(tc *rdd.TaskContext, part int) rdd.Iter {
+	return ctx.SourceWithDeps("shuffle-join", len(tasks), deps, func(tc *rdd.TaskContext, part int) rdd.Iter {
 		var out []any
-		for _, b := range groups[part] {
+		for _, s := range tasks[part] {
 			tc.FailIfCancelled()
+			b := s.bucket
+			if s.probeMaps != nil {
+				// Skew split: replicate the whole build side, fetch only
+				// this task's share of the probe side. joinBucket's
+				// swapped flag is true when the build rows came from the
+				// RIGHT dep — i.e. when the probe side is the left.
+				if s.probeLeft {
+					build := fetchBucket(tc, rDep, b)
+					probe := fetchBucketMaps(tc, lDep, b, s.probeMaps)
+					out = joinBucket(out, build, probe, true)
+				} else {
+					build := fetchBucket(tc, lDep, b)
+					probe := fetchBucketMaps(tc, rDep, b, s.probeMaps)
+					out = joinBucket(out, build, probe, false)
+				}
+				continue
+			}
 			lPairs := fetchBucket(tc, lDep, b)
 			rPairs := fetchBucket(tc, rDep, b)
 			// Run-time local algorithm choice: build on the smaller
@@ -292,6 +364,17 @@ func joinSource(ctx *rdd.Context, lDep, rDep *rdd.ShuffleDep, groups [][]int, lR
 func fetchBucket(tc *rdd.TaskContext, dep *rdd.ShuffleDep, bucket int) []shuffle.Pair {
 	locs := tc.Ctx.Tracker().Locations(dep.ID)
 	pairs, err := tc.Ctx.Shuffle.Fetch(dep.ID, bucket, locs)
+	if err != nil {
+		rdd.Fail(err)
+	}
+	return pairs
+}
+
+// fetchBucketMaps fetches only the listed map partitions' share of a
+// bucket — the split-slice read.
+func fetchBucketMaps(tc *rdd.TaskContext, dep *rdd.ShuffleDep, bucket int, maps []int) []shuffle.Pair {
+	locs := tc.Ctx.Tracker().Locations(dep.ID)
+	pairs, err := tc.Ctx.Shuffle.FetchPartial(dep.ID, bucket, locs, maps)
 	if err != nil {
 		rdd.Fail(err)
 	}

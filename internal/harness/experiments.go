@@ -40,6 +40,7 @@ var experiments = map[string]func(Scale, *Report) error{
 	"abl_storage":     runStorage,
 	"abl_concurrency": runConcurrency,
 	"abl_priority":    runPriority,
+	"abl_pde":         runPDE,
 	"pruning":         runPruning,
 }
 

@@ -1,0 +1,181 @@
+package pde
+
+// This file is the PDE decision layer (§3.1): pure functions that turn
+// the statistics observed at a shuffle materialization boundary into
+// runtime plan changes. Which buckets are skewed, how a hot bucket's
+// fetch splits across several reduce tasks, and the combined reduce
+// plan (coalesce cold buckets, split hot ones) are all decided here,
+// with no knowledge of the scheduler or the shuffle transport — the
+// rdd and exec layers apply the returned plans.
+
+// BucketSlice identifies all or part of one fine shuffle bucket as a
+// reduce task's input. Maps == nil means the whole bucket (every map
+// partition's contribution); otherwise only the contributions of the
+// listed map partitions are fetched — the skew-split read unit.
+type BucketSlice struct {
+	// Bucket is the fine shuffle bucket index.
+	Bucket int
+	// Maps lists the map partitions whose contribution to Bucket this
+	// slice covers; nil covers the entire bucket.
+	Maps []int
+}
+
+// Whole reports whether the slice covers the entire bucket.
+func (s BucketSlice) Whole() bool { return s.Maps == nil }
+
+// SkewedBuckets returns the indices of buckets whose observed bytes
+// strictly exceed factor × the mean bucket size, ascending. The strict
+// comparison means all-equal buckets never report skew and a bucket
+// sitting exactly at the threshold is not split. A factor <= 1, fewer
+// than two buckets, or an all-zero stage reports no skew.
+func SkewedBuckets(bucketBytes []int64, factor float64) []int {
+	if factor <= 1 || len(bucketBytes) < 2 {
+		return nil
+	}
+	var total int64
+	for _, b := range bucketBytes {
+		total += b
+	}
+	if total == 0 {
+		return nil
+	}
+	threshold := factor * float64(total) / float64(len(bucketBytes))
+	var out []int
+	for i, b := range bucketBytes {
+		if float64(b) > threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SplitTasks sizes a hot bucket's split: enough tasks that each fetches
+// about targetBytes, capped at maxTasks. Returns 1 (no split) when
+// targetBytes is unset or maxTasks does not allow a real split.
+func SplitTasks(bucketBytes, targetBytes int64, maxTasks int) int {
+	if targetBytes <= 0 || maxTasks < 2 {
+		return 1
+	}
+	k := int((bucketBytes + targetBytes - 1) / targetBytes)
+	if k > maxTasks {
+		k = maxTasks
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// SplitBucket partitions one hot bucket's per-map byte contributions
+// into up to tasks byte-balanced fetch groups — the same LPT
+// bin-packing as Coalesce, applied to map partitions instead of
+// buckets. Each group is an ascending list of map-partition indices;
+// together the groups cover every map partition exactly once. It
+// returns nil when no real split is possible (fewer than two map
+// partitions, tasks < 2, or the contributions collapse into one
+// group), in which case the caller should treat the bucket as cold.
+func SplitBucket(perMapBytes []int64, tasks int) [][]int {
+	if tasks < 2 || len(perMapBytes) < 2 {
+		return nil
+	}
+	groups := Coalesce(perMapBytes, tasks)
+	if len(groups) < 2 {
+		return nil
+	}
+	return groups
+}
+
+// SkewConfig tunes PlanReduce.
+type SkewConfig struct {
+	// TargetBytes is the desired input volume per reduce task: both
+	// the coalescing target for cold buckets and the split granularity
+	// for hot ones.
+	TargetBytes int64
+	// MinTasks and MaxTasks clamp the overall reduce-task target
+	// (TargetReducers semantics).
+	MinTasks, MaxTasks int
+	// SkewFactor flags a bucket as hot when its bytes strictly exceed
+	// SkewFactor × the mean bucket size. A factor <= 1 disables
+	// splitting entirely.
+	SkewFactor float64
+	// MaxSplit caps how many tasks one hot bucket may split into
+	// (0 = no cap beyond the bucket's map-partition count).
+	MaxSplit int
+}
+
+// ReducePlan is PlanReduce's output: a reduce-side task assignment in
+// which every fine bucket is covered exactly once — cold buckets whole
+// (possibly several per task), hot buckets as one slice per task.
+type ReducePlan struct {
+	// Tasks assigns each reduce task its input slices.
+	Tasks [][]BucketSlice
+	// SplitBuckets lists the buckets that were split across tasks,
+	// ascending. Empty when no skew was detected.
+	SplitBuckets []int
+}
+
+// PlanReduce builds the adaptive reduce-side plan from observed bucket
+// sizes — extending Coalesce to also split, not just merge. Hot
+// buckets (SkewedBuckets under cfg.SkewFactor) are split across
+// several tasks by bin-packing their per-map contributions (perMap
+// returns the per-map-partition bytes of one bucket; nil disables
+// splitting); the remaining cold buckets are coalesced into the task
+// budget left over from TargetReducers. The union of all tasks' slices
+// covers every bucket exactly once, so a reader that fetches each
+// slice reproduces exactly the whole-bucket input.
+func PlanReduce(bucketBytes []int64, perMap func(bucket int) []int64, cfg SkewConfig) ReducePlan {
+	var total int64
+	for _, b := range bucketBytes {
+		total += b
+	}
+	target := TargetReducers(total, cfg.TargetBytes, cfg.MinTasks, cfg.MaxTasks)
+
+	var plan ReducePlan
+	split := make(map[int]bool)
+	if perMap != nil {
+		for _, b := range SkewedBuckets(bucketBytes, cfg.SkewFactor) {
+			pm := perMap(b)
+			maxSplit := len(pm)
+			if cfg.MaxSplit > 0 && cfg.MaxSplit < maxSplit {
+				maxSplit = cfg.MaxSplit
+			}
+			k := SplitTasks(bucketBytes[b], cfg.TargetBytes, maxSplit)
+			subsets := SplitBucket(pm, k)
+			if subsets == nil {
+				continue // unsplittable: falls back to the cold pool
+			}
+			for _, maps := range subsets {
+				plan.Tasks = append(plan.Tasks, []BucketSlice{{Bucket: b, Maps: maps}})
+			}
+			plan.SplitBuckets = append(plan.SplitBuckets, b)
+			split[b] = true
+		}
+	}
+
+	// Coalesce the cold buckets into whatever task budget the splits
+	// left. Indices must be remapped through the cold list — hot
+	// buckets are already fully covered by their slices and must not
+	// reappear whole.
+	coldIdx := make([]int, 0, len(bucketBytes))
+	coldSizes := make([]int64, 0, len(bucketBytes))
+	for i, b := range bucketBytes {
+		if !split[i] {
+			coldIdx = append(coldIdx, i)
+			coldSizes = append(coldSizes, b)
+		}
+	}
+	if len(coldIdx) > 0 {
+		budget := target - len(plan.Tasks)
+		if budget < 1 {
+			budget = 1
+		}
+		for _, g := range Coalesce(coldSizes, budget) {
+			task := make([]BucketSlice, len(g))
+			for j, ci := range g {
+				task[j] = BucketSlice{Bucket: coldIdx[ci]}
+			}
+			plan.Tasks = append(plan.Tasks, task)
+		}
+	}
+	return plan
+}

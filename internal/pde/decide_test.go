@@ -1,0 +1,248 @@
+package pde
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSkewedBucketsAllEqual(t *testing.T) {
+	if got := SkewedBuckets([]int64{5, 5, 5, 5}, 1.5); got != nil {
+		t.Errorf("all-equal buckets must report no skew, got %v", got)
+	}
+}
+
+func TestSkewedBucketsExactlyAtThreshold(t *testing.T) {
+	// total 8 over 4 buckets → mean 2; factor 2 → threshold exactly 4.
+	if got := SkewedBuckets([]int64{4, 2, 1, 1}, 2); got != nil {
+		t.Errorf("bucket exactly at threshold must not split, got %v", got)
+	}
+	// One byte over the threshold flags the bucket.
+	if got := SkewedBuckets([]int64{5, 1, 1, 1}, 2); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("bucket above threshold: got %v, want [0]", got)
+	}
+}
+
+func TestSkewedBucketsDegenerate(t *testing.T) {
+	if got := SkewedBuckets([]int64{0, 0, 0}, 2); got != nil {
+		t.Errorf("all-zero stage must report no skew, got %v", got)
+	}
+	if got := SkewedBuckets([]int64{100}, 2); got != nil {
+		t.Errorf("single bucket must report no skew, got %v", got)
+	}
+	if got := SkewedBuckets([]int64{100, 1}, 1); got != nil {
+		t.Errorf("factor <= 1 must disable skew detection, got %v", got)
+	}
+}
+
+func TestSplitTasks(t *testing.T) {
+	cases := []struct {
+		bytes, target  int64
+		maxTasks, want int
+	}{
+		{1000, 100, 16, 10},
+		{1001, 100, 16, 11}, // ceil
+		{1000, 100, 4, 4},   // capped
+		{50, 100, 16, 1},    // under target: no split
+		{1000, 0, 16, 1},    // target unset
+		{1000, 100, 1, 1},   // no room to split
+	}
+	for _, c := range cases {
+		if got := SplitTasks(c.bytes, c.target, c.maxTasks); got != c.want {
+			t.Errorf("SplitTasks(%d,%d,%d) = %d, want %d", c.bytes, c.target, c.maxTasks, got, c.want)
+		}
+	}
+}
+
+func TestSplitBucketCoversMapsExactlyOnce(t *testing.T) {
+	perMap := []int64{40, 10, 30, 20, 10, 40}
+	groups := SplitBucket(perMap, 3)
+	if len(groups) != 3 {
+		t.Fatalf("want 3 groups, got %v", groups)
+	}
+	seen := make(map[int]int)
+	for _, g := range groups {
+		for _, m := range g {
+			seen[m]++
+		}
+	}
+	for m := range perMap {
+		if seen[m] != 1 {
+			t.Errorf("map %d covered %d times", m, seen[m])
+		}
+	}
+}
+
+func TestSplitBucketNoRealSplit(t *testing.T) {
+	if g := SplitBucket([]int64{100}, 4); g != nil {
+		t.Errorf("single map partition must not split, got %v", g)
+	}
+	if g := SplitBucket([]int64{10, 20, 30}, 1); g != nil {
+		t.Errorf("tasks < 2 must not split, got %v", g)
+	}
+	// All-zero contributions collapse into one LPT group → no split.
+	if g := SplitBucket([]int64{0, 0, 0}, 2); g != nil {
+		t.Errorf("all-zero contributions must not split, got %v", g)
+	}
+}
+
+// planCoverage asserts every bucket is covered exactly once: split
+// buckets by disjoint map subsets, cold buckets by one whole slice.
+func planCoverage(t *testing.T, plan ReducePlan, numBuckets int, perMap func(int) []int64) {
+	t.Helper()
+	wholeSeen := make(map[int]int)
+	mapSeen := make(map[int]map[int]int)
+	for _, task := range plan.Tasks {
+		for _, s := range task {
+			if s.Whole() {
+				wholeSeen[s.Bucket]++
+				continue
+			}
+			if mapSeen[s.Bucket] == nil {
+				mapSeen[s.Bucket] = make(map[int]int)
+			}
+			for _, m := range s.Maps {
+				mapSeen[s.Bucket][m]++
+			}
+		}
+	}
+	for b := 0; b < numBuckets; b++ {
+		if parts, isSplit := mapSeen[b]; isSplit {
+			if wholeSeen[b] != 0 {
+				t.Errorf("bucket %d both split and whole", b)
+			}
+			for m := range perMap(b) {
+				if parts[m] != 1 {
+					t.Errorf("split bucket %d: map %d covered %d times", b, m, parts[m])
+				}
+			}
+		} else if wholeSeen[b] != 1 {
+			t.Errorf("bucket %d covered %d times", b, wholeSeen[b])
+		}
+	}
+}
+
+func TestPlanReduceSplitsHotBucket(t *testing.T) {
+	// Bucket 0 holds ~80% of the bytes; the rest are small.
+	bucketBytes := []int64{800, 30, 30, 30, 30, 30, 25, 25}
+	perMap := func(b int) []int64 {
+		if b == 0 {
+			return []int64{200, 200, 200, 200}
+		}
+		return []int64{10, 10, 5, 5}
+	}
+	plan := PlanReduce(bucketBytes, perMap, SkewConfig{
+		TargetBytes: 100, MinTasks: 2, MaxTasks: 8, SkewFactor: 4,
+	})
+	if !reflect.DeepEqual(plan.SplitBuckets, []int{0}) {
+		t.Fatalf("SplitBuckets = %v, want [0]", plan.SplitBuckets)
+	}
+	planCoverage(t, plan, len(bucketBytes), perMap)
+	// Each split task is a single-slice task over bucket 0.
+	splitTasks := 0
+	for _, task := range plan.Tasks {
+		if len(task) == 1 && !task[0].Whole() {
+			splitTasks++
+		}
+	}
+	if splitTasks < 2 {
+		t.Errorf("hot bucket split into %d tasks, want >= 2", splitTasks)
+	}
+}
+
+func TestPlanReduceUniformMatchesCoalesce(t *testing.T) {
+	bucketBytes := []int64{100, 100, 100, 100, 100, 100, 100, 100}
+	perMap := func(int) []int64 { return []int64{25, 25, 25, 25} }
+	plan := PlanReduce(bucketBytes, perMap, SkewConfig{
+		TargetBytes: 200, MinTasks: 1, MaxTasks: 8, SkewFactor: 4,
+	})
+	if len(plan.SplitBuckets) != 0 {
+		t.Fatalf("uniform buckets must not split, got %v", plan.SplitBuckets)
+	}
+	planCoverage(t, plan, len(bucketBytes), perMap)
+	if want := TargetReducers(800, 200, 1, 8); len(plan.Tasks) != want {
+		t.Errorf("uniform plan has %d tasks, want %d", len(plan.Tasks), want)
+	}
+}
+
+func TestPlanReduceNilPerMapDisablesSplitting(t *testing.T) {
+	bucketBytes := []int64{800, 10, 10, 10}
+	plan := PlanReduce(bucketBytes, nil, SkewConfig{
+		TargetBytes: 100, MinTasks: 1, MaxTasks: 4, SkewFactor: 2,
+	})
+	if len(plan.SplitBuckets) != 0 {
+		t.Fatalf("nil perMap must disable splitting, got %v", plan.SplitBuckets)
+	}
+	planCoverage(t, plan, len(bucketBytes), func(int) []int64 { return nil })
+}
+
+func TestPlanReduceUnsplittableHotBucketStaysCold(t *testing.T) {
+	// The hot bucket's bytes all come from one map partition: no split
+	// is possible, so it must fall back to a whole-bucket task.
+	bucketBytes := []int64{800, 10, 10, 10}
+	perMap := func(b int) []int64 {
+		if b == 0 {
+			return []int64{800}
+		}
+		return []int64{10}
+	}
+	plan := PlanReduce(bucketBytes, perMap, SkewConfig{
+		TargetBytes: 100, MinTasks: 1, MaxTasks: 4, SkewFactor: 2,
+	})
+	if len(plan.SplitBuckets) != 0 {
+		t.Fatalf("single-map hot bucket must not split, got %v", plan.SplitBuckets)
+	}
+	planCoverage(t, plan, len(bucketBytes), perMap)
+}
+
+func TestChooseJoinStrategyEdges(t *testing.T) {
+	// Exactly at threshold broadcasts (<= rule).
+	if got := ChooseJoinStrategy(100, 1000, 100); got != MapJoinLeft {
+		t.Errorf("at-threshold side must broadcast, got %v", got)
+	}
+	// One byte over keeps the shuffle join.
+	if got := ChooseJoinStrategy(101, 1000, 100); got != ShuffleJoin {
+		t.Errorf("over-threshold sides must shuffle, got %v", got)
+	}
+	// A zero-byte side always qualifies, even with threshold 0.
+	if got := ChooseJoinStrategy(0, 1000, 0); got != MapJoinLeft {
+		t.Errorf("zero-byte left side must broadcast, got %v", got)
+	}
+	if got := ChooseJoinStrategy(1000, 0, 0); got != MapJoinRight {
+		t.Errorf("zero-byte right side must broadcast, got %v", got)
+	}
+	// Both qualify → smaller side; tie → left.
+	if got := ChooseJoinStrategy(50, 60, 100); got != MapJoinLeft {
+		t.Errorf("smaller side wins, got %v", got)
+	}
+	if got := ChooseJoinStrategy(60, 60, 100); got != MapJoinLeft {
+		t.Errorf("tie must broadcast left, got %v", got)
+	}
+}
+
+func TestHistogramMergeGrowsBuckets(t *testing.T) {
+	// Regression: merging a finer histogram into a coarser one used to
+	// silently drop the counts beyond the coarse bucket count.
+	h := NewHistogram(0, 100, 2)
+	h.Add(int64(10)) // bucket 0
+	o := NewHistogram(0, 100, 4)
+	o.Add(int64(80)) // bucket 3 — beyond h's original bucket range
+	o.Add(int64(90)) // bucket 3
+	o.Add(int64(30)) // bucket 1
+	h.Merge(o)
+	if len(h.Buckets) != 4 {
+		t.Fatalf("merged bucket count = %d, want 4", len(h.Buckets))
+	}
+	var inBuckets int64
+	for _, c := range h.Buckets {
+		inBuckets += c
+	}
+	if inBuckets != 4 {
+		t.Errorf("merged in-bucket count = %d, want 4 (no counts dropped)", inBuckets)
+	}
+	if h.Total() != 4 {
+		t.Errorf("merged total = %d, want 4", h.Total())
+	}
+	if h.Buckets[3] != 2 {
+		t.Errorf("fine bucket 3 = %d, want 2", h.Buckets[3])
+	}
+}

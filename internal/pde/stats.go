@@ -183,11 +183,18 @@ func (h *Histogram) Add(v any) {
 }
 
 // Merge folds another histogram with identical bounds into this one.
+// When the other histogram has more buckets (collectors configured with
+// different resolutions), Buckets grows to fit so no counts are lost;
+// the coarser prefix keeps its original widths, which is acceptable for
+// the order-of-magnitude accuracy PDE needs.
 func (h *Histogram) Merge(o *Histogram) {
-	for i := range h.Buckets {
-		if i < len(o.Buckets) {
-			h.Buckets[i] += o.Buckets[i]
-		}
+	if len(o.Buckets) > len(h.Buckets) {
+		grown := make([]int64, len(o.Buckets))
+		copy(grown, h.Buckets)
+		h.Buckets = grown
+	}
+	for i, c := range o.Buckets {
+		h.Buckets[i] += c
 	}
 	h.under += o.under
 	h.over += o.over

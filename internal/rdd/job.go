@@ -40,6 +40,9 @@ type Job struct {
 	diskHits         atomic.Int64
 	cacheRecomputes  atomic.Int64
 	cancelledMidPart atomic.Int64
+	broadcastConv    atomic.Int64
+	skewSplits       atomic.Int64
+	adaptiveCoalesce atomic.Int64
 
 	agg *sessionAgg
 	// gate is the admission gate the job was admitted under (nil when
@@ -71,6 +74,10 @@ type JobStats struct {
 	// partition when the job's context was cancelled (cooperative
 	// mid-partition cancellation).
 	CancelledMidPartition int64
+	// BroadcastConversions / SkewSplits / AdaptiveCoalesces count the
+	// adaptive-execution (PDE) decisions made while planning the job's
+	// shuffles from observed map-output statistics.
+	BroadcastConversions, SkewSplits, AdaptiveCoalesces int64
 }
 
 // Stats snapshots the job's counters.
@@ -83,6 +90,9 @@ func (j *Job) Stats() JobStats {
 		DiskHits:              j.diskHits.Load(),
 		CacheRecomputes:       j.cacheRecomputes.Load(),
 		CancelledMidPartition: j.cancelledMidPart.Load(),
+		BroadcastConversions:  j.broadcastConv.Load(),
+		SkewSplits:            j.skewSplits.Load(),
+		AdaptiveCoalesces:     j.adaptiveCoalesce.Load(),
 	}
 }
 
@@ -170,6 +180,40 @@ func (j *Job) noteCancelledMidPartition() {
 	j.agg.cancelledMidPart.Add(1)
 }
 
+// The adaptive-execution note methods are exported: the exec engine
+// records each PDE plan decision on the statement's job (master-side,
+// during compilation) so it surfaces in JobStats and Session.Stats().
+// Like the task-side helpers they are nil-safe for job-less work.
+
+// NoteBroadcastConversion records a runtime shuffle-to-broadcast join
+// conversion made from observed map-output sizes.
+func (j *Job) NoteBroadcastConversion() {
+	if j == nil {
+		return
+	}
+	j.broadcastConv.Add(1)
+	j.agg.broadcastConv.Add(1)
+}
+
+// NoteSkewSplits records n hot reduce buckets split across tasks.
+func (j *Job) NoteSkewSplits(n int64) {
+	if j == nil || n <= 0 {
+		return
+	}
+	j.skewSplits.Add(n)
+	j.agg.skewSplits.Add(n)
+}
+
+// NoteAdaptiveCoalesce records one reduce stage whose parallelism was
+// chosen at runtime from observed map-output sizes.
+func (j *Job) NoteAdaptiveCoalesce() {
+	if j == nil {
+		return
+	}
+	j.adaptiveCoalesce.Add(1)
+	j.agg.adaptiveCoalesce.Add(1)
+}
+
 // sessionAgg accumulates every job's counters for one session tag,
 // plus the evictions attributed to RDDs the session materialized.
 type sessionAgg struct {
@@ -185,6 +229,9 @@ type sessionAgg struct {
 	admissionWaits   atomic.Int64
 	admittedJobs     atomic.Int64
 	cancelledMidPart atomic.Int64
+	broadcastConv    atomic.Int64
+	skewSplits       atomic.Int64
+	adaptiveCoalesce atomic.Int64
 }
 
 // SessionStats is a point-in-time snapshot of everything one session
@@ -215,6 +262,12 @@ type SessionStats struct {
 	// statements aborted inside a partition (cooperative cancellation)
 	// instead of running to the partition boundary.
 	CancelledMidPartition int64
+	// BroadcastConversions counts shuffle joins the session's
+	// statements converted to broadcast joins at runtime after PDE
+	// statistics contradicted the static estimate; SkewSplits counts
+	// hot reduce buckets split across tasks; AdaptiveCoalesces counts
+	// reduce stages whose parallelism was picked from observed sizes.
+	BroadcastConversions, SkewSplits, AdaptiveCoalesces int64
 }
 
 func (a *sessionAgg) snapshot() SessionStats {
@@ -231,6 +284,9 @@ func (a *sessionAgg) snapshot() SessionStats {
 		AdmissionWaits:        a.admissionWaits.Load(),
 		AdmittedJobs:          a.admittedJobs.Load(),
 		CancelledMidPartition: a.cancelledMidPart.Load(),
+		BroadcastConversions:  a.broadcastConv.Load(),
+		SkewSplits:            a.skewSplits.Load(),
+		AdaptiveCoalesces:     a.adaptiveCoalesce.Load(),
 	}
 }
 

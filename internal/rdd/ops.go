@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"shark/internal/pde"
 	"shark/internal/shuffle"
 )
 
@@ -208,22 +209,67 @@ func (c *Context) Shuffled(dep *ShuffleDep, groups [][]int, kind ReadKind) *RDD 
 	}
 }
 
+// ShuffledSlices is Shuffled with slice-level task assignment, the
+// skew-split read path: each reduce task consumes a list of
+// pde.BucketSlices, where a slice covers a whole fine bucket or only
+// the contributions of a subset of map partitions (a split hot
+// bucket). For ReadRaw the union of all tasks' outputs is exactly the
+// whole-bucket read. For ReadCombine/ReadGroup, keys of a bucket split
+// across tasks merge per task, not globally — callers that need one
+// output pair per key must not split buckets.
+func (c *Context) ShuffledSlices(dep *ShuffleDep, tasks [][]pde.BucketSlice, kind ReadKind) *RDD {
+	return &RDD{
+		ID:       c.newRDDID(),
+		Name:     fmt.Sprintf("shuffled-slices(%d)", dep.ID),
+		ctx:      c,
+		numParts: len(tasks),
+		deps:     []Dependency{dep},
+		prefLocs: func(part int) []int {
+			buckets := make([]int, 0, len(tasks[part]))
+			for _, s := range tasks[part] {
+				buckets = append(buckets, s.Bucket)
+			}
+			return c.tracker.PreferredReduceWorkers(dep.ID, buckets, 2)
+		},
+		compute: func(tc *TaskContext, part int) Iter {
+			return c.readShuffleSlices(tc, dep, tasks[part], kind)
+		},
+	}
+}
+
 func (c *Context) readShuffle(tc *TaskContext, dep *ShuffleDep, buckets []int, kind ReadKind) Iter {
+	slices := make([]pde.BucketSlice, len(buckets))
+	for i, b := range buckets {
+		slices[i] = pde.BucketSlice{Bucket: b}
+	}
+	return c.readShuffleSlices(tc, dep, slices, kind)
+}
+
+func (c *Context) readShuffleSlices(tc *TaskContext, dep *ShuffleDep, slices []pde.BucketSlice, kind ReadKind) Iter {
 	locations := c.tracker.Locations(dep.ID)
 	// Polled between buckets and every cancelCheckRows merged pairs, so
 	// a cancelled job stops paying for a large reduce input
 	// mid-partition instead of merging it to completion.
 	checkCancel := tc.FailIfCancelled
+	fetch := func(s pde.BucketSlice) []shuffle.Pair {
+		var pairs []shuffle.Pair
+		var err error
+		if s.Whole() {
+			pairs, err = c.Shuffle.Fetch(dep.ID, s.Bucket, locations)
+		} else {
+			pairs, err = c.Shuffle.FetchPartial(dep.ID, s.Bucket, locations, s.Maps)
+		}
+		if err != nil {
+			Fail(err)
+		}
+		return pairs
+	}
 	switch kind {
 	case ReadCombine:
 		merged := make(map[any]any)
-		for _, b := range buckets {
+		for _, s := range slices {
 			checkCancel()
-			pairs, err := c.Shuffle.Fetch(dep.ID, b, locations)
-			if err != nil {
-				Fail(err)
-			}
-			for i, p := range pairs {
+			for i, p := range fetch(s) {
 				if i%cancelCheckRows == cancelCheckRows-1 {
 					checkCancel()
 				}
@@ -241,13 +287,9 @@ func (c *Context) readShuffle(tc *TaskContext, dep *ShuffleDep, buckets []int, k
 		return SliceIter(out)
 	case ReadGroup:
 		grouped := make(map[any][]any)
-		for _, b := range buckets {
+		for _, s := range slices {
 			checkCancel()
-			pairs, err := c.Shuffle.Fetch(dep.ID, b, locations)
-			if err != nil {
-				Fail(err)
-			}
-			for i, p := range pairs {
+			for i, p := range fetch(s) {
 				if i%cancelCheckRows == cancelCheckRows-1 {
 					checkCancel()
 				}
@@ -261,13 +303,9 @@ func (c *Context) readShuffle(tc *TaskContext, dep *ShuffleDep, buckets []int, k
 		return SliceIter(out)
 	default:
 		var out []any
-		for _, b := range buckets {
+		for _, s := range slices {
 			checkCancel()
-			pairs, err := c.Shuffle.Fetch(dep.ID, b, locations)
-			if err != nil {
-				Fail(err)
-			}
-			for _, p := range pairs {
+			for _, p := range fetch(s) {
 				out = append(out, p)
 			}
 		}

@@ -43,6 +43,16 @@ type Metrics struct {
 	// partition when their job's context was cancelled, instead of
 	// running to the partition boundary (cooperative cancellation).
 	CancelledMidPartition atomic.Int64
+	// BroadcastConversions counts shuffle joins converted to broadcast
+	// (map-side) joins at runtime, after observed map-output sizes
+	// contradicted the static estimate (PDE join switching, §3.1.1).
+	BroadcastConversions atomic.Int64
+	// SkewSplits counts hot reduce buckets split across multiple tasks
+	// because their observed bytes exceeded the skew factor.
+	SkewSplits atomic.Int64
+	// AdaptiveCoalesces counts reduce stages whose parallelism was
+	// chosen at runtime from observed map-output sizes (§3.1.2).
+	AdaptiveCoalesces atomic.Int64
 }
 
 // NewScheduler creates a scheduler bound to ctx.

@@ -206,6 +206,27 @@ func (t *MapOutputTracker) PreferredReduceWorkers(id int, buckets []int, topK in
 	return out
 }
 
+// PerMapBucketBytes returns each map partition's (approximate) bytes
+// written to one reduce bucket, indexed by map partition — the input
+// to skew-split planning, which assigns disjoint map subsets of a hot
+// bucket to separate reduce tasks. Partitions without live output
+// report 0. Returns nil for an unregistered shuffle.
+func (t *MapOutputTracker) PerMapBucketBytes(id, bucket int) []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.shuffles[id]
+	if !ok {
+		return nil
+	}
+	out := make([]int64, st.numMaps)
+	for p, done := range st.done {
+		if done {
+			out[p] = st.reports[p].BucketBytes(bucket)
+		}
+	}
+	return out
+}
+
 // Stats aggregates (and caches) the PDE statistics across all
 // completed map reports of the shuffle.
 func (t *MapOutputTracker) Stats(id int) *pde.StageStats {

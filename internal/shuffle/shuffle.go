@@ -203,16 +203,35 @@ func (e *FetchError) Error() string {
 // Fetch gathers bucket `bucket` from every map partition. locations
 // maps map-partition → worker ID that holds its output.
 func (s *Service) Fetch(shuffleID, bucket int, locations map[int]int) ([]Pair, error) {
-	var out []Pair
-	var missing []int
 	// deterministic order for reproducibility
 	parts := make([]int, 0, len(locations))
 	for p := range locations {
 		parts = append(parts, p)
 	}
 	sort.Ints(parts)
+	return s.fetchParts(shuffleID, bucket, locations, parts)
+}
+
+// FetchPartial gathers bucket `bucket` from only the listed map
+// partitions — the skew-split read path, where several reduce tasks
+// share one hot bucket by fetching disjoint subsets of its map
+// outputs. A requested partition absent from locations is reported as
+// missing so the scheduler's fetch-failure recovery regenerates it.
+func (s *Service) FetchPartial(shuffleID, bucket int, locations map[int]int, maps []int) ([]Pair, error) {
+	parts := append([]int(nil), maps...)
+	sort.Ints(parts)
+	return s.fetchParts(shuffleID, bucket, locations, parts)
+}
+
+func (s *Service) fetchParts(shuffleID, bucket int, locations map[int]int, parts []int) ([]Pair, error) {
+	var out []Pair
+	var missing []int
 	for _, mapPart := range parts {
-		wid := locations[mapPart]
+		wid, located := locations[mapPart]
+		if !located {
+			missing = append(missing, mapPart)
+			continue
+		}
 		w := s.cluster.Worker(wid)
 		key := blockKey(shuffleID, mapPart, bucket)
 		v, ok := w.Store().Get(key)

@@ -122,6 +122,54 @@ func TestFetchAfterWorkerLoss(t *testing.T) {
 	}
 }
 
+func TestFetchPartialUnionEqualsFetch(t *testing.T) {
+	c, svc := newEnv(t, Memory)
+	id := svc.NewShuffleID()
+	locs := writeMapOutputs(t, c, svc, id, 4, 3, 100)
+	for b := 0; b < 3; b++ {
+		whole, err := svc.Fetch(id, b, locs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		union := make(map[int64]string)
+		for _, maps := range [][]int{{0, 2}, {3, 1}} { // disjoint split, unsorted on purpose
+			pairs, err := svc.FetchPartial(id, b, locs, maps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pairs {
+				if _, dup := union[p.K.(int64)]; dup {
+					t.Fatalf("bucket %d: key %v fetched by two slices", b, p.K)
+				}
+				union[p.K.(int64)] = p.V.(string)
+			}
+		}
+		if len(union) != len(whole) {
+			t.Errorf("bucket %d: slice union has %d pairs, whole fetch %d", b, len(union), len(whole))
+		}
+	}
+}
+
+func TestFetchPartialMissingPart(t *testing.T) {
+	c, svc := newEnv(t, Memory)
+	id := svc.NewShuffleID()
+	locs := writeMapOutputs(t, c, svc, id, 4, 2, 10)
+	c.Kill(2) // held map partition 2
+	_, err := svc.FetchPartial(id, 0, locs, []int{1, 2})
+	var fe *FetchError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want FetchError, got %v", err)
+	}
+	if len(fe.MapParts) != 1 || fe.MapParts[0] != 2 {
+		t.Errorf("missing parts = %v", fe.MapParts)
+	}
+	// A partition absent from locations entirely is also missing.
+	_, err = svc.FetchPartial(id, 0, map[int]int{0: 0}, []int{0, 3})
+	if !errors.As(err, &fe) || len(fe.MapParts) != 1 || fe.MapParts[0] != 3 {
+		t.Errorf("unlocated part: err = %v", err)
+	}
+}
+
 func TestStatsCollected(t *testing.T) {
 	c, svc := newEnv(t, Memory)
 	id := svc.NewShuffleID()

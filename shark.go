@@ -70,8 +70,10 @@ type (
 	RowView = core.RowView
 	// RDD is a resilient distributed dataset.
 	RDD = rdd.RDD
-	// EngineOptions tunes the execution engine (join strategy,
-	// PDE knobs, ablation switches).
+	// EngineOptions tunes the execution engine: join strategy,
+	// adaptive-execution knobs (BroadcastThreshold, SkewFactor,
+	// TargetPerReducerBytes, DisableAdaptiveExec — see docs/PDE.md),
+	// and ablation switches.
 	EngineOptions = exec.Options
 	// QueryStats describes what the engine did for a query.
 	QueryStats = exec.QueryStats
