@@ -17,7 +17,7 @@ test:
 # now poll cancellation from inside task bodies, and pde the decision
 # layer those pipelines consult concurrently.
 race:
-	$(GO) test -race . ./internal/rdd ./internal/cluster ./internal/shuffle ./internal/memtable ./internal/core ./internal/columnar ./internal/exec ./internal/pde
+	$(GO) test -race . ./internal/rdd ./internal/cluster ./internal/shuffle ./internal/memtable ./internal/core ./internal/columnar ./internal/exec ./internal/pde ./internal/wire ./internal/server ./driver
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -35,14 +35,16 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # Harness smoke: the dispatcher, memory-pressure, tiered-storage,
-# multi-tenant concurrency, weighted-priority and adaptive-execution
-# ablations at CI scale, with a Markdown report plus a JSON trajectory
-# point (renamed BENCH_<sha>.json by CI) for the artifact trail — the
-# non-gating perf check comparing the spill-read path against lineage
-# recomputation, asserting the weighted p95 ordering, and requiring
-# the adaptive skewed join to beat the static plan.
+# multi-tenant concurrency, weighted-priority, adaptive-execution and
+# network-serving ablations at CI scale, with a Markdown report plus a
+# JSON trajectory point (renamed BENCH_<sha>.json by CI) for the
+# artifact trail — the non-gating perf check comparing the spill-read
+# path against lineage recomputation, asserting the weighted p95
+# ordering, requiring the adaptive skewed join to beat the static
+# plan, and recording serving QPS/p95 for 100 concurrent driver
+# connections against an in-process shark-server.
 bench-smoke:
-	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory,abl_storage,abl_concurrency,abl_priority,abl_pde -scale small -markdown bench-report.md -json bench-trajectory.json
+	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory,abl_storage,abl_concurrency,abl_priority,abl_pde,abl_serving -scale small -markdown bench-report.md -json bench-trajectory.json
 
 # Perf gate: compare the newest BENCH_<sha>.json against the previous
 # trajectory point and fail on >25% regressions of recorded experiment

@@ -1,0 +1,125 @@
+// Command shark-server serves a shared Shark cluster over TCP.
+// Clients speak the internal/wire protocol — most easily through the
+// shark/driver database/sql driver or shark-sql -attach.
+//
+// Usage:
+//
+//	shark-server -addr :7433 -workers 8
+//	shark-server -addr :7433 -token secret -max-conns 500 -demo
+//
+// One connection maps to one cluster session; disconnecting a client
+// cancels its in-flight statements cluster-wide. SIGTERM/SIGINT
+// drains gracefully: stop accepting, cancel in-flight jobs, close
+// sessions, then the cluster.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shark"
+	"shark/internal/data"
+	"shark/internal/row"
+	"shark/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7433", "listen address")
+	workers := flag.Int("workers", 8, "simulated workers")
+	slots := flag.Int("slots", 2, "task slots per worker")
+	memory := flag.Int64("memory", 0, "per-worker block-store bytes (0 = unbounded)")
+	disk := flag.Int64("disk", 0, "per-worker disk spill tier bytes (0 = disabled)")
+	token := flag.String("token", "", "require this auth token from clients")
+	maxConns := flag.Int("max-conns", 0, "connection limit (0 = unlimited)")
+	demo := flag.Bool("demo", false, "preload demo tables into the shared catalog")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Cluster: shark.ClusterConfig{
+			Workers:           *workers,
+			SlotsPerWorker:    *slots,
+			WorkerMemoryBytes: *memory,
+			WorkerDiskBytes:   *disk,
+		},
+		Token:    *token,
+		MaxConns: *maxConns,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *demo {
+		if err := loadDemo(srv.Cluster()); err != nil {
+			fmt.Fprintln(os.Stderr, "demo load failed:", err)
+			os.Exit(1)
+		}
+		log.Printf("demo tables in shared catalog: rankings_mem, uservisits_mem")
+	}
+
+	// SIGTERM/SIGINT → graceful drain.
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGTERM, syscall.SIGINT)
+		sig := <-ch
+		log.Printf("received %v, draining (deadline %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("drained cleanly")
+		os.Exit(0)
+	}()
+
+	log.Printf("shark-server listening on %s (%d workers x %d slots)", *addr, *workers, *slots)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// loadDemo caches the Pavlo-benchmark tables in the shared catalog so
+// every shared-catalog client can query them immediately.
+func loadDemo(cl *shark.Cluster) error {
+	s, err := cl.NewSession(shark.SessionConfig{Name: "demo-loader", SharedCatalog: true})
+	if err != nil {
+		return err
+	}
+	// The loader session stays open for the server's lifetime: closing
+	// it would drop the tables it owns.
+	var rankings []shark.Row
+	data.Rankings(20000, func(r row.Row) error {
+		rankings = append(rankings, r)
+		return nil
+	})
+	if err := s.LoadRows("rankings", data.RankingsSchema, rankings); err != nil {
+		return err
+	}
+	var visits []shark.Row
+	data.UserVisits(60000, 20000, func(r row.Row) error {
+		visits = append(visits, r)
+		return nil
+	})
+	if err := s.LoadRows("uservisits", data.UserVisitsSchema, visits); err != nil {
+		return err
+	}
+	for _, stmt := range []string{
+		`CREATE TABLE rankings_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM rankings`,
+		`CREATE TABLE uservisits_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM uservisits`,
+	} {
+		if _, err := s.Exec(stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,11 +1,14 @@
-// Command shark-sql is an interactive SQL shell over an embedded
-// simulated Shark cluster.
+// Command shark-sql is an interactive SQL shell. By default it runs
+// over an embedded simulated Shark cluster; with -attach it connects
+// to a running shark-server through the shark/driver database/sql
+// driver instead.
 //
 // Usage:
 //
 //	shark-sql -demo                 # preload demo tables, then REPL
 //	shark-sql -e "SELECT ..."       # one-shot
 //	shark-sql -priority 4           # weighted fair-share session weight
+//	shark-sql -attach localhost:7433 -token secret
 //	echo "SELECT 1+1" | shark-sql
 //
 // The -demo flag loads two Pavlo-benchmark tables (rankings,
@@ -15,8 +18,10 @@ package main
 
 import (
 	"bufio"
+	"database/sql"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"strings"
 	"time"
@@ -24,6 +29,8 @@ import (
 	"shark"
 	"shark/internal/data"
 	"shark/internal/row"
+
+	_ "shark/driver" // registers the "shark" database/sql driver
 )
 
 func main() {
@@ -31,25 +38,52 @@ func main() {
 	oneShot := flag.String("e", "", "execute one statement and exit")
 	workers := flag.Int("workers", 8, "simulated workers")
 	priority := flag.Int("priority", 1, "session fair-share weight (weighted fair scheduling)")
+	attach := flag.String("attach", "", "connect to a shark-server at host:port instead of running embedded")
+	token := flag.String("token", "", "auth token for -attach")
 	flag.Parse()
 
-	s, err := shark.NewSession(shark.Config{Workers: *workers, Priority: *priority})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer s.Close()
-
-	if *demo {
-		if err := loadDemo(s); err != nil {
-			fmt.Fprintln(os.Stderr, "demo load failed:", err)
+	var exec func(sql string) error
+	if *attach != "" {
+		dsn := *attach + "?catalog=shared&session=shell&priority=" + fmt.Sprint(*priority)
+		if *token != "" {
+			dsn += "&token=" + url.QueryEscape(*token)
+		}
+		db, err := sql.Open("shark", dsn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Println("demo tables: rankings, uservisits (DFS); rankings_mem, uservisits_mem (memstore)")
+		defer db.Close()
+		// One shell = one session: never let the pool fan out.
+		db.SetMaxOpenConns(1)
+		if err := db.Ping(); err != nil {
+			fmt.Fprintf(os.Stderr, "cannot attach to %s: %v\n", *attach, err)
+			os.Exit(1)
+		}
+		if *demo {
+			fmt.Fprintln(os.Stderr, "-demo is embedded-only; start shark-server -demo instead")
+			os.Exit(1)
+		}
+		exec = func(stmt string) error { return runRemote(db, stmt) }
+	} else {
+		s, err := shark.NewSession(shark.Config{Workers: *workers, Priority: *priority})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		if *demo {
+			if err := loadDemo(s); err != nil {
+				fmt.Fprintln(os.Stderr, "demo load failed:", err)
+				os.Exit(1)
+			}
+			fmt.Println("demo tables: rankings, uservisits (DFS); rankings_mem, uservisits_mem (memstore)")
+		}
+		exec = func(stmt string) error { return runStatement(s, stmt) }
 	}
 
 	if *oneShot != "" {
-		if err := runStatement(s, *oneShot); err != nil {
+		if err := exec(*oneShot); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -91,7 +125,7 @@ func main() {
 		if stmt == "" {
 			continue
 		}
-		if err := runStatement(s, stmt); err != nil {
+		if err := exec(stmt); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
@@ -119,15 +153,66 @@ func runStatement(s *shark.Session, sql string) error {
 	return nil
 }
 
-func printTable(schema shark.Schema, rows []shark.Row) {
-	widths := make([]int, len(schema))
-	for i, f := range schema {
-		widths[i] = len(f.Name)
+// runRemote executes one statement on the attached server and prints
+// the result like the embedded path does. Schema-less statements
+// (DDL, cache directives) print "ok".
+func runRemote(db *sql.DB, stmt string) error {
+	start := time.Now()
+	rows, err := db.Query(stmt)
+	if err != nil {
+		return err
 	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		return err
+	}
+	n := 0
+	var cells [][]string
+	vals := make([]any, len(cols))
+	ptrs := make([]any, len(cols))
+	for i := range vals {
+		ptrs[i] = &vals[i]
+	}
+	for rows.Next() {
+		if err := rows.Scan(ptrs...); err != nil {
+			return err
+		}
+		if len(cells) < 50 {
+			line := make([]string, len(vals))
+			for i, v := range vals {
+				if t, ok := v.(time.Time); ok {
+					line[i] = t.Format("2006-01-02")
+				} else {
+					line[i] = row.FormatValue(v)
+				}
+			}
+			cells = append(cells, line)
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if len(cols) == 0 {
+		fmt.Println("ok")
+	} else {
+		printGrid(cols, cells, n-len(cells))
+	}
+	fmt.Printf("(%d rows, %.3fs)\n", n, elapsed.Seconds())
+	return nil
+}
+
+func printTable(schema shark.Schema, rows []shark.Row) {
 	const maxRows = 50
 	shown := rows
 	if len(shown) > maxRows {
 		shown = shown[:maxRows]
+	}
+	headers := make([]string, len(schema))
+	for i, f := range schema {
+		headers[i] = f.Name
 	}
 	cells := make([][]string, len(shown))
 	for ri, r := range shown {
@@ -140,16 +225,30 @@ func printTable(schema shark.Schema, rows []shark.Row) {
 				}
 			}
 			cells[ri][ci] = v
+		}
+	}
+	printGrid(headers, cells, len(rows)-len(shown))
+}
+
+// printGrid renders an aligned header + rows table, noting how many
+// rows were elided.
+func printGrid(headers []string, cells [][]string, elided int) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range cells {
+		for ci, v := range r {
 			if len(v) > widths[ci] {
 				widths[ci] = len(v)
 			}
 		}
 	}
-	for i, f := range schema {
-		fmt.Printf("%-*s  ", widths[i], f.Name)
+	for i, h := range headers {
+		fmt.Printf("%-*s  ", widths[i], h)
 	}
 	fmt.Println()
-	for i := range schema {
+	for i := range headers {
 		fmt.Print(strings.Repeat("-", widths[i]), "  ")
 	}
 	fmt.Println()
@@ -159,8 +258,8 @@ func printTable(schema shark.Schema, rows []shark.Row) {
 		}
 		fmt.Println()
 	}
-	if len(rows) > maxRows {
-		fmt.Printf("... (%d more rows)\n", len(rows)-maxRows)
+	if elided > 0 {
+		fmt.Printf("... (%d more rows)\n", elided)
 	}
 }
 

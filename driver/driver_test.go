@@ -1,0 +1,282 @@
+package driver_test
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"shark"
+	"shark/internal/server"
+
+	_ "shark/driver"
+)
+
+// startServer boots an in-process shark-server on 127.0.0.1:0 with a
+// cached shared-catalog logs_mem table of n rows, and returns the
+// server plus its address.
+func startServer(t *testing.T, cfg server.Config, n int) (*server.Server, string) {
+	t.Helper()
+	if cfg.Cluster.Workers == 0 {
+		cfg.Cluster.Workers = 4
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := srv.Cluster().NewSession(shark.SessionConfig{Name: "loader", SharedCatalog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := shark.Schema{
+		{Name: "url", Type: shark.TString},
+		{Name: "status", Type: shark.TInt},
+		{Name: "bytes", Type: shark.TInt},
+		{Name: "day", Type: shark.TDate},
+	}
+	rows := make([]shark.Row, n)
+	for i := range rows {
+		status := int64(200)
+		if i%10 == 0 {
+			status = 404
+		}
+		rows[i] = shark.Row{fmt.Sprintf("/p/%d", i%50), status, int64(i % 1000), int64(15000 + i%3)}
+	}
+	if err := loader.LoadRows("logs", schema, rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Exec(`CREATE TABLE logs_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM logs`); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func TestDriverQueryWithArgs(t *testing.T) {
+	// BatchRows 3 forces Rows iteration across many Fetch roundtrips.
+	_, addr := startServer(t, server.Config{BatchRows: 3}, 4000)
+	db, err := sql.Open("shark", "shark://"+addr+"?catalog=shared&session=conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := db.Query(
+		`SELECT url, COUNT(*) AS n, SUM(bytes) AS b FROM logs_mem WHERE status = ? AND bytes >= ? GROUP BY url ORDER BY url`,
+		200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(cols) != "[url n b]" {
+		t.Fatalf("columns = %v", cols)
+	}
+	var got int
+	var totalN int64
+	for rows.Next() {
+		var url string
+		var n, b int64
+		if err := rows.Scan(&url, &n, &b); err != nil {
+			t.Fatal(err)
+		}
+		got++
+		totalN += n
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 50 urls of 80 rows each; /p/{0,10,20,30,40} are entirely 404
+	// (i%50 ≡ 0 mod 10 implies i%10 == 0), leaving 45 groups × 80.
+	if got != 45 || totalN != 3600 {
+		t.Fatalf("got %d groups / %d rows, want 45 / 3600", got, totalN)
+	}
+}
+
+func TestDriverPreparedAndExec(t *testing.T) {
+	_, addr := startServer(t, server.Config{}, 1000)
+	db, err := sql.Open("shark", addr+"?catalog=shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	stmt, err := db.Prepare(`SELECT COUNT(*) FROM logs_mem WHERE status = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for status, want := range map[int64]int64{200: 900, 404: 100} {
+		var n int64
+		if err := stmt.QueryRow(status).Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Errorf("count(status=%d) = %d, want %d", status, n, want)
+		}
+	}
+
+	// ExecContext reports the result-set size as RowsAffected and
+	// frees its cursor without a fetch.
+	res, err := db.Exec(`SELECT url FROM logs_mem WHERE bytes < ?`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 10 {
+		t.Errorf("RowsAffected = %d, want 10", n)
+	}
+
+	// DATE columns scan as time.Time.
+	var day time.Time
+	if err := db.QueryRow(`SELECT MIN(day) FROM logs_mem`).Scan(&day); err != nil {
+		t.Fatal(err)
+	}
+	if want := time.Unix(15000*86400, 0).UTC(); !day.Equal(want) {
+		t.Errorf("day = %v, want %v", day, want)
+	}
+
+	// time.Time binds as a DATE value.
+	var n int64
+	if err := db.QueryRow(`SELECT COUNT(*) FROM logs_mem WHERE day = ?`,
+		time.Unix(15001*86400, 0).UTC()).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("binding time.Time matched no rows")
+	}
+
+	// SQL errors surface without poisoning the connection.
+	if _, err := db.Exec(`SELECT nope FROM logs_mem`); err == nil {
+		t.Error("bad column must error")
+	}
+	if err := db.Ping(); err != nil {
+		t.Errorf("connection dead after SQL error: %v", err)
+	}
+}
+
+func TestDriverAuthAndBadDSN(t *testing.T) {
+	_, addr := startServer(t, server.Config{Token: "s3cret"}, 100)
+
+	db, err := sql.Open("shark", addr+"?catalog=shared&token=wrong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ping(); err == nil {
+		t.Error("wrong token must fail the handshake")
+	}
+	db.Close()
+
+	db, err = sql.Open("shark", addr+"?catalog=shared&token=s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ping(); err != nil {
+		t.Errorf("correct token rejected: %v", err)
+	}
+	db.Close()
+
+	for _, dsn := range []string{"", "h:1?storage=bogus", "h:1?weird=1", "h:1?priority=x"} {
+		if _, err := sql.Open("shark", dsn); err == nil {
+			// sql.Open defers Driver.Open errors to first use, but our
+			// OpenConnector parses eagerly.
+			t.Errorf("DSN %q must be rejected eagerly", dsn)
+		}
+	}
+}
+
+func TestDriverCtxCancelMidFetch(t *testing.T) {
+	_, addr := startServer(t, server.Config{BatchRows: 2}, 2000)
+	db, err := sql.Open("shark", addr+"?catalog=shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := db.QueryContext(ctx, `SELECT url, bytes FROM logs_mem`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no first row: %v", rows.Err())
+	}
+	cancel()
+	// database/sql closes the Rows asynchronously on ctx cancel; the
+	// iteration must terminate with the context error, not hang.
+	deadline := time.Now().Add(5 * time.Second)
+	for rows.Next() {
+		if time.Now().After(deadline) {
+			t.Fatal("iteration did not stop after cancel")
+		}
+	}
+	if err := rows.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("rows.Err() = %v, want context.Canceled", err)
+	}
+
+	// The pooled connection is still usable for the next statement.
+	var n int64
+	if err := db.QueryRow(`SELECT COUNT(*) FROM logs_mem`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2000 {
+		t.Errorf("post-cancel count = %d", n)
+	}
+}
+
+func TestDriverCtxCancelMidExec(t *testing.T) {
+	_, addr := startServer(t, server.Config{}, 20000)
+	db, err := sql.Open("shark", addr+"?catalog=shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1)
+
+	// Keep issuing statements while a timer cancels the context; at
+	// least one lands mid-execution. Either way the loop must stop
+	// with the context error and the connection must survive.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	var execErr error
+	for i := 0; i < 10000; i++ {
+		var n int64
+		if execErr = db.QueryRowContext(ctx,
+			`SELECT COUNT(*) FROM logs_mem WHERE bytes >= ? AND status = ?`, 0, 200).Scan(&n); execErr != nil {
+			break
+		}
+	}
+	if !errors.Is(execErr, context.Canceled) {
+		t.Fatalf("exec loop ended with %v, want context.Canceled", execErr)
+	}
+
+	var n int64
+	if err := db.QueryRow(`SELECT COUNT(*) FROM logs_mem`).Scan(&n); err != nil {
+		t.Fatalf("connection unusable after cancel: %v", err)
+	}
+	if n != 20000 {
+		t.Errorf("post-cancel count = %d", n)
+	}
+}

@@ -52,6 +52,10 @@ const (
 // worker was killed.
 var ErrWorkerLost = errors.New("cluster: worker lost")
 
+// ErrClosed marks work submitted to a cluster that has been shut
+// down.
+var ErrClosed = errors.New("cluster: closed")
+
 // ErrJobCancelled marks a queued task dropped by CancelJob before any
 // worker ran it.
 var ErrJobCancelled = errors.New("cluster: job cancelled")
@@ -532,7 +536,7 @@ func (c *Cluster) Submit(t *Task) <-chan Result {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		t.result <- Result{Err: errors.New("cluster: closed")}
+		t.result <- Result{Err: ErrClosed}
 		return t.result
 	}
 	t.deadline = time.Now().Add(c.cfg.LocalityWait)
@@ -1005,7 +1009,15 @@ func (c *Cluster) SetStragglerDelay(id int, d time.Duration) {
 	c.workers[id].slowBy.Store(int64(d))
 }
 
+// Closed reports whether Close has run.
+func (c *Cluster) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
 // Close shuts the cluster down. Outstanding tasks are abandoned.
+// Closing is idempotent.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {

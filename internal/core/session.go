@@ -7,6 +7,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -68,7 +69,16 @@ type Session struct {
 	// order. Close drops exactly these — never another session's.
 	mu      sync.Mutex
 	created []string
+
+	// closed latches on the first Close; later statements fail fast
+	// with ErrClosed instead of racing the teardown.
+	closed atomic.Bool
 }
+
+// ErrClosed marks a statement issued on a closed session (or one
+// whose cluster has been shut down). Callers distinguish it from
+// statement failures with errors.Is.
+var ErrClosed = errors.New("shark: session closed")
 
 // nextSessionTag numbers auto-tagged sessions process-wide.
 var nextSessionTag atomic.Int64
@@ -130,8 +140,13 @@ func (s *Session) forgetCreated(name string) {
 // from worker memory). On a shared cluster this never touches the
 // cluster itself or other sessions' tables — the atomic owner-checked
 // drop guards against deleting a table another session re-created
-// under a name this session once used. Closing is idempotent.
+// under a name this session once used. Closing is idempotent: only
+// the first Close tears down, and concurrent ExecContext calls fail
+// with ErrClosed instead of racing it.
 func (s *Session) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
 	s.mu.Lock()
 	names := s.created
 	s.created = nil
@@ -158,6 +173,18 @@ func (s *Session) Close() {
 // activity (waits, admitted jobs), and mid-partition cancellations.
 func (s *Session) Stats() rdd.SessionStats {
 	return s.Ctx.SessionStats(s.Tag)
+}
+
+// checkOpen fails fast when the session — or the cluster under it —
+// has been closed, before any parse or job admission work.
+func (s *Session) checkOpen() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if s.Ctx.Cluster.Closed() {
+		return fmt.Errorf("%w: cluster is shut down", ErrClosed)
+	}
+	return nil
 }
 
 // startJob opens the scheduler job for one statement, applying the
@@ -230,6 +257,9 @@ func (s *Session) Exec(sql string) (*Result, error) {
 // outputs it pinned in worker memory are unregistered unless a live
 // RDD (a cached table's lineage) still depends on them.
 func (s *Session) ExecContext(gctx context.Context, sql string) (*Result, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -586,6 +616,9 @@ func (s *Session) Query(sql string) (*TableRDD, error) {
 // their own jobs later; shuffles its lineage still reads stay
 // registered, while the statement's other map outputs are freed.
 func (s *Session) QueryContext(gctx context.Context, sql string) (*TableRDD, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err

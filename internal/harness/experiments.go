@@ -41,6 +41,7 @@ var experiments = map[string]func(Scale, *Report) error{
 	"abl_concurrency": runConcurrency,
 	"abl_priority":    runPriority,
 	"abl_pde":         runPDE,
+	"abl_serving":     runServing,
 	"pruning":         runPruning,
 }
 

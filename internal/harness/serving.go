@@ -1,0 +1,271 @@
+package harness
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"shark"
+	"shark/internal/row"
+	"shark/internal/server"
+	"shark/internal/wire"
+
+	_ "shark/driver" // registers the "shark" database/sql driver
+)
+
+// servingConns is the client fleet size: the serving layer must hold
+// at least 100 concurrent driver connections (one cluster session
+// each) at every scale.
+const servingConns = 100
+
+// runServing measures the network serving layer end to end: a
+// shark-server on a loopback listener, a fleet of database/sql
+// clients hammering it concurrently (QPS, p50/p95), every fetched
+// result checked against embedded execution of the same query, then
+// the two crash-safety stories — an abrupt client kill mid-query must
+// cancel cluster-side work, and a graceful drain mid-run must settle
+// cleanly without leaking session state.
+func runServing(sc Scale, r *Report) error {
+	exp := "abl_serving: concurrent driver clients vs shark-server"
+
+	srv, err := server.New(server.Config{Cluster: shark.ClusterConfig{
+		Workers:           sc.Workers,
+		SlotsPerWorker:    sc.Slots,
+		WorkerMemoryBytes: sc.WorkerMemoryBytes,
+		WorkerDiskBytes:   sc.WorkerDiskBytes,
+	}})
+	if err != nil {
+		return err
+	}
+	drained := false
+	defer func() {
+		if !drained {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}
+	}()
+
+	// Shared-catalog data every client queries, plus an embedded
+	// reference session on the same cluster.
+	loader, err := srv.Cluster().NewSession(shark.SessionConfig{Name: "serving-loader", SharedCatalog: true})
+	if err != nil {
+		return err
+	}
+	schema := shark.Schema{
+		{Name: "grp", Type: row.TString},
+		{Name: "val", Type: row.TInt},
+	}
+	n := sc.Sessions
+	rows := make([]shark.Row, n)
+	for i := range rows {
+		rows[i] = shark.Row{fmt.Sprintf("g%02d", i%20), int64(i % 1000)}
+	}
+	if err := loader.LoadRows("events", schema, rows); err != nil {
+		return err
+	}
+	if _, err := loader.Exec(`CREATE TABLE events_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM events`); err != nil {
+		return err
+	}
+	const query = `SELECT grp, COUNT(*), SUM(val) FROM events_mem WHERE val >= ? GROUP BY grp ORDER BY grp`
+	embedded, err := loader.Exec(`SELECT grp, COUNT(*), SUM(val) FROM events_mem WHERE val >= 0 GROUP BY grp ORDER BY grp`)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	db, err := sql.Open("shark", addr+"?catalog=shared&session=bench")
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(servingConns)
+	db.SetMaxIdleConns(servingConns)
+
+	// Phase A: the fleet. Each goroutine pins one pooled connection
+	// (one cluster session) and runs timed rounds of the group-by.
+	rounds := sc.Reps * 3
+	var (
+		mu        sync.Mutex
+		lats      []float64
+		mismatch  error
+		completed int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < servingConns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := db.Conn(context.Background())
+			if err != nil {
+				mu.Lock()
+				mismatch = fmt.Errorf("conn: %w", err)
+				mu.Unlock()
+				return
+			}
+			defer conn.Close()
+			for round := 0; round < rounds; round++ {
+				t0 := time.Now()
+				got, err := fetchGroups(conn, query, 0)
+				lat := time.Since(t0).Seconds()
+				if err == nil {
+					err = sameAsEmbedded(got, embedded)
+				}
+				mu.Lock()
+				if err != nil && mismatch == nil {
+					mismatch = err
+				}
+				lats = append(lats, lat)
+				completed++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if mismatch != nil {
+		return fmt.Errorf("serving fleet: %w", mismatch)
+	}
+	sort.Float64s(lats)
+	p50 := lats[len(lats)/2]
+	p95 := lats[len(lats)*95/100]
+	qps := float64(completed) / elapsed
+	r.Add(exp, fmt.Sprintf("driver query p95 (%d conns)", servingConns), p95,
+		fmt.Sprintf("p50 %.1fms over %d queries, all results identical to embedded execution", p50*1000, completed))
+	r.AddValue(exp, "serving QPS", qps,
+		fmt.Sprintf("%d concurrent connections x %d rounds in %.2fs", servingConns, rounds, elapsed))
+
+	// Phase B: abrupt client death mid-query cancels cluster-side
+	// work (dropped queued tasks or mid-partition aborts).
+	cancelsSeen := func() int64 {
+		return srv.Cluster().Metrics().CancelledTasks.Load() +
+			srv.Cluster().SchedulerMetrics().CancelledMidPartition.Load()
+	}
+	base := cancelsSeen()
+	wc, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	if _, err := wc.Roundtrip(wire.Hello{Version: wire.Version}); err != nil {
+		return err
+	}
+	if _, err := wc.Roundtrip(wire.Attach{SharedCatalog: true}); err != nil {
+		return err
+	}
+	launched := srv.Cluster().TasksLaunched()
+	wc.Send(wire.Exec{SQL: `SELECT a.grp, COUNT(*) FROM events_mem a JOIN events_mem b ON a.grp = b.grp GROUP BY a.grp`})
+	killDeadline := time.Now().Add(time.Minute)
+	for srv.Cluster().TasksLaunched() == launched && time.Now().Before(killDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+	wc.Kill()
+	for cancelsSeen() == base {
+		if time.Now().After(killDeadline) {
+			return fmt.Errorf("serving: no cancellation observed after killing a client mid-query")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r.AddValue(exp, "kill-conn cancellations", float64(cancelsSeen()-base),
+		"cluster-side tasks cancelled after an abrupt client disconnect mid-join")
+
+	// Phase C: graceful drain under load. Statements the clients saw
+	// complete stay correct; the server settles within the deadline.
+	errs := make(chan error, servingConns/4)
+	var dwg sync.WaitGroup
+	for i := 0; i < servingConns/4; i++ {
+		dwg.Add(1)
+		go func() {
+			defer dwg.Done()
+			for {
+				got, err := fetchGroupsDB(db, query, 0)
+				if err != nil {
+					return // drain interrupted this statement: fine
+				}
+				if err := sameAsEmbedded(got, embedded); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the loops get airborne
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	t0 := time.Now()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("serving: drain missed its deadline: %w", err)
+	}
+	drained = true
+	dwg.Wait()
+	close(errs)
+	for err := range errs {
+		return fmt.Errorf("serving: completed statement wrong during drain: %w", err)
+	}
+	r.Add(exp, "graceful drain", time.Since(t0).Seconds(),
+		fmt.Sprintf("SIGTERM-style drain under %d querying clients; completed statements all correct", servingConns/4))
+	return nil
+}
+
+// fetchGroups runs the parameterized group-by on one pinned
+// connection and returns rows as printable tuples.
+func fetchGroups(conn *sql.Conn, query string, minVal int64) ([]string, error) {
+	rows, err := conn.QueryContext(context.Background(), query, minVal)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []string
+	for rows.Next() {
+		var grp string
+		var cnt, sum int64
+		if err := rows.Scan(&grp, &cnt, &sum); err != nil {
+			return nil, err
+		}
+		out = append(out, fmt.Sprintf("%s|%d|%d", grp, cnt, sum))
+	}
+	return out, rows.Err()
+}
+
+func fetchGroupsDB(db *sql.DB, query string, minVal int64) ([]string, error) {
+	rows, err := db.Query(query, minVal)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []string
+	for rows.Next() {
+		var grp string
+		var cnt, sum int64
+		if err := rows.Scan(&grp, &cnt, &sum); err != nil {
+			return nil, err
+		}
+		out = append(out, fmt.Sprintf("%s|%d|%d", grp, cnt, sum))
+	}
+	return out, rows.Err()
+}
+
+// sameAsEmbedded checks a driver-fetched result against the embedded
+// session's rows for the same query.
+func sameAsEmbedded(got []string, ref *shark.Result) error {
+	if len(got) != len(ref.Rows) {
+		return fmt.Errorf("driver returned %d groups, embedded %d", len(got), len(ref.Rows))
+	}
+	for i, r := range ref.Rows {
+		want := fmt.Sprintf("%v|%v|%v", r[0], r[1], r[2])
+		if got[i] != want {
+			return fmt.Errorf("group %d: driver %q, embedded %q", i, got[i], want)
+		}
+	}
+	return nil
+}

@@ -1,7 +1,6 @@
 package rdd
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
@@ -51,20 +50,18 @@ func (t *MapOutputTracker) RegisterShuffle(id, numBuckets, numMaps int) {
 	t.shuffles[id] = st
 }
 
-func (t *MapOutputTracker) state(id int) *shuffleState {
-	st, ok := t.shuffles[id]
-	if !ok {
-		panic(fmt.Sprintf("rdd: shuffle %d not registered", id))
-	}
-	return st
-}
-
 // AddMapOutput records a completed map task's output location and
-// statistics report.
+// statistics report. A shuffle already unregistered (a racing
+// cancel/close tore the statement down while its map tasks were still
+// finishing) is a no-op — the output is moot and must not crash the
+// process.
 func (t *MapOutputTracker) AddMapOutput(id, mapPart, worker int, report pde.MapReport) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	st := t.state(id)
+	st, ok := t.shuffles[id]
+	if !ok || mapPart < 0 || mapPart >= len(st.workerByMap) {
+		return
+	}
 	st.workerByMap[mapPart] = worker
 	st.reports[mapPart] = report
 	st.done[mapPart] = true
@@ -106,11 +103,16 @@ func (t *MapOutputTracker) DropWorker(worker int) {
 	}
 }
 
-// MissingParts lists map partitions without live outputs.
+// MissingParts lists map partitions without live outputs. An
+// unregistered shuffle reports none: its reader will surface a fetch
+// failure and recovery re-registers and re-materializes it.
 func (t *MapOutputTracker) MissingParts(id int) []int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	st := t.state(id)
+	st, ok := t.shuffles[id]
+	if !ok {
+		return nil
+	}
 	var out []int
 	for p, ok := range st.done {
 		if !ok {
@@ -136,11 +138,19 @@ func (t *MapOutputTracker) Complete(id int) bool {
 	return true
 }
 
-// Locations snapshots mapPart → worker for fetching.
+// Locations snapshots mapPart → worker for fetching. An unregistered
+// shuffle (torn down by a racing cancel/close while a straggling
+// reader still references it) yields an empty snapshot: the reader's
+// fetch fails as an ordinary FetchError that fails only that
+// statement — or triggers its recovery path — instead of panicking
+// the process.
 func (t *MapOutputTracker) Locations(id int) map[int]int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	st := t.state(id)
+	st, ok := t.shuffles[id]
+	if !ok {
+		return nil
+	}
 	out := make(map[int]int, len(st.workerByMap))
 	for p, w := range st.workerByMap {
 		if st.done[p] {
@@ -150,11 +160,16 @@ func (t *MapOutputTracker) Locations(id int) map[int]int {
 	return out
 }
 
-// NumBuckets returns the fine bucket count of the shuffle.
+// NumBuckets returns the fine bucket count of the shuffle (0 when
+// unregistered).
 func (t *MapOutputTracker) NumBuckets(id int) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.state(id).numBuckets
+	st, ok := t.shuffles[id]
+	if !ok {
+		return 0
+	}
+	return st.numBuckets
 }
 
 // PreferredReduceWorkers returns up to topK workers holding the most
@@ -229,10 +244,15 @@ func (t *MapOutputTracker) PerMapBucketBytes(id, bucket int) []int64 {
 
 // Stats aggregates (and caches) the PDE statistics across all
 // completed map reports of the shuffle.
+// An unregistered shuffle aggregates to empty statistics, which the
+// PDE decision layer treats as "no information" (static fallbacks).
 func (t *MapOutputTracker) Stats(id int) *pde.StageStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	st := t.state(id)
+	st, ok := t.shuffles[id]
+	if !ok {
+		return pde.NewStageStats(0, 0)
+	}
 	if st.stats == nil {
 		agg := pde.NewStageStats(st.numBuckets, st.numMaps)
 		for p, done := range st.done {

@@ -187,6 +187,13 @@ func decodeBinaryBody(b []byte) (Row, error) {
 	if off <= 0 {
 		return nil, io.ErrUnexpectedEOF
 	}
+	// Bound the field count by the remaining bytes (every field costs
+	// at least its tag byte) before allocating: rows now also arrive
+	// over the wire protocol, where a hostile length must not reserve
+	// memory.
+	if nf > uint64(len(b)-off) {
+		return nil, io.ErrUnexpectedEOF
+	}
 	out := make(Row, nf)
 	for i := range out {
 		if off >= len(b) {

@@ -1,0 +1,484 @@
+// Package server is the serving layer of shark-server: one shared
+// shark.Cluster behind a TCP listener speaking the wire protocol.
+// Each connection runs in its own goroutine and maps to one cluster
+// session; disconnects cancel the connection's in-flight statements
+// cluster-wide (queued tasks dropped, running tasks abort at the next
+// mid-partition checkpoint); Shutdown drains gracefully: stop
+// accepting, cancel in-flight jobs, close sessions, then the cluster.
+//
+// Nothing a client sends may panic the process: frame and message
+// decoding is bounds-checked in internal/wire, statement execution
+// runs under a recover, and racing closes surface as ErrClosed.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"shark"
+	"shark/internal/cluster"
+	"shark/internal/core"
+	"shark/internal/rdd"
+	"shark/internal/row"
+	"shark/internal/wire"
+)
+
+// Config shapes a server.
+type Config struct {
+	// Cluster sizes the shared substrate every connection attaches to.
+	Cluster shark.ClusterConfig
+	// Token, when non-empty, must match every client Hello.
+	Token string
+	// MaxConns bounds concurrent connections (0 = unlimited); excess
+	// connects are answered with a CodeConnLimit error and closed.
+	MaxConns int
+	// BatchRows caps rows per Fetch response (default 512).
+	BatchRows int
+	// HandshakeTimeout bounds how long a fresh connection may sit
+	// without completing its Hello (default 10s).
+	HandshakeTimeout time.Duration
+	// Logf receives serving-layer events (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Server owns the cluster and the listener.
+type Server struct {
+	cfg     Config
+	cluster *shark.Cluster
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// New boots the shared cluster and returns a server ready to Serve.
+func New(cfg Config) (*Server, error) {
+	cl, err := shark.NewCluster(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, cluster: cl, conns: make(map[*conn]struct{})}, nil
+}
+
+// Cluster exposes the shared substrate — the owner preloads shared-
+// catalog tables through it before serving.
+func (s *Server) Cluster() *shark.Cluster { return s.cluster }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) batchRows() int {
+	if s.cfg.BatchRows > 0 {
+		return s.cfg.BatchRows
+	}
+	return 512
+}
+
+func (s *Server) handshakeTimeout() time.Duration {
+	if s.cfg.HandshakeTimeout > 0 {
+		return s.cfg.HandshakeTimeout
+	}
+	return 10 * time.Second
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address (for addr ":0" tests/harnesses).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It
+// returns nil on a drain-initiated stop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+// startConn admits or refuses one accepted connection.
+func (s *Server) startConn(nc net.Conn) {
+	h := &conn{srv: s, nc: nc}
+	h.ctx, h.cancel = context.WithCancel(context.Background())
+	h.stmts = make(map[uint64]context.CancelFunc)
+	h.cursors = make(map[uint64]*cursor)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		go refuse(nc, wire.CodeClosed, "server is draining")
+		return
+	}
+	if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+		s.mu.Unlock()
+		go refuse(nc, wire.CodeConnLimit, "server at connection limit")
+		return
+	}
+	s.conns[h] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go h.handle()
+}
+
+// refuse answers a connection the server will not serve, then closes
+// it.
+func refuse(nc net.Conn, code uint64, msg string) {
+	nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	wire.WriteMessage(nc, 0, wire.Error{Code: code, Msg: msg})
+	nc.Close()
+}
+
+func (s *Server) removeConn(h *conn) {
+	s.mu.Lock()
+	delete(s.conns, h)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// Shutdown drains gracefully: stop accepting, cancel every in-flight
+// statement (riding the mid-partition cancellation path), let the
+// handlers flush their error responses and close their sessions, then
+// close the cluster. A ctx deadline forces lingering connections
+// closed. Idempotent; concurrent calls both wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for h := range s.conns {
+		conns = append(conns, h)
+	}
+	s.mu.Unlock()
+
+	if first {
+		if ln != nil {
+			ln.Close()
+		}
+		for _, h := range conns {
+			h.beginDrain()
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for h := range s.conns {
+			h.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.cluster.Close()
+	return err
+}
+
+// conn is one client connection: its session, its in-flight statement
+// cancels, and its open result cursors.
+type conn struct {
+	srv    *Server
+	nc     net.Conn
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	wmu sync.Mutex // serializes frame writes (reader vs exec goroutines)
+
+	sess *shark.Session // nil until Attach
+
+	mu       sync.Mutex
+	stmts    map[uint64]context.CancelFunc // in-flight Execs by request id
+	cursors  map[uint64]*cursor            // fetchable results by Exec id
+	draining bool
+
+	execWG sync.WaitGroup
+}
+
+// cursor is a materialized statement result mid-fetch.
+type cursor struct {
+	res *core.Result
+	off int
+}
+
+// send frames and writes one response; write failures are terminal
+// for the connection (the reader notices the close).
+func (h *conn) send(id uint64, m wire.Msg) {
+	h.wmu.Lock()
+	defer h.wmu.Unlock()
+	if err := wire.WriteFrame(h.nc, wire.AppendMessage(nil, id, m)); err != nil {
+		h.nc.Close()
+	}
+}
+
+// handle runs the connection's read loop. Any escaping panic is
+// contained here: the connection dies, the process does not.
+func (h *conn) handle() {
+	defer func() {
+		if r := recover(); r != nil {
+			h.srv.logf("server: connection panic recovered: %v", r)
+		}
+		h.cancel()      // cancel in-flight statements cluster-wide
+		h.execWG.Wait() // let them finish flushing responses
+		h.nc.Close()
+		if h.sess != nil {
+			h.sess.Close() // idempotent vs a racing cluster drain
+		}
+		h.srv.removeConn(h)
+	}()
+
+	// Handshake: Hello must arrive promptly and carry the right
+	// version and token.
+	h.nc.SetReadDeadline(time.Now().Add(h.srv.handshakeTimeout()))
+	id, msg, err := wire.ReadMessage(h.nc)
+	if err != nil {
+		return
+	}
+	hello, ok := msg.(wire.Hello)
+	if !ok {
+		h.send(id, wire.Error{Code: wire.CodeProtocol, Msg: "expected Hello"})
+		return
+	}
+	if hello.Version != wire.Version {
+		h.send(id, wire.Error{Code: wire.CodeAuth, Msg: fmt.Sprintf("protocol version %d unsupported", hello.Version)})
+		return
+	}
+	if h.srv.cfg.Token != "" && hello.Token != h.srv.cfg.Token {
+		h.send(id, wire.Error{Code: wire.CodeAuth, Msg: "bad token"})
+		return
+	}
+	h.nc.SetReadDeadline(time.Time{})
+	h.send(id, wire.HelloOK{Version: wire.Version})
+
+	for {
+		id, msg, err := wire.ReadMessage(h.nc)
+		if err != nil {
+			// Disconnect, drain-forced close, or an unframeable/
+			// malformed stream: all end the connection the same way —
+			// in-flight statements are cancelled by the deferred
+			// teardown.
+			return
+		}
+		switch m := msg.(type) {
+		case wire.Attach:
+			h.onAttach(id, m)
+		case wire.Exec:
+			h.onExec(id, m)
+		case wire.Fetch:
+			h.onFetch(id, m)
+		case wire.Cancel:
+			h.mu.Lock()
+			cancel := h.stmts[m.Target]
+			h.mu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+		case wire.CloseStmt:
+			h.mu.Lock()
+			delete(h.cursors, m.Cursor)
+			h.mu.Unlock()
+		case wire.Ping:
+			h.send(id, wire.Pong{})
+		case wire.Close:
+			return
+		default:
+			h.send(id, wire.Error{Code: wire.CodeProtocol, Msg: fmt.Sprintf("unexpected %T", msg)})
+		}
+	}
+}
+
+func (h *conn) onAttach(id uint64, m wire.Attach) {
+	if h.sess != nil {
+		h.send(id, wire.Error{Code: wire.CodeProtocol, Msg: "session already attached"})
+		return
+	}
+	level := rdd.StorageLevel(m.StorageLevel)
+	if level < rdd.MemoryOnly || level > rdd.DiskOnly {
+		level = rdd.MemoryOnly
+	}
+	sess, err := h.srv.cluster.NewSession(shark.SessionConfig{
+		Name:              m.Name,
+		SharedCatalog:     m.SharedCatalog,
+		Priority:          int(m.Priority),
+		MaxConcurrentJobs: int(m.MaxConcurrentJobs),
+		StorageLevel:      level,
+	})
+	if err != nil {
+		h.send(id, wire.Error{Code: errCode(err), Msg: err.Error()})
+		return
+	}
+	h.sess = sess
+	h.send(id, wire.AttachOK{Name: sess.Tag})
+}
+
+func (h *conn) onExec(id uint64, m wire.Exec) {
+	if h.sess == nil {
+		h.send(id, wire.Error{Code: wire.CodeProtocol, Msg: "attach a session first"})
+		return
+	}
+	h.mu.Lock()
+	if h.draining {
+		h.mu.Unlock()
+		h.send(id, wire.Error{Code: wire.CodeClosed, Msg: "server is draining"})
+		return
+	}
+	if _, busy := h.stmts[id]; busy {
+		h.mu.Unlock()
+		h.send(id, wire.Error{Code: wire.CodeProtocol, Msg: "duplicate request id"})
+		return
+	}
+	sctx, cancel := context.WithCancel(h.ctx)
+	h.stmts[id] = cancel
+	h.mu.Unlock()
+
+	// Execute off the read loop so Cancel frames (and disconnects)
+	// still get through while the statement runs.
+	h.execWG.Add(1)
+	go func() {
+		defer h.execWG.Done()
+		defer cancel()
+		defer func() {
+			h.mu.Lock()
+			delete(h.stmts, id)
+			h.mu.Unlock()
+		}()
+		defer func() {
+			// A statement panic (e.g. a latent engine bug) fails this
+			// statement only — never the server process.
+			if r := recover(); r != nil {
+				h.srv.logf("server: statement panic recovered: %v", r)
+				h.send(id, wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("internal error: %v", r)})
+			}
+		}()
+		sql, err := wire.Interpolate(m.SQL, m.Args)
+		if err != nil {
+			h.send(id, wire.Error{Code: wire.CodeSQL, Msg: err.Error()})
+			return
+		}
+		res, err := h.sess.ExecContext(sctx, sql)
+		if err != nil {
+			h.send(id, wire.Error{Code: errCode(err), Msg: err.Error()})
+			return
+		}
+		h.mu.Lock()
+		h.cursors[id] = &cursor{res: res}
+		h.mu.Unlock()
+		h.send(id, wire.ResultSet{Schema: res.Schema, Message: res.Message, NumRows: uint64(len(res.Rows))})
+	}()
+}
+
+// onFetch streams the next batch of a cursor, bounded by row count
+// and a soft byte budget so one batch stays well under MaxFrame.
+func (h *conn) onFetch(id uint64, m wire.Fetch) {
+	h.mu.Lock()
+	cur, ok := h.cursors[m.Cursor]
+	if !ok {
+		h.mu.Unlock()
+		// Unknown cursor: already exhausted or closed — answer "done"
+		// rather than erroring a benign race.
+		h.send(id, wire.Rows{Done: true})
+		return
+	}
+	maxRows := h.srv.batchRows()
+	if m.MaxRows > 0 && int(m.MaxRows) < maxRows {
+		maxRows = int(m.MaxRows)
+	}
+	rows := cur.res.Rows
+	batch := make([]row.Row, 0, min(maxRows, len(rows)-cur.off))
+	budget := wire.MaxFrame / 4
+	for cur.off < len(rows) && len(batch) < maxRows && budget > 0 {
+		r := rows[cur.off]
+		batch = append(batch, r)
+		budget -= approxRowBytes(r)
+		cur.off++
+	}
+	done := cur.off >= len(rows)
+	if done {
+		delete(h.cursors, m.Cursor)
+	}
+	h.mu.Unlock()
+	h.send(id, wire.Rows{Rows: batch, Done: done})
+}
+
+// beginDrain is the per-connection half of Shutdown: refuse new
+// statements, cancel in-flight ones, and once their responses have
+// flushed, close the socket so the read loop tears the session down.
+func (h *conn) beginDrain() {
+	h.mu.Lock()
+	h.draining = true
+	h.mu.Unlock()
+	h.cancel()
+	go func() {
+		h.execWG.Wait()
+		h.nc.Close()
+	}()
+}
+
+// approxRowBytes estimates a row's encoded size for batch budgeting.
+func approxRowBytes(r row.Row) int {
+	n := 8
+	for _, v := range r {
+		n += 10
+		if s, ok := v.(string); ok {
+			n += len(s)
+		}
+	}
+	return n
+}
+
+// errCode classifies a statement or attach error for the wire.
+func errCode(err error) uint64 {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return wire.CodeCancelled
+	case errors.Is(err, shark.ErrClosed) || errors.Is(err, cluster.ErrClosed):
+		return wire.CodeClosed
+	default:
+		return wire.CodeSQL
+	}
+}

@@ -1,0 +1,353 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"shark"
+	"shark/internal/server"
+	"shark/internal/wire"
+)
+
+// start boots a server on 127.0.0.1:0 with nRows of logs cached in the
+// shared catalog as logs_mem.
+func start(t *testing.T, cfg server.Config, nRows int) (*server.Server, string) {
+	t.Helper()
+	if cfg.Cluster.Workers == 0 {
+		cfg.Cluster.Workers = 4
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	if nRows > 0 {
+		loader, err := srv.Cluster().NewSession(shark.SessionConfig{Name: "loader", SharedCatalog: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		schema := shark.Schema{
+			{Name: "url", Type: shark.TString},
+			{Name: "status", Type: shark.TInt},
+			{Name: "bytes", Type: shark.TInt},
+		}
+		rows := make([]shark.Row, nRows)
+		for i := range rows {
+			rows[i] = shark.Row{fmt.Sprintf("/p/%d", i%500), int64(200 + i%2), int64(i % 1000)}
+		}
+		if err := loader.LoadRows("logs", schema, rows); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loader.Exec(`CREATE TABLE logs_mem TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM logs`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String()
+}
+
+// attach dials, handshakes and attaches a shared-catalog session.
+func attach(t *testing.T, addr string) *wire.Client {
+	t.Helper()
+	c, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Roundtrip(wire.Hello{Version: wire.Version}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Roundtrip(wire.Attach{SharedCatalog: true}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// fetchAll drains a cursor and returns the total row count fetched.
+func fetchAll(c *wire.Client, cursor uint64) (int, error) {
+	total := 0
+	for {
+		resp, err := c.Roundtrip(wire.Fetch{Cursor: cursor})
+		if err != nil {
+			return total, err
+		}
+		batch, ok := resp.(wire.Rows)
+		if !ok {
+			return total, fmt.Errorf("unexpected fetch response %T", resp)
+		}
+		total += len(batch.Rows)
+		if batch.Done {
+			return total, nil
+		}
+	}
+}
+
+// TestMalformedFramesDoNotKillServer throws hostile bytes at the
+// server: every variant must at worst kill that one connection. The
+// server keeps accepting, and (since it runs in-process) any panic
+// would fail this test run.
+func TestMalformedFramesDoNotKillServer(t *testing.T) {
+	_, addr := start(t, server.Config{}, 100)
+
+	hostile := [][]byte{
+		{0xff, 0xff, 0xff, 0xff},             // oversized length prefix
+		{0x00, 0x00, 0x00, 0x00},             // empty frame
+		{0x00, 0x00, 0x00, 0x05, 0x63, 0x01}, // truncated frame
+		{0x00, 0x00, 0x00, 0x02, 0x63, 0x01}, // unknown message type
+		// Rows frame claiming 2^32 rows in a 10-byte payload.
+		append([]byte{0x00, 0x00, 0x00, 0x06, wire.TypeRows, 0x01},
+			0xff, 0xff, 0xff, 0x7f),
+	}
+	for i, payload := range hostile {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		nc.Write(payload)
+		// The server must hang up (possibly after an error frame),
+		// not stall or crash.
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 1024)
+		for {
+			if _, err := nc.Read(buf); err != nil {
+				break
+			}
+		}
+		nc.Close()
+	}
+
+	// Protocol misuse after a valid handshake: Exec before Attach,
+	// then a non-Hello first message on a fresh connection.
+	c, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Roundtrip(wire.Hello{Version: wire.Version}); err != nil {
+		t.Fatal(err)
+	}
+	var remote *wire.RemoteError
+	if _, err := c.Roundtrip(wire.Exec{SQL: "SELECT 1"}); !errors.As(err, &remote) || remote.Code != wire.CodeProtocol {
+		t.Errorf("exec before attach = %v, want CodeProtocol", err)
+	}
+	c.Close()
+
+	c2, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Roundtrip(wire.Attach{}); err == nil {
+		t.Error("attach before hello must fail")
+	}
+	c2.Close()
+
+	// After all that abuse the server still serves real queries.
+	c3 := attach(t, addr)
+	defer c3.Close()
+	id, resp, err := c3.RoundtripID(context.Background(), wire.Exec{SQL: "SELECT COUNT(*) FROM logs_mem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := resp.(wire.ResultSet); rs.NumRows != 1 {
+		t.Errorf("NumRows = %d", rs.NumRows)
+	}
+	if n, err := fetchAll(c3, id); err != nil || n != 1 {
+		t.Errorf("fetch = %d, %v", n, err)
+	}
+}
+
+func TestAuthAndConnLimit(t *testing.T) {
+	_, addr := start(t, server.Config{Token: "hunter2", MaxConns: 1}, 0)
+
+	c, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remote *wire.RemoteError
+	if _, err := c.Roundtrip(wire.Hello{Version: wire.Version, Token: "wrong"}); !errors.As(err, &remote) || remote.Code != wire.CodeAuth {
+		t.Fatalf("wrong token = %v, want CodeAuth", err)
+	}
+	c.Close()
+
+	// Hold the single slot...
+	held, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := held.Roundtrip(wire.Hello{Version: wire.Version, Token: "hunter2"}); err != nil {
+		t.Fatal(err)
+	}
+	// ...so the next connection is refused with CodeConnLimit before
+	// it sends anything (the client surfaces the unmatched Error as a
+	// terminal connection failure).
+	over, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := over.Roundtrip(wire.Hello{Version: wire.Version, Token: "hunter2"}); !errors.As(err, &remote) || remote.Code != wire.CodeConnLimit {
+		t.Fatalf("over-limit hello = %v, want CodeConnLimit", err)
+	}
+	over.Close()
+
+	// Releasing the slot admits new connections again.
+	held.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := wire.Dial(addr, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c.Roundtrip(wire.Hello{Version: wire.Version, Token: "hunter2"})
+		c.Close()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestKillConnMidQueryCancelsJob covers the serving layer's core
+// cleanup promise: abruptly dropping the TCP connection while a
+// statement runs cancels its job cluster-wide.
+func TestKillConnMidQueryCancelsJob(t *testing.T) {
+	srv, addr := start(t, server.Config{Cluster: shark.ClusterConfig{Workers: 2, SlotsPerWorker: 1}}, 40000)
+
+	// A kill mid-query shows up as dropped queued tasks
+	// (CancelledTasks) and/or task bodies aborted mid-partition
+	// (CancelledMidPartition), depending on where the job was.
+	cancelsSeen := func() int64 {
+		return srv.Cluster().Metrics().CancelledTasks.Load() +
+			srv.Cluster().SchedulerMetrics().CancelledMidPartition.Load()
+	}
+	base := cancelsSeen()
+	c := attach(t, addr)
+	launched := srv.Cluster().TasksLaunched()
+	// Fire a heavy self-join and sever the connection once its tasks
+	// are actually on workers.
+	c.Send(wire.Exec{SQL: `SELECT a.url, COUNT(*) FROM logs_mem a JOIN logs_mem b ON a.url = b.url GROUP BY a.url`})
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.Cluster().TasksLaunched() == launched && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	c.Kill()
+	for cancelsSeen() == base {
+		if time.Now().After(deadline) {
+			t.Fatal("no cancellation observed after killing the connection")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGracefulDrain checks the SIGTERM story: sessions leak nothing on
+// disconnect, every statement a client saw complete is correct, and
+// Shutdown settles the whole server within its deadline.
+func TestGracefulDrain(t *testing.T) {
+	srv, addr := start(t, server.Config{}, 5000)
+
+	storeBytes := func() int64 {
+		var n int64
+		for i := 0; i < srv.Cluster().NumWorkers(); i++ {
+			n += srv.Cluster().Worker(i).Store().ApproxBytes()
+		}
+		return n
+	}
+	baseline := storeBytes()
+
+	// Sessions that cache private data release it on disconnect.
+	for i := 0; i < 3; i++ {
+		c := attach(t, addr)
+		if _, err := c.Roundtrip(wire.Exec{SQL: fmt.Sprintf(
+			`CREATE TABLE scratch%d TBLPROPERTIES ("shark.cache"="true") AS SELECT * FROM logs_mem`, i)}); err != nil {
+			t.Fatal(err)
+		}
+		if storeBytes() <= baseline {
+			t.Fatal("cached table not accounted in stores")
+		}
+		c.Close()
+		deadline := time.Now().Add(10 * time.Second)
+		for storeBytes() != baseline {
+			if time.Now().After(deadline) {
+				t.Fatalf("store bytes %d never returned to baseline %d after disconnect", storeBytes(), baseline)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Now a fleet of clients querying in a loop while the server
+	// drains under them. Any statement whose rows fully arrived must
+	// be correct; interrupted ones must fail cleanly, never hang.
+	const clients = 8
+	var wg sync.WaitGroup
+	var completed, interrupted int64
+	var mu sync.Mutex
+	firstDone := make(chan struct{})
+	var once sync.Once
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := attach(t, addr)
+			defer c.Close()
+			for {
+				id, resp, err := c.RoundtripID(context.Background(), wire.Exec{SQL: `SELECT COUNT(*) FROM logs_mem`})
+				if err != nil {
+					mu.Lock()
+					interrupted++
+					mu.Unlock()
+					return
+				}
+				if rs, ok := resp.(wire.ResultSet); !ok || rs.NumRows != 1 {
+					t.Errorf("bad result set: %#v", resp)
+					return
+				}
+				resp, err = c.Roundtrip(wire.Fetch{Cursor: id})
+				if err != nil {
+					mu.Lock()
+					interrupted++
+					mu.Unlock()
+					return
+				}
+				rows := resp.(wire.Rows)
+				if len(rows.Rows) != 1 || rows.Rows[0][0].(int64) != 5000 {
+					t.Errorf("completed statement returned wrong rows: %#v", rows.Rows)
+					return
+				}
+				mu.Lock()
+				completed++
+				mu.Unlock()
+				once.Do(func() { close(firstDone) })
+			}
+		}()
+	}
+
+	<-firstDone // at least one full roundtrip before pulling the plug
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain missed its deadline: %v", err)
+	}
+	wg.Wait()
+	if completed == 0 {
+		t.Error("no statement completed before the drain")
+	}
+	t.Logf("drain: %d completed, %d interrupted", completed, interrupted)
+
+	// The shared cluster is closed: no sessions can leak past here.
+	if _, err := srv.Cluster().NewSession(shark.SessionConfig{}); !errors.Is(err, shark.ErrClosed) {
+		t.Errorf("NewSession after drain = %v, want ErrClosed", err)
+	}
+}

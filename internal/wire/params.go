@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"shark/internal/row"
+)
+
+// Parameter binding for the wire protocol: Exec carries the SQL text
+// with '?' placeholders plus the bound values, and the server splices
+// literals in before parsing (the engine has no native binds yet —
+// the plan-cache roadmap item moves binding below the parser).
+// Placeholders inside string literals ('...' or "...", with doubled
+// quotes and backslash escapes) and -- comments are left alone.
+
+// CountPlaceholders reports how many '?' parameters the statement
+// takes — driver.Stmt.NumInput.
+func CountPlaceholders(sql string) int {
+	n := 0
+	scanSQL(sql, func(int) { n++ })
+	return n
+}
+
+// Interpolate replaces each placeholder with the literal rendering of
+// its argument. The argument count must match exactly.
+func Interpolate(sql string, args row.Row) (string, error) {
+	if len(args) == 0 && CountPlaceholders(sql) == 0 {
+		return sql, nil
+	}
+	var b strings.Builder
+	b.Grow(len(sql) + 16*len(args))
+	next, last := 0, 0
+	var bindErr error
+	scanSQL(sql, func(pos int) {
+		if bindErr != nil {
+			return
+		}
+		if next >= len(args) {
+			bindErr = fmt.Errorf("wire: statement has more placeholders than the %d bound args", len(args))
+			return
+		}
+		lit, err := renderLiteral(args[next])
+		if err != nil {
+			bindErr = fmt.Errorf("wire: arg %d: %w", next, err)
+			return
+		}
+		b.WriteString(sql[last:pos])
+		b.WriteString(lit)
+		last = pos + 1
+		next++
+	})
+	if bindErr != nil {
+		return "", bindErr
+	}
+	if next != len(args) {
+		return "", fmt.Errorf("wire: %d bound args for %d placeholders", len(args), next)
+	}
+	b.WriteString(sql[last:])
+	return b.String(), nil
+}
+
+// scanSQL calls found at the byte offset of every placeholder outside
+// string literals and comments.
+func scanSQL(sql string, found func(pos int)) {
+	for i := 0; i < len(sql); i++ {
+		switch c := sql[i]; c {
+		case '?':
+			found(i)
+		case '\'', '"':
+			// Skip the literal body, honoring doubled-quote and
+			// backslash escapes (mirrors the engine's lexer).
+			for i++; i < len(sql); i++ {
+				if sql[i] == '\\' {
+					i++
+					continue
+				}
+				if sql[i] == c {
+					if i+1 < len(sql) && sql[i+1] == c {
+						i++
+						continue
+					}
+					break
+				}
+			}
+		case '-':
+			if i+1 < len(sql) && sql[i+1] == '-' {
+				for i < len(sql) && sql[i] != '\n' {
+					i++
+				}
+			}
+		}
+	}
+}
+
+// renderLiteral formats one bound value as a SQL literal the engine's
+// lexer reads back to the same value.
+func renderLiteral(v any) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "NULL", nil
+	case bool:
+		if x {
+			return "TRUE", nil
+		}
+		return "FALSE", nil
+	case int64:
+		return strconv.FormatInt(x, 10), nil
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return "", fmt.Errorf("non-finite float %v has no SQL literal", x)
+		}
+		return strconv.FormatFloat(x, 'g', -1, 64), nil
+	case string:
+		var b strings.Builder
+		b.Grow(len(x) + 2)
+		b.WriteByte('\'')
+		for i := 0; i < len(x); i++ {
+			switch x[i] {
+			case '\'':
+				b.WriteString("''")
+			case '\\':
+				b.WriteString(`\\`)
+			default:
+				b.WriteByte(x[i])
+			}
+		}
+		b.WriteByte('\'')
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("unsupported arg type %T", v)
+	}
+}

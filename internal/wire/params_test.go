@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"shark/internal/row"
+)
+
+func TestCountPlaceholders(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT * FROM t", 0},
+		{"SELECT * FROM t WHERE a = ? AND b = ?", 2},
+		{"SELECT '?' FROM t WHERE a = ?", 1},
+		{`SELECT 'it''s ?' FROM t`, 0},
+		{`SELECT "\" ?" FROM t`, 0},
+		{"SELECT a FROM t -- where b = ?\nWHERE c = ?", 1},
+	}
+	for _, c := range cases {
+		if got := CountPlaceholders(c.sql); got != c.want {
+			t.Errorf("CountPlaceholders(%q) = %d, want %d", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	got, err := Interpolate(
+		"SELECT * FROM t WHERE a = ? AND b = ? AND c = ? AND d = ? AND e = ?",
+		row.Row{int64(-3), "o'hara \\ x", 1.5, true, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `SELECT * FROM t WHERE a = -3 AND b = 'o''hara \\ x' AND c = 1.5 AND d = TRUE AND e = NULL`
+	if got != want {
+		t.Errorf("got  %s\nwant %s", got, want)
+	}
+
+	if _, err := Interpolate("SELECT ?", row.Row{}); err == nil {
+		t.Error("missing args must error")
+	}
+	if _, err := Interpolate("SELECT 1", row.Row{int64(1)}); err == nil {
+		t.Error("excess args must error")
+	}
+	if _, err := Interpolate("SELECT ?", row.Row{[]byte("x")}); err == nil {
+		t.Error("unsupported arg type must error")
+	}
+	if _, err := Interpolate("SELECT '?'", row.Row{int64(1)}); err == nil || !strings.Contains(err.Error(), "placeholders") {
+		t.Errorf("placeholder inside literal must not bind: %v", err)
+	}
+}

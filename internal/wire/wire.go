@@ -1,0 +1,521 @@
+// Package wire is the framed client/server protocol of shark-server:
+// length-prefixed frames carrying versioned, id-tagged messages for
+// handshake/auth, session attach (priority / admission / storage-level
+// knobs), statement execution, incremental row-batch fetch, cancel and
+// close. Encode/decode work on byte slices with no net.Conn anywhere,
+// so the codec unit-tests (and fuzzes) without sockets; Reader/Writer
+// adapters and the Client sit on plain io interfaces.
+//
+// Frame layout:
+//
+//	uint32 big-endian payload length | payload
+//
+// Payload layout:
+//
+//	1 byte message type | uvarint request id | message body
+//
+// Every request carries a fresh id; the response echoes it. Cancel is
+// fire-and-forget and names its target statement in the body. Length
+// prefixes above MaxFrame are rejected before any allocation — a
+// malformed or hostile peer cannot make the server reserve memory.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"shark/internal/row"
+)
+
+// Version is the protocol version spoken by this package. The server
+// rejects a Hello whose version it does not know.
+const Version = 1
+
+// MaxFrame bounds one frame's payload. ReadFrame rejects larger
+// length prefixes without allocating; writers must batch rows to stay
+// under it.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge reports a length prefix above MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ErrEmptyFrame reports a zero-length frame (no message type byte).
+var ErrEmptyFrame = errors.New("wire: empty frame")
+
+// Message type bytes.
+const (
+	TypeHello     byte = 1  // client → server: version + auth token
+	TypeHelloOK   byte = 2  // server → client
+	TypeAttach    byte = 3  // client → server: bind a session
+	TypeAttachOK  byte = 4  // server → client: assigned session name
+	TypeExec      byte = 5  // client → server: SQL + bound args
+	TypeResultSet byte = 6  // server → client: schema + message + row count
+	TypeFetch     byte = 7  // client → server: next row batch of a cursor
+	TypeRows      byte = 8  // server → client: row batch + done flag
+	TypeCancel    byte = 9  // client → server: cancel an in-flight Exec
+	TypeCloseStmt byte = 10 // client → server: discard a cursor
+	TypePing      byte = 11 // client → server
+	TypePong      byte = 12 // server → client
+	TypeClose     byte = 13 // client → server: clean goodbye
+	TypeError     byte = 14 // server → client: coded failure
+)
+
+// Error codes carried by Error messages.
+const (
+	CodeInternal  uint64 = 1 // unexpected server-side failure (incl. recovered panics)
+	CodeAuth      uint64 = 2 // bad token or protocol version
+	CodeProtocol  uint64 = 3 // malformed or out-of-order message
+	CodeSQL       uint64 = 4 // statement failed (parse/plan/execution)
+	CodeCancelled uint64 = 5 // statement cancelled (client Cancel, disconnect, drain)
+	CodeClosed    uint64 = 6 // session or cluster is closed / draining
+	CodeConnLimit uint64 = 7 // server at its connection limit
+)
+
+// Msg is one protocol message. Concrete types are plain structs;
+// AppendMessage and ParseMessage convert to and from payload bytes.
+type Msg interface {
+	wireType() byte
+	appendBody(buf []byte) []byte
+}
+
+// Hello opens a connection: protocol version and auth token.
+type Hello struct {
+	Version uint64
+	Token   string
+}
+
+// HelloOK acknowledges the handshake.
+type HelloOK struct {
+	Version uint64
+}
+
+// Attach binds the connection to a new cluster session, carrying the
+// session knobs the public API exposes: fair-share Priority,
+// MaxConcurrentJobs admission cap and default StorageLevel, plus the
+// shared-catalog flag. Name empty = auto-generated.
+type Attach struct {
+	Name              string
+	Priority          uint64
+	MaxConcurrentJobs uint64
+	StorageLevel      byte
+	SharedCatalog     bool
+}
+
+// AttachOK reports the assigned session name.
+type AttachOK struct {
+	Name string
+}
+
+// Exec runs one SQL statement with '?' placeholders bound to Args.
+// Arg values use the engine's value model (nil, int64, float64,
+// string, bool).
+type Exec struct {
+	SQL  string
+	Args row.Row
+}
+
+// ResultSet answers a successful Exec: the statement's schema (empty
+// for DDL), its informational message, and the total row count held
+// server-side for fetching.
+type ResultSet struct {
+	Schema  row.Schema
+	Message string
+	NumRows uint64
+}
+
+// Fetch requests the next batch of a cursor (the Exec's request id).
+type Fetch struct {
+	Cursor  uint64
+	MaxRows uint64
+}
+
+// Rows carries one row batch. Done marks the cursor exhausted (and
+// discarded server-side).
+type Rows struct {
+	Rows []row.Row
+	Done bool
+}
+
+// Cancel asks the server to cancel the in-flight Exec with request id
+// Target. Fire-and-forget: the cancelled Exec itself answers with an
+// Error (CodeCancelled).
+type Cancel struct {
+	Target uint64
+}
+
+// CloseStmt discards a cursor without draining it.
+type CloseStmt struct {
+	Cursor uint64
+}
+
+// Ping checks liveness.
+type Ping struct{}
+
+// Pong answers Ping.
+type Pong struct{}
+
+// Close announces a clean disconnect.
+type Close struct{}
+
+// Error reports a coded failure for the request id it echoes.
+type Error struct {
+	Code uint64
+	Msg  string
+}
+
+func (Hello) wireType() byte     { return TypeHello }
+func (HelloOK) wireType() byte   { return TypeHelloOK }
+func (Attach) wireType() byte    { return TypeAttach }
+func (AttachOK) wireType() byte  { return TypeAttachOK }
+func (Exec) wireType() byte      { return TypeExec }
+func (ResultSet) wireType() byte { return TypeResultSet }
+func (Fetch) wireType() byte     { return TypeFetch }
+func (Rows) wireType() byte      { return TypeRows }
+func (Cancel) wireType() byte    { return TypeCancel }
+func (CloseStmt) wireType() byte { return TypeCloseStmt }
+func (Ping) wireType() byte      { return TypePing }
+func (Pong) wireType() byte      { return TypePong }
+func (Close) wireType() byte     { return TypeClose }
+func (Error) wireType() byte     { return TypeError }
+
+// --- encoding primitives ---
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = io.ErrUnexpectedEOF
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// str decodes a length-prefixed string, bounding the length by the
+// remaining bytes before allocating.
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail()
+		return 0
+	}
+	c := d.b[0]
+	d.b = d.b[1:]
+	return c
+}
+
+func (d *decoder) bool() bool { return d.byte() != 0 }
+
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after message", len(d.b))
+	}
+	return nil
+}
+
+// --- message bodies ---
+
+func (m Hello) appendBody(buf []byte) []byte {
+	buf = appendUvarint(buf, m.Version)
+	return appendString(buf, m.Token)
+}
+
+func (m HelloOK) appendBody(buf []byte) []byte {
+	return appendUvarint(buf, m.Version)
+}
+
+func (m Attach) appendBody(buf []byte) []byte {
+	buf = appendString(buf, m.Name)
+	buf = appendUvarint(buf, m.Priority)
+	buf = appendUvarint(buf, m.MaxConcurrentJobs)
+	buf = append(buf, m.StorageLevel)
+	return appendBool(buf, m.SharedCatalog)
+}
+
+func (m AttachOK) appendBody(buf []byte) []byte {
+	return appendString(buf, m.Name)
+}
+
+func (m Exec) appendBody(buf []byte) []byte {
+	buf = appendString(buf, m.SQL)
+	return row.EncodeBinary(buf, m.Args)
+}
+
+func (m ResultSet) appendBody(buf []byte) []byte {
+	buf = appendUvarint(buf, uint64(len(m.Schema)))
+	for _, f := range m.Schema {
+		buf = appendString(buf, f.Name)
+		buf = append(buf, byte(f.Type))
+	}
+	buf = appendString(buf, m.Message)
+	return appendUvarint(buf, m.NumRows)
+}
+
+func (m Fetch) appendBody(buf []byte) []byte {
+	buf = appendUvarint(buf, m.Cursor)
+	return appendUvarint(buf, m.MaxRows)
+}
+
+func (m Rows) appendBody(buf []byte) []byte {
+	buf = appendBool(buf, m.Done)
+	buf = appendUvarint(buf, uint64(len(m.Rows)))
+	for _, r := range m.Rows {
+		buf = row.EncodeBinary(buf, r)
+	}
+	return buf
+}
+
+func (m Cancel) appendBody(buf []byte) []byte    { return appendUvarint(buf, m.Target) }
+func (m CloseStmt) appendBody(buf []byte) []byte { return appendUvarint(buf, m.Cursor) }
+func (Ping) appendBody(buf []byte) []byte        { return buf }
+func (Pong) appendBody(buf []byte) []byte        { return buf }
+func (Close) appendBody(buf []byte) []byte       { return buf }
+
+func (m Error) appendBody(buf []byte) []byte {
+	buf = appendUvarint(buf, m.Code)
+	return appendString(buf, m.Msg)
+}
+
+// AppendMessage appends the payload (type byte, request id, body) for
+// one message to buf — framing is WriteFrame's job.
+func AppendMessage(buf []byte, id uint64, m Msg) []byte {
+	buf = append(buf, m.wireType())
+	buf = appendUvarint(buf, id)
+	return m.appendBody(buf)
+}
+
+// ParseMessage decodes one payload into its request id and message.
+// It never panics on malformed input and bounds every allocation by
+// the payload length.
+func ParseMessage(payload []byte) (id uint64, m Msg, err error) {
+	if len(payload) == 0 {
+		return 0, nil, ErrEmptyFrame
+	}
+	typ := payload[0]
+	d := &decoder{b: payload[1:]}
+	id = d.uvarint()
+	switch typ {
+	case TypeHello:
+		msg := Hello{Version: d.uvarint()}
+		msg.Token = d.str()
+		m = msg
+	case TypeHelloOK:
+		m = HelloOK{Version: d.uvarint()}
+	case TypeAttach:
+		msg := Attach{Name: d.str()}
+		msg.Priority = d.uvarint()
+		msg.MaxConcurrentJobs = d.uvarint()
+		msg.StorageLevel = d.byte()
+		msg.SharedCatalog = d.bool()
+		m = msg
+	case TypeAttachOK:
+		m = AttachOK{Name: d.str()}
+	case TypeExec:
+		msg := Exec{SQL: d.str()}
+		msg.Args = d.row()
+		m = msg
+	case TypeResultSet:
+		msg := ResultSet{Schema: d.schema()}
+		msg.Message = d.str()
+		msg.NumRows = d.uvarint()
+		m = msg
+	case TypeFetch:
+		msg := Fetch{Cursor: d.uvarint()}
+		msg.MaxRows = d.uvarint()
+		m = msg
+	case TypeRows:
+		msg := Rows{Done: d.bool()}
+		msg.Rows = d.rows()
+		m = msg
+	case TypeCancel:
+		m = Cancel{Target: d.uvarint()}
+	case TypeCloseStmt:
+		m = CloseStmt{Cursor: d.uvarint()}
+	case TypePing:
+		m = Ping{}
+	case TypePong:
+		m = Pong{}
+	case TypeClose:
+		m = Close{}
+	case TypeError:
+		msg := Error{Code: d.uvarint()}
+		msg.Msg = d.str()
+		m = msg
+	default:
+		return 0, nil, fmt.Errorf("wire: unknown message type %d", typ)
+	}
+	if err := d.done(); err != nil {
+		return 0, nil, err
+	}
+	return id, m, nil
+}
+
+// row decodes one binary-encoded row (length-prefixed, like the DFS
+// binary format).
+func (d *decoder) row() row.Row {
+	if d.err != nil {
+		return nil
+	}
+	r, n, err := row.DecodeBinary(d.b)
+	if err != nil {
+		d.err = err
+		return nil
+	}
+	d.b = d.b[n:]
+	return r
+}
+
+// schema decodes a field list, bounding the count by the remaining
+// bytes (each field costs at least two bytes) before allocating.
+func (d *decoder) schema() row.Schema {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)/2) {
+		d.fail()
+		return nil
+	}
+	sch := make(row.Schema, n)
+	for i := range sch {
+		sch[i].Name = d.str()
+		sch[i].Type = row.Type(d.byte())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return sch
+}
+
+// rows decodes a row batch, bounding the count by the remaining bytes
+// (each row costs at least one byte) before allocating.
+func (d *decoder) rows() []row.Row {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return nil
+	}
+	out := make([]row.Row, n)
+	for i := range out {
+		out[i] = d.row()
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// --- framing ---
+
+// AppendFrame appends the length prefix and payload to buf.
+func AppendFrame(buf, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// WriteFrame writes one frame. Payloads above MaxFrame are refused —
+// the writer must batch smaller.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, id uint64, m Msg) error {
+	return WriteFrame(w, AppendMessage(nil, id, m))
+}
+
+// ReadFrame reads one frame's payload, tolerating partial reads. A
+// length prefix above MaxFrame is rejected before allocating anything;
+// a zero length is rejected as an empty frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if n == 0 {
+		return nil, ErrEmptyFrame
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ReadMessage reads and parses one frame.
+func ReadMessage(r io.Reader) (uint64, Msg, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return ParseMessage(payload)
+}

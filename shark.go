@@ -39,6 +39,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shark/internal/catalog"
@@ -90,6 +91,14 @@ type (
 	// DiskTierStats aggregates the per-worker disk spill tiers.
 	DiskTierStats = cluster.DiskTierStats
 )
+
+// ErrClosed marks work issued against a closed Session or Cluster:
+// ExecContext/QueryContext after Session.Close (or after the cluster
+// under the session was shut down) and NewSession on a closed cluster
+// all return errors wrapping it. Check with errors.Is — a long-lived
+// server drains by closing sessions concurrently with in-flight
+// statements and needs to tell "closed" from statement failure.
+var ErrClosed = core.ErrClosed
 
 // Storage levels for cached tables.
 const (
@@ -284,7 +293,7 @@ func (c *Cluster) NewSession(cfg SessionConfig) (*Session, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("shark: cluster is closed")
+		return nil, fmt.Errorf("%w: cluster is shut down", ErrClosed)
 	}
 	name := cfg.Name
 	if name == "" {
@@ -352,6 +361,13 @@ func (c *Cluster) Worker(i int) *cluster.Worker { return c.cl.Worker(i) }
 // Metrics returns the dispatcher counters (steals, locality,
 // evictions, spills, cancellations).
 func (c *Cluster) Metrics() *cluster.DispatchMetrics { return c.cl.Metrics() }
+
+// TasksLaunched returns the total number of tasks handed to workers.
+func (c *Cluster) TasksLaunched() int64 { return c.cl.TasksLaunched() }
+
+// SchedulerMetrics returns the RDD scheduler counters (stage timings,
+// speculation, mid-partition cancellations).
+func (c *Cluster) SchedulerMetrics() *rdd.Metrics { return c.rddCtx.Scheduler().Metrics() }
 
 // DiskStats aggregates the per-worker disk spill tiers (spilled
 // blocks/bytes, disk hits, disk evictions).
@@ -423,6 +439,10 @@ type Session struct {
 	// owned marks a session whose Close also shuts its private
 	// cluster down (the back-compat NewSession shape).
 	owned bool
+	// closed latches the first Close: a second Close (a connection
+	// handler racing a server drain) must not free the session's name
+	// again — another session may have claimed it in between.
+	closed atomic.Bool
 }
 
 // NewSession boots a private cluster and connects a single session to
@@ -462,7 +482,12 @@ func NewSession(cfg Config) (*Session, error) {
 // and frees its name for reuse. A session that owns a private cluster
 // (shark.NewSession) also shuts the cluster down; a session on a
 // shared cluster leaves the cluster and other sessions untouched.
+// Closing is idempotent and safe to race with Cluster.Close and with
+// in-flight statements (which fail with ErrClosed).
 func (s *Session) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
 	s.Session.Close()
 	s.Cluster.mu.Lock()
 	delete(s.Cluster.sessionNames, strings.ToLower(s.Tag))
