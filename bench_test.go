@@ -10,6 +10,7 @@
 package shark_test
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -31,7 +32,7 @@ func benchExperiment(b *testing.B, id string) {
 	sc := benchScale()
 	report := &harness.Report{}
 	for i := 0; i < b.N; i++ {
-		if err := harness.Run(id, sc, report); err != nil {
+		if err := harness.Run(context.Background(), id, sc, report); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"shark/internal/harness"
@@ -58,10 +60,15 @@ func main() {
 		sc.WorkerDiskBytes = *diskFlag
 	}
 
+	// Ctrl-C cancels the in-flight experiment's distributed jobs
+	// instead of leaving them to run to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	report := &harness.Report{}
 	var err error
 	if *runFlag == "all" {
-		err = harness.RunAll(sc, report)
+		err = harness.RunAll(ctx, sc, report)
 	} else {
 		for _, id := range strings.Split(*runFlag, ",") {
 			id = strings.TrimSpace(id)
@@ -69,7 +76,7 @@ func main() {
 				continue
 			}
 			fmt.Fprintf(os.Stderr, "running %s...\n", id)
-			if err = harness.Run(id, sc, report); err != nil {
+			if err = harness.Run(ctx, id, sc, report); err != nil {
 				break
 			}
 		}

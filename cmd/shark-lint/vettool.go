@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"shark/internal/lint"
+)
+
+// vetConfig mirrors the subset of the unit-checker JSON config the go
+// command writes for `go vet -vettool` invocations.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string // canonical import path → resolved path
+	PackageFile               map[string]string // resolved path → export data file
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one compilation unit described by a go vet
+// config file and returns the process exit code. The protocol: facts
+// (we have none) go to VetxOutput, diagnostics go to stderr, exit 2
+// when any diagnostic fired.
+func runVetUnit(cfgPath string, analyzers []*lint.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shark-lint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "shark-lint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The go command requires the facts file to exist even though we
+	// export none.
+	if cfg.VetxOutput != "" {
+		f, err := os.Create(cfg.VetxOutput)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shark-lint: %v\n", err)
+			return 2
+		}
+		gob.NewEncoder(f).Encode(map[string]string{})
+		f.Close()
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	files := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	pkg, err := lint.TypeCheck(cfg.ImportPath, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "shark-lint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shark-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Position(), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -286,7 +286,7 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.
 	if err != nil {
 		return nil, err
 	}
-	return &rows{conn: c, cursor: cursor, schema: rs.Schema, remaining: rs.NumRows}, nil
+	return &rows{conn: c, ctx: ctx, cursor: cursor, schema: rs.Schema, remaining: rs.NumRows}, nil
 }
 
 func (c *conn) ExecContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
@@ -348,7 +348,11 @@ func namedValues(args []sqldriver.Value) []sqldriver.NamedValue {
 
 // rows iterates a server-side cursor with incremental batch fetches.
 type rows struct {
-	conn      *conn
+	conn *conn
+	// ctx is the query's context: fetches for this cursor belong to
+	// the statement that opened it, so its cancellation must unblock
+	// an in-flight Fetch roundtrip.
+	ctx       context.Context
 	cursor    uint64
 	schema    row.Schema
 	remaining uint64
@@ -411,9 +415,9 @@ func (r *rows) Next(dest []sqldriver.Value) error {
 		if r.done {
 			return io.EOF
 		}
-		resp, err := r.conn.c.Roundtrip(wire.Fetch{Cursor: r.cursor})
+		resp, err := r.conn.c.RoundtripCtx(r.ctx, wire.Fetch{Cursor: r.cursor})
 		if err != nil {
-			return r.conn.mapErr(context.Background(), err)
+			return r.conn.mapErr(r.ctx, err)
 		}
 		batch, ok := resp.(wire.Rows)
 		if !ok {

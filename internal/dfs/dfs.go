@@ -204,7 +204,7 @@ func (fs *FS) register(m *FileMeta) error {
 type Writer struct {
 	fs     *FS
 	meta   *FileMeta
-	closed bool
+	closed atomic.Bool
 
 	f   *os.File
 	enc rowEncoder
@@ -303,12 +303,13 @@ func copyFile(src, dst string) error {
 	return out.Close()
 }
 
-// Close seals the final block and registers the file.
+// Close seals the final block and registers the file. The CAS latch
+// makes it idempotent even under racing callers: exactly one Close
+// runs the teardown, the rest return nil immediately.
 func (w *Writer) Close() error {
-	if w.closed {
+	if !w.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	w.closed = true
 	if w.cur.Rows > 0 || len(w.meta.Blocks) == 0 {
 		if err := w.sealBlock(); err != nil {
 			return err

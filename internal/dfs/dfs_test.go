@@ -3,6 +3,7 @@ package dfs
 import (
 	"fmt"
 	"io"
+	"sync"
 	"testing"
 
 	"shark/internal/row"
@@ -195,5 +196,41 @@ func TestBinarySmallerThanText(t *testing.T) {
 	bb := write("b", Binary)
 	if bb >= tb {
 		t.Errorf("binary (%d) should be smaller than text (%d) for float-heavy rows", bb, tb)
+	}
+}
+
+// Racing Closes must run the teardown exactly once: the losers return
+// nil immediately instead of double-sealing or double-registering.
+func TestWriterConcurrentClose(t *testing.T) {
+	fs := newTestFS(t, 1<<20)
+	w, err := fs.Create("race", Binary, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(row.Row{int64(1), "a", 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	const closers = 8
+	errs := make(chan error, closers)
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < closers; i++ {
+		go func() {
+			start.Wait()
+			errs <- w.Close()
+		}()
+	}
+	start.Done()
+	for i := 0; i < closers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+	}
+	meta, err := fs.Stat("race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.TotalRows() != 1 {
+		t.Fatalf("rows = %d, want 1", meta.TotalRows())
 	}
 }

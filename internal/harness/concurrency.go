@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -16,7 +17,7 @@ import (
 // This is the warehouse shape the redesign targets — an interactive
 // dashboard must stay interactive while a batch scan's task wave
 // floods the queues.
-func runConcurrency(sc Scale, r *Report) error {
+func runConcurrency(ctx context.Context, sc Scale, r *Report) error {
 	exp := "abl_concurrency: K short-query sessions vs one long scan (shared cluster)"
 	for _, pol := range []struct {
 		label string

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"shark/internal/exec"
@@ -12,14 +13,14 @@ import (
 // locality on a warm re-scan, and lineage-backed recovery of cached
 // partitions after a worker loss — reporting the scheduler and
 // dispatcher metrics alongside the runtimes.
-func runDispatch(sc Scale, r *Report) error {
+func runDispatch(ctx context.Context, sc Scale, r *Report) error {
 	exp := "abl_dispatch: locality/load-aware task dispatch"
 	e, err := NewEnv(sc, exec.Options{})
 	if err != nil {
 		return err
 	}
 	defer e.Close()
-	ctx := e.Shark.Ctx
+	sctx := e.Shark.Ctx
 	cl := e.SharkCluster
 
 	// (a) Balance: many fine-grained tasks over all workers.
@@ -29,9 +30,9 @@ func runDispatch(sc Scale, r *Report) error {
 		pairs = append(pairs, shuffle.Pair{K: int64(i % 97), V: int64(1)})
 	}
 	before := cl.TasksPerWorker()
-	base := ctx.Parallelize(pairs, nTasks)
+	base := sctx.Parallelize(pairs, nTasks)
 	balanceSecs, err := timeIt(func() error {
-		_, err := base.Count()
+		_, err := base.CountCtx(ctx)
 		return err
 	})
 	if err != nil {
@@ -56,13 +57,13 @@ func runDispatch(sc Scale, r *Report) error {
 
 	// (b) Locality: a warm re-scan of a cached RDD should run where
 	// the partitions live.
-	cached := ctx.Parallelize(pairs, sc.Workers*2).Cache()
-	if _, err := cached.Count(); err != nil { // materialize
+	cached := sctx.Parallelize(pairs, sc.Workers*2).Cache()
+	if _, err := cached.CountCtx(ctx); err != nil { // materialize
 		return err
 	}
 	hits0, miss0 := cl.Metrics().LocalityHits.Load(), cl.Metrics().LocalityMisses.Load()
 	warmSecs, err := timeIt(func() error {
-		_, err := cached.Count()
+		_, err := cached.CountCtx(ctx)
 		return err
 	})
 	if err != nil {
@@ -86,17 +87,17 @@ func runDispatch(sc Scale, r *Report) error {
 	}
 	victim := sc.Workers - 1
 	cl.Kill(victim)
-	ctx.NotifyWorkerLost(victim)
-	recScans := ctx.Scheduler().Metrics().CacheRecomputes.Load()
+	sctx.NotifyWorkerLost(victim)
+	recScans := sctx.Scheduler().Metrics().CacheRecomputes.Load()
 	steals0 := cl.Metrics().Steals.Load()
 	recSecs, err := timeIt(func() error {
-		_, err := cached.Count()
+		_, err := cached.CountCtx(ctx)
 		return err
 	})
 	if err != nil {
 		return err
 	}
-	recomputed := ctx.Scheduler().Metrics().CacheRecomputes.Load() - recScans
+	recomputed := sctx.Scheduler().Metrics().CacheRecomputes.Load() - recScans
 	cl.Restart(victim)
 	r.Add(exp, "scan after worker loss (lineage recovery)", recSecs,
 		fmt.Sprintf("%d partitions recomputed, %d steals during recovery",

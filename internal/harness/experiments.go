@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -17,8 +18,11 @@ import (
 	"shark/internal/shuffle"
 )
 
-// experiments maps experiment ids (DESIGN.md §3) to runners.
-var experiments = map[string]func(Scale, *Report) error{
+// experiments maps experiment ids (DESIGN.md §3) to runners. Every
+// runner takes the harness context so a cancelled bench run (Ctrl-C
+// on shark-bench) aborts the in-flight distributed job rather than
+// running it to completion.
+var experiments = map[string]func(context.Context, Scale, *Report) error{
 	"fig1":            runFig1,
 	"fig5_selection":  runFig5Selection,
 	"fig5_agg":        runFig5Agg,
@@ -98,7 +102,7 @@ func threeWay(e *Env, r *Report, exp, memSQL, diskSQL string, tunedReducers int)
 // --------------------------------------------------------------------------
 // §6.2.1 / Figure 5: selection.
 
-func runFig5Selection(sc Scale, r *Report) error {
+func runFig5Selection(ctx context.Context, sc Scale, r *Report) error {
 	e, err := pavloEnv(sc, exec.Options{})
 	if err != nil {
 		return err
@@ -113,7 +117,7 @@ func runFig5Selection(sc Scale, r *Report) error {
 // --------------------------------------------------------------------------
 // §6.2.2 / Figure 5: the two aggregation queries.
 
-func runFig5Agg(sc Scale, r *Report) error {
+func runFig5Agg(ctx context.Context, sc Scale, r *Report) error {
 	e, err := pavloEnv(sc, exec.Options{})
 	if err != nil {
 		return err
@@ -140,7 +144,7 @@ WHERE %[2]s.pageURL = %[1]s.destURL
 AND %[1]s.visitDate BETWEEN Date('2000-01-15') AND Date('2000-01-22')
 GROUP BY %[1]s.sourceIP`
 
-func runFig6Join(sc Scale, r *Report) error {
+func runFig6Join(ctx context.Context, sc Scale, r *Report) error {
 	e, err := pavloEnv(sc, exec.Options{})
 	if err != nil {
 		return err
@@ -173,7 +177,7 @@ func runFig6Join(sc Scale, r *Report) error {
 // --------------------------------------------------------------------------
 // §6.2.4 / §3.3: data loading throughput, DFS vs memstore.
 
-func runLoading(sc Scale, r *Report) error {
+func runLoading(ctx context.Context, sc Scale, r *Report) error {
 	e, err := NewEnv(sc, exec.Options{})
 	if err != nil {
 		return err
@@ -216,7 +220,7 @@ func runLoading(sc Scale, r *Report) error {
 // §6.3.1 / Figure 7: aggregation sweep over group cardinalities on
 // lineitem, both dataset scales, with tuned and untuned Hive.
 
-func runFig7(sc Scale, r *Report) error {
+func runFig7(ctx context.Context, sc Scale, r *Report) error {
 	for _, ds := range []struct {
 		label string
 		rows  int
@@ -224,14 +228,14 @@ func runFig7(sc Scale, r *Report) error {
 		{"100GB-scale", sc.Lineitem},
 		{"1TB-scale", sc.LineitemBig},
 	} {
-		if err := runFig7One(sc, r, ds.label, ds.rows); err != nil {
+		if err := runFig7One(ctx, sc, r, ds.label, ds.rows); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runFig7One(sc Scale, r *Report, label string, rows int) error {
+func runFig7One(ctx context.Context, sc Scale, r *Report, label string, rows int) error {
 	e, err := NewEnv(sc, exec.Options{})
 	if err != nil {
 		return err
@@ -284,7 +288,7 @@ func runFig7One(sc Scale, r *Report, label string, rows int) error {
 // --------------------------------------------------------------------------
 // §6.3.2 / Figure 8: join strategy selection with an opaque UDF.
 
-func runFig8(sc Scale, r *Report) error {
+func runFig8(ctx context.Context, sc Scale, r *Report) error {
 	exp := "fig8: lineitem ⋈ supplier WHERE SOME_UDF(s.S_ADDRESS)"
 	const query = `SELECT lineitem_mem.L_ORDERKEY, supplier_mem.S_NAME
 FROM lineitem_mem JOIN supplier_mem ON lineitem_mem.L_SUPPKEY = supplier_mem.S_SUPPKEY
@@ -352,7 +356,7 @@ WHERE SOME_UDF(supplier_mem.S_ADDRESS)`
 // --------------------------------------------------------------------------
 // §6.3.3 / Figure 9: mid-query fault tolerance.
 
-func runFig9(sc Scale, r *Report) error {
+func runFig9(ctx context.Context, sc Scale, r *Report) error {
 	e, err := NewEnv(sc, exec.Options{})
 	if err != nil {
 		return err
@@ -456,7 +460,7 @@ func warehouseEnv(sc Scale, opts exec.Options) (*Env, error) {
 	return e, nil
 }
 
-func runFig10(sc Scale, r *Report) error {
+func runFig10(ctx context.Context, sc Scale, r *Report) error {
 	e, err := warehouseEnv(sc, exec.Options{})
 	if err != nil {
 		return err
@@ -540,7 +544,7 @@ func avgSeconds(ds []time.Duration) float64 {
 	return t.Seconds() / float64(len(ds))
 }
 
-func runFig11(sc Scale, r *Report) error {
+func runFig11(ctx context.Context, sc Scale, r *Report) error {
 	e, points, err := mlEnv(sc)
 	if err != nil {
 		return err
@@ -549,7 +553,7 @@ func runFig11(sc Scale, r *Report) error {
 	exp := "fig11: logistic regression, per-iteration"
 
 	timer := &ml.IterTimer{}
-	if _, err := ml.LogisticRegression(points, sc.MLDim, sc.MLIters+1, 1e-4, timer); err != nil {
+	if _, err := ml.LogisticRegressionCtx(ctx, points, sc.MLDim, sc.MLIters+1, 1e-4, timer); err != nil {
 		return err
 	}
 	// First iteration includes cache materialization; report the rest.
@@ -570,7 +574,7 @@ func runFig11(sc Scale, r *Report) error {
 	return nil
 }
 
-func runFig12(sc Scale, r *Report) error {
+func runFig12(ctx context.Context, sc Scale, r *Report) error {
 	e, pointsLP, err := mlEnv(sc)
 	if err != nil {
 		return err
@@ -581,7 +585,7 @@ func runFig12(sc Scale, r *Report) error {
 
 	vectors := pointsLP.Map(func(v any) any { return v.(ml.LabeledPoint).X }).Cache()
 	timer := &ml.IterTimer{}
-	if _, err := ml.KMeans(vectors, k, sc.MLIters+1, timer); err != nil {
+	if _, err := ml.KMeansCtx(ctx, vectors, k, sc.MLIters+1, timer); err != nil {
 		return err
 	}
 	r.Add(exp, "Shark", avgSeconds(timer.Durations[1:]),
@@ -615,7 +619,7 @@ func runFig12(sc Scale, r *Report) error {
 // --------------------------------------------------------------------------
 // §7.1 / Figure 13: job time vs number of reduce tasks.
 
-func runFig13(sc Scale, r *Report) error {
+func runFig13(ctx context.Context, sc Scale, r *Report) error {
 	e, err := NewEnv(sc, exec.Options{})
 	if err != nil {
 		return err
@@ -649,9 +653,9 @@ func runFig13(sc Scale, r *Report) error {
 	for _, rr := range rows {
 		pairs = append(pairs, shuffle.Pair{K: rr[5], V: rr[3]})
 	}
-	ctx := e.Shark.Ctx
-	base := ctx.Parallelize(pairs, sc.Workers*sc.Slots*2).Cache()
-	if _, err := base.Count(); err != nil { // materialize cache
+	sctx := e.Shark.Ctx
+	base := sctx.Parallelize(pairs, sc.Workers*sc.Slots*2).Cache()
+	if _, err := base.CountCtx(ctx); err != nil { // materialize cache
 		return err
 	}
 	for _, n := range taskCounts {
@@ -660,7 +664,7 @@ func runFig13(sc Scale, r *Report) error {
 				x, _ := row.AsFloat(a)
 				y, _ := row.AsFloat(b)
 				return x + y
-			}, n).Count()
+			}, n).CountCtx(ctx)
 			return err
 		})
 		if err != nil {
@@ -674,7 +678,7 @@ func runFig13(sc Scale, r *Report) error {
 // --------------------------------------------------------------------------
 // §3.2 table: memory footprint of row formats.
 
-func runColumnarFootprint(sc Scale, r *Report) error {
+func runColumnarFootprint(ctx context.Context, sc Scale, r *Report) error {
 	exp := "tbl_columnar: lineitem in-memory footprint"
 	rows := data.Collect(func(emit func(row.Row) error) error {
 		return data.Lineitem(sc.Lineitem, sc.Supplier, emit)
@@ -703,7 +707,7 @@ func runColumnarFootprint(sc Scale, r *Report) error {
 // --------------------------------------------------------------------------
 // §5 ablations.
 
-func runShuffleAblation(sc Scale, r *Report) error {
+func runShuffleAblation(ctx context.Context, sc Scale, r *Report) error {
 	exp := "abl_shuffle: group-by with memory vs disk shuffle"
 	for _, variant := range []struct {
 		label string
@@ -741,7 +745,7 @@ func runShuffleAblation(sc Scale, r *Report) error {
 	return nil
 }
 
-func runExprCompileAblation(sc Scale, r *Report) error {
+func runExprCompileAblation(ctx context.Context, sc Scale, r *Report) error {
 	exp := "abl_compile: compiled closures vs interpreted evaluators"
 	// Deliberately expression-heavy (dozens of operator nodes per
 	// row) so evaluator dispatch, not scanning, dominates — the §5
@@ -786,7 +790,7 @@ func runExprCompileAblation(sc Scale, r *Report) error {
 	return nil
 }
 
-func runSkewAblation(sc Scale, r *Report) error {
+func runSkewAblation(ctx context.Context, sc Scale, r *Report) error {
 	exp := "abl_binpack: skewed shuffle reduce-side strategies"
 	// A combiner-less GroupByKey over zipf-skewed keys: reduce tasks
 	// must materialize every value, so an unlucky coarse partition
@@ -796,7 +800,7 @@ func runSkewAblation(sc Scale, r *Report) error {
 		return err
 	}
 	defer e.Close()
-	ctx := e.Shark.Ctx
+	sctx := e.Shark.Ctx
 
 	nPairs := sc.UserVisits
 	payload := strings.Repeat("x", 64)
@@ -818,21 +822,21 @@ func runSkewAblation(sc Scale, r *Report) error {
 	for i := range pairs {
 		pairs[i] = shuffle.Pair{K: zipfKey(i), V: payload}
 	}
-	base := ctx.Parallelize(pairs, sc.Workers*sc.Slots*2).Cache()
-	if _, err := base.Count(); err != nil {
+	base := sctx.Parallelize(pairs, sc.Workers*sc.Slots*2).Cache()
+	if _, err := base.CountCtx(ctx); err != nil {
 		return err
 	}
 
 	slots := sc.Workers * sc.Slots
 	fine := slots * 8
 	runGrouped := func(groups [][]int) (float64, int, error) {
-		dep := ctx.NewShuffleDep(base, shuffle.HashPartitioner{N: fine}, nil)
-		if _, err := ctx.Scheduler().MaterializeShuffle(dep); err != nil {
+		dep := sctx.NewShuffleDep(base, shuffle.HashPartitioner{N: fine}, nil)
+		if _, err := sctx.Scheduler().MaterializeShuffleCtx(ctx, dep); err != nil {
 			return 0, 0, err
 		}
-		grouped := ctx.Shuffled(dep, groups, rdd.ReadGroup)
+		grouped := sctx.Shuffled(dep, groups, rdd.ReadGroup)
 		secs, err := timeIt(func() error {
-			_, err := grouped.Count()
+			_, err := grouped.CountCtx(ctx)
 			return err
 		})
 		return secs, grouped.NumPartitions(), err
@@ -852,8 +856,8 @@ func runSkewAblation(sc Scale, r *Report) error {
 
 	// (b) PDE bin-packing: observe bucket sizes, balance into `slots`
 	// groups.
-	depStats := ctx.NewShuffleDep(base, shuffle.HashPartitioner{N: fine}, nil)
-	st, err := ctx.Scheduler().MaterializeShuffle(depStats)
+	depStats := sctx.NewShuffleDep(base, shuffle.HashPartitioner{N: fine}, nil)
+	st, err := sctx.Scheduler().MaterializeShuffleCtx(ctx, depStats)
 	if err != nil {
 		return err
 	}
@@ -876,7 +880,7 @@ func runSkewAblation(sc Scale, r *Report) error {
 // --------------------------------------------------------------------------
 // §3.5: map pruning effectiveness.
 
-func runPruning(sc Scale, r *Report) error {
+func runPruning(ctx context.Context, sc Scale, r *Report) error {
 	exp := "pruning: warehouse queries, partitions scanned"
 	for _, variant := range []struct {
 		label   string
@@ -912,7 +916,7 @@ func runPruning(sc Scale, r *Report) error {
 // Figure 1: the headline summary — two warehouse queries + one
 // logistic regression iteration, Shark vs Hive/Hadoop.
 
-func runFig1(sc Scale, r *Report) error {
+func runFig1(ctx context.Context, sc Scale, r *Report) error {
 	e, err := warehouseEnv(sc, exec.Options{})
 	if err != nil {
 		return err
@@ -941,7 +945,7 @@ func runFig1(sc Scale, r *Report) error {
 	defer e2.Close()
 	exp := "fig1: logistic regression (1 iteration)"
 	timer := &ml.IterTimer{}
-	if _, err := ml.LogisticRegression(points, sc.MLDim, 2, 1e-4, timer); err != nil {
+	if _, err := ml.LogisticRegressionCtx(ctx, points, sc.MLDim, 2, 1e-4, timer); err != nil {
 		return err
 	}
 	r.Add(exp, "Shark", timer.Durations[1].Seconds(), "")

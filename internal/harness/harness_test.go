@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -19,7 +20,7 @@ func tinyScale() Scale {
 func runOne(t *testing.T, id string) *Report {
 	t.Helper()
 	r := &Report{}
-	if err := Run(id, tinyScale(), r); err != nil {
+	if err := Run(context.Background(), id, tinyScale(), r); err != nil {
 		t.Fatalf("experiment %s: %v", id, err)
 	}
 	if len(r.Entries) == 0 {
@@ -47,7 +48,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := Run("nope", tinyScale(), &Report{}); err == nil {
+	if err := Run(context.Background(), "nope", tinyScale(), &Report{}); err == nil {
 		t.Error("unknown id must fail")
 	}
 }
@@ -164,7 +165,7 @@ func TestLoadingThroughput(t *testing.T) {
 	sc := tinyScale()
 	sc.UserVisits = 60000
 	r := &Report{}
-	if err := Run("loading", sc, r); err != nil {
+	if err := Run(context.Background(), "loading", sc, r); err != nil {
 		t.Fatal(err)
 	}
 	if len(r.Entries) != 2 {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -58,14 +59,14 @@ func (w *memoryWorld) close(label string) {
 // per-worker share) and reports scan time plus hit / eviction /
 // remote-read / recompute rates at each point — the ROADMAP "memory
 // pressure" item, after §3.2's bounded memstore.
-func runMemory(sc Scale, r *Report) error {
+func runMemory(ctx context.Context, sc Scale, r *Report) error {
 	exp := "abl_memory: bounded memstore (LRU eviction + remote cache reads)"
 	rows := memoryRows(sc.Sessions)
 	parts := sc.Workers * 4
 
 	// Unbounded probe: learn the footprint and the reference results.
 	probe := newMemoryWorld(sc, 0)
-	tbl, err := memtable.Load("mem_sweep", memorySchema, probe.ctx.Parallelize(rows, parts))
+	tbl, err := memtable.LoadCtx(ctx, "mem_sweep", memorySchema, probe.ctx.Parallelize(rows, parts))
 	if err != nil {
 		probe.close("unbounded probe")
 		return err
@@ -95,7 +96,7 @@ func runMemory(sc Scale, r *Report) error {
 		}{fmt.Sprintf("%d bytes/worker (user-set)", sc.WorkerMemoryBytes), sc.WorkerMemoryBytes})
 	}
 	for _, pt := range sweep {
-		if err := runMemoryPoint(sc, r, exp, pt.label, pt.bytes, rows, parts, wantRows); err != nil {
+		if err := runMemoryPoint(ctx, sc, r, exp, pt.label, pt.bytes, rows, parts, wantRows); err != nil {
 			return fmt.Errorf("%s: %w", pt.label, err)
 		}
 	}
@@ -104,10 +105,10 @@ func runMemory(sc Scale, r *Report) error {
 
 // runMemoryPoint loads and repeatedly scans the table under one
 // capacity setting, verifying results and the capacity invariant.
-func runMemoryPoint(sc Scale, r *Report, exp, label string, capBytes int64, rows []any, parts int, wantRows int64) error {
+func runMemoryPoint(ctx context.Context, sc Scale, r *Report, exp, label string, capBytes int64, rows []any, parts int, wantRows int64) error {
 	w := newMemoryWorld(sc, capBytes)
 	defer w.close(label)
-	tbl, err := memtable.Load("mem_sweep", memorySchema, w.ctx.Parallelize(rows, parts))
+	tbl, err := memtable.LoadCtx(ctx, "mem_sweep", memorySchema, w.ctx.Parallelize(rows, parts))
 	if err != nil {
 		return err
 	}
@@ -123,10 +124,10 @@ func runMemoryPoint(sc Scale, r *Report, exp, label string, capBytes int64, rows
 			prunedErr := make(chan error, 1)
 			go func() {
 				pruned := tbl.Prune([]memtable.ColPredicate{{Col: 2, Lo: int64(0), Hi: int64(len(rows) / 2)}})
-				_, err := tbl.Scan(pruned, []int{0, 2}).Count()
+				_, err := tbl.Scan(pruned, []int{0, 2}).CountCtx(ctx)
 				prunedErr <- err
 			}()
-			n, err := tbl.Scan(nil, nil).Count()
+			n, err := tbl.Scan(nil, nil).CountCtx(ctx)
 			if perr := <-prunedErr; err == nil {
 				err = perr
 			}
@@ -147,7 +148,7 @@ func runMemoryPoint(sc Scale, r *Report, exp, label string, capBytes int64, rows
 	// straggler still caches instead of recomputing them (the
 	// remote-cache-read path).
 	w.cl.SetStragglerDelay(0, 5*time.Millisecond)
-	if _, err := tbl.Scan(nil, nil).Count(); err != nil {
+	if _, err := tbl.Scan(nil, nil).CountCtx(ctx); err != nil {
 		return err
 	}
 	w.cl.SetStragglerFactor(0, 1)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -22,7 +23,7 @@ import (
 // tail latency while producing byte-identical results. The experiment
 // fails on a latency inversion or a missed adaptation — the acceptance
 // signal for PDE.
-func runPDE(sc Scale, r *Report) error {
+func runPDE(ctx context.Context, sc Scale, r *Report) error {
 	exp := "abl_pde: skewed fact ⋈ dim, static vs adaptive reduce planning"
 
 	adaptive, err := pdePoint(sc, false)

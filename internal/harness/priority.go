@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -18,7 +19,7 @@ import (
 // see strictly lower tail latency. The experiment fails if the
 // weight-4 p95 is not strictly below the weight-1 p95 — the acceptance
 // signal for per-tenant priorities.
-func runPriority(sc Scale, r *Report) error {
+func runPriority(ctx context.Context, sc Scale, r *Report) error {
 	exp := "abl_priority: 1 heavy + 3 light sessions at weights 1:2:4 (shared cluster)"
 	res, err := priorityPoint(sc)
 	if err != nil {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -202,8 +203,9 @@ func ExperimentIDs() []string {
 
 // Run executes one experiment by id into the report. While the
 // experiment runs, environments it closes snapshot their dispatcher /
-// cache metrics into the report's ClusterNotes.
-func Run(id string, sc Scale, r *Report) error {
+// cache metrics into the report's ClusterNotes. Cancelling ctx aborts
+// the experiment's in-flight distributed work.
+func Run(ctx context.Context, id string, sc Scale, r *Report) error {
 	f, ok := experiments[strings.ToLower(id)]
 	if !ok {
 		return fmt.Errorf("harness: unknown experiment %q (have %v)", id, ExperimentIDs())
@@ -216,13 +218,13 @@ func Run(id string, sc Scale, r *Report) error {
 		activeReport, activeExp = nil, ""
 		activeMu.Unlock()
 	}()
-	return f(sc, r)
+	return f(ctx, sc, r)
 }
 
 // RunAll executes every experiment.
-func RunAll(sc Scale, r *Report) error {
+func RunAll(ctx context.Context, sc Scale, r *Report) error {
 	for _, id := range ExperimentIDs() {
-		if err := Run(id, sc, r); err != nil {
+		if err := Run(ctx, id, sc, r); err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
 	}

@@ -29,7 +29,7 @@ const servingConns = 100
 // the two crash-safety stories — an abrupt client kill mid-query must
 // cancel cluster-side work, and a graceful drain mid-run must settle
 // cleanly without leaking session state.
-func runServing(sc Scale, r *Report) error {
+func runServing(ctx context.Context, sc Scale, r *Report) error {
 	exp := "abl_serving: concurrent driver clients vs shark-server"
 
 	srv, err := server.New(server.Config{Cluster: shark.ClusterConfig{
@@ -157,10 +157,10 @@ func runServing(sc Scale, r *Report) error {
 	if err != nil {
 		return err
 	}
-	if _, err := wc.Roundtrip(wire.Hello{Version: wire.Version}); err != nil {
+	if _, err := wc.RoundtripCtx(ctx, wire.Hello{Version: wire.Version}); err != nil {
 		return err
 	}
-	if _, err := wc.Roundtrip(wire.Attach{SharedCatalog: true}); err != nil {
+	if _, err := wc.RoundtripCtx(ctx, wire.Attach{SharedCatalog: true}); err != nil {
 		return err
 	}
 	launched := srv.Cluster().TasksLaunched()

@@ -43,14 +43,14 @@ func (w *storageWorld) close(label string) {
 // tier (cold partitions read back, MEMORY_AND_DISK) and against
 // DISK_ONLY, verifying identical query results at every point and
 // that spilling strictly reduces lineage recomputation.
-func runStorage(sc Scale, r *Report) error {
+func runStorage(ctx context.Context, sc Scale, r *Report) error {
 	exp := "abl_storage: disk spill tier vs eviction-only recompute"
 	rows := memoryRows(sc.Sessions)
 	parts := sc.Workers * 4
 
 	// Unbounded probe: learn the footprint and the reference results.
 	probe := newStorageWorld(sc, 0, 0)
-	tbl, err := memtable.Load("store_sweep", memorySchema, probe.ctx.Parallelize(rows, parts))
+	tbl, err := memtable.LoadCtx(ctx, "store_sweep", memorySchema, probe.ctx.Parallelize(rows, parts))
 	if err != nil {
 		probe.close("unbounded probe")
 		return err
@@ -58,7 +58,7 @@ func runStorage(sc Scale, r *Report) error {
 	totalBytes := tbl.TotalBytes()
 	wantRows := tbl.TotalRows()
 	preds := []memtable.ColPredicate{{Col: 2, Lo: int64(0), Hi: int64(len(rows) / 2)}}
-	wantPruned, err := tbl.Scan(tbl.Prune(preds), []int{0, 2}).Collect()
+	wantPruned, err := tbl.Scan(tbl.Prune(preds), []int{0, 2}).CollectCtx(ctx)
 	if err != nil {
 		probe.close("unbounded probe")
 		return err
@@ -91,7 +91,7 @@ func runStorage(sc Scale, r *Report) error {
 	for _, pt := range sweep {
 		w := newStorageWorld(sc, pt.mem, pt.disk)
 		err := func() error {
-			tbl, err := memtable.LoadWith(context.Background(), "store_sweep", memorySchema,
+			tbl, err := memtable.LoadWith(ctx, "store_sweep", memorySchema,
 				w.ctx.Parallelize(rows, parts), memtable.LoadOptions{Level: pt.level})
 			if err != nil {
 				return err
@@ -102,14 +102,14 @@ func runStorage(sc Scale, r *Report) error {
 			}
 			secs, err := timeIt(func() error {
 				for i := 0; i < reps; i++ {
-					n, err := tbl.Scan(nil, nil).Count()
+					n, err := tbl.Scan(nil, nil).CountCtx(ctx)
 					if err != nil {
 						return err
 					}
 					if n != wantRows {
 						return fmt.Errorf("scan returned %d rows, want %d", n, wantRows)
 					}
-					got, err := tbl.Scan(tbl.Prune(preds), []int{0, 2}).Collect()
+					got, err := tbl.Scan(tbl.Prune(preds), []int{0, 2}).CollectCtx(ctx)
 					if err != nil {
 						return err
 					}

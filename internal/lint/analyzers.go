@@ -1,0 +1,29 @@
+package lint
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		BoundedMake,
+		CloseIdempotent,
+		CtxPath,
+		LockDiscipline,
+		MetricsAtomic,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection; empty selects
+// all.
+func ByName(names []string) []*Analyzer {
+	if len(names) == 0 {
+		return All()
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

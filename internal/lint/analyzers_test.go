@@ -1,0 +1,40 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"shark/internal/lint"
+	"shark/internal/lint/linttest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+// Each analyzer's fixture carries at least one true positive (a
+// `// want` line) and at least one near miss (the same shape, made
+// safe, with no want).
+func TestBoundedMake(t *testing.T) {
+	linttest.Run(t, lint.BoundedMake, fixture("boundedmake"))
+}
+
+func TestCtxPath(t *testing.T) {
+	linttest.Run(t, lint.CtxPath, fixture("ctxpath"))
+}
+
+func TestCtxPathExemptsPackageMain(t *testing.T) {
+	linttest.Run(t, lint.CtxPath, fixture("ctxpathmain"))
+}
+
+func TestLockDiscipline(t *testing.T) {
+	linttest.Run(t, lint.LockDiscipline, fixture("lockdiscipline"))
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	linttest.Run(t, lint.CloseIdempotent, fixture("closeidempotent"))
+}
+
+func TestMetricsAtomic(t *testing.T) {
+	linttest.Run(t, lint.MetricsAtomic, fixture("metricsatomic"))
+}

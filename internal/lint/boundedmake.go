@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BoundedMake reports `make` calls whose length or capacity derives
+// from a wire-decoded count (binary.Uvarint and friends) with no
+// dominating bound check against the remaining input. This is the
+// hostile-frame class from the serving-layer PR: a peer that writes
+// `uvarint(1<<60)` must cost a parse error, never an allocation.
+//
+// A count is considered bounded after an `if count > limit { return }`
+// style guard (any comparison that exits when the count is too big),
+// or inside the body of an `if count <= limit` style check. Checks
+// against the literal 0 don't count — they test sign, not size.
+var BoundedMake = &Analyzer{
+	Name: "boundedmake",
+	Doc: "make() sized by a wire-decoded count must be bounded first\n\n" +
+		"Flags make([]T, n) / make(map[K]V, n) where n comes from binary.Uvarint,\n" +
+		"binary.ReadUvarint, binary.*Endian.UintNN, or a local [u]varint decoder\n" +
+		"helper, unless a dominating comparison bounds n (typically against the\n" +
+		"remaining undecoded bytes) before the allocation.",
+	Run: runBoundedMake,
+}
+
+// decodeNames are the lower-cased function/method names treated as
+// count sources regardless of package — repos grow local `uvarint()`
+// decoder helpers (internal/wire has one) and those taint just like
+// the stdlib ones.
+var decodeNames = map[string]bool{
+	"uvarint": true, "readuvarint": true, "varint": true, "readvarint": true,
+}
+
+// binaryDecodeNames taint only when the callee lives in
+// encoding/binary (fixed-width loads are too common a name to match
+// globally).
+var binaryDecodeNames = map[string]bool{
+	"Uint16": true, "Uint32": true, "Uint64": true,
+}
+
+type taintState struct {
+	pos     token.Pos  // where the object became tainted
+	bounded []posRange // regions where a bound check dominates
+}
+
+type posRange struct{ from, to token.Pos }
+
+func (t *taintState) boundedAt(p token.Pos) bool {
+	for _, r := range t.bounded {
+		if r.from <= p && p < r.to {
+			return true
+		}
+	}
+	return false
+}
+
+func runBoundedMake(pass *Pass) error {
+	funcsOf(pass.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		checkBoundedMake(pass, body)
+	})
+	return nil
+}
+
+func checkBoundedMake(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	taints := map[types.Object]*taintState{}
+	funcEnd := body.End()
+
+	taintedIn := func(e ast.Expr) types.Object {
+		var hit types.Object
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && hit == nil {
+				if obj := info.Uses[id]; obj != nil {
+					if _, ok := taints[obj]; ok {
+						hit = obj
+					}
+				}
+			}
+			return hit == nil
+		})
+		return hit
+	}
+
+	// Pass 1: taint sources, propagation, and clearing, in source
+	// order (Inspect visits nodes in position order).
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) == 0 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || lhs.Name == "_" {
+			return true
+		}
+		obj := info.Defs[lhs]
+		if obj == nil {
+			obj = info.Uses[lhs]
+		}
+		if obj == nil {
+			return true
+		}
+		if len(as.Rhs) >= 1 {
+			rhs := ast.Unparen(as.Rhs[0])
+			if isDecodeCall(info, rhs) {
+				taints[obj] = &taintState{pos: as.Pos()}
+				return true
+			}
+			if src := propagatedTaint(info, rhs, taints, taintedIn); src != nil && !src.boundedAt(as.Pos()) {
+				taints[obj] = &taintState{pos: as.Pos()}
+				return true
+			}
+		}
+		// Reassigned from something untainted: bounded from here on.
+		if t, ok := taints[obj]; ok && as.Tok != token.DEFINE {
+			t.bounded = append(t.bounded, posRange{as.End(), funcEnd})
+		}
+		return true
+	})
+
+	// Pass 2: bound checks.
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		comparisons(ifs.Cond, func(cmp *ast.BinaryExpr) {
+			left, right := taintedIn(cmp.X), taintedIn(cmp.Y)
+			reg := func(obj types.Object, r posRange) {
+				if t := taints[obj]; t != nil {
+					t.bounded = append(t.bounded, r)
+				}
+			}
+			// "too big" form: tainted > limit / limit < tainted with
+			// an exiting body bounds everything after the body.
+			tooBig := (left != nil && !isZeroLit(cmp.Y) && (cmp.Op == token.GTR || cmp.Op == token.GEQ)) ||
+				(right != nil && !isZeroLit(cmp.X) && (cmp.Op == token.LSS || cmp.Op == token.LEQ))
+			if tooBig && terminates(ifs.Body.List) {
+				obj := left
+				if obj == nil {
+					obj = right
+				}
+				reg(obj, posRange{ifs.Body.End(), funcEnd})
+			}
+			// "small enough" form: tainted < limit / limit > tainted
+			// bounds the body only.
+			smallEnough := (left != nil && !isZeroLit(cmp.Y) && (cmp.Op == token.LSS || cmp.Op == token.LEQ)) ||
+				(right != nil && !isZeroLit(cmp.X) && (cmp.Op == token.GTR || cmp.Op == token.GEQ))
+			if smallEnough {
+				obj := left
+				if obj == nil {
+					obj = right
+				}
+				reg(obj, posRange{ifs.Body.Pos(), ifs.Body.End()})
+			}
+		})
+		return true
+	})
+
+	// Pass 3: makes.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			obj := taintedIn(arg)
+			if obj == nil {
+				continue
+			}
+			t := taints[obj]
+			if call.Pos() > t.pos && !t.boundedAt(call.Pos()) {
+				pass.Reportf(call.Pos(),
+					"make sized by %q, which comes from a wire decode with no dominating bound check against the remaining input",
+					obj.Name())
+				break
+			}
+		}
+		return true
+	})
+}
+
+// isDecodeCall reports whether e is a call to a recognized
+// count-decoding function.
+func isDecodeCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f := calleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	if decodeNames[strings.ToLower(f.Name())] {
+		return true
+	}
+	if binaryDecodeNames[f.Name()] {
+		if f.Pkg() != nil && f.Pkg().Path() == "encoding/binary" {
+			return true
+		}
+		if n := recvNamed(f); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "encoding/binary" {
+			return true
+		}
+	}
+	return false
+}
+
+// propagatedTaint reports the tainted source object when rhs is a
+// taint-preserving transform of it: the bare identifier, a type
+// conversion, or arithmetic combining it with other values. Returns
+// nil for everything else (make results, string slicing, ...).
+func propagatedTaint(info *types.Info, rhs ast.Expr, taints map[types.Object]*taintState, taintedIn func(ast.Expr) types.Object) *taintState {
+	switch x := rhs.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			return taints[obj]
+		}
+	case *ast.BinaryExpr:
+		if obj := taintedIn(rhs); obj != nil {
+			return taints[obj]
+		}
+	case *ast.CallExpr:
+		// Type conversion like int(n) or uint64(n).
+		if len(x.Args) == 1 {
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				if obj := taintedIn(x.Args[0]); obj != nil {
+					return taints[obj]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// comparisons walks a condition tree (through &&, ||, !, parens)
+// calling fn on every comparison operator.
+func comparisons(cond ast.Expr, fn func(*ast.BinaryExpr)) {
+	switch x := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND, token.LOR:
+			comparisons(x.X, fn)
+			comparisons(x.Y, fn)
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			fn(x)
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			comparisons(x.X, fn)
+		}
+	}
+}
+
+// isZeroLit reports whether e is the literal 0 (possibly converted or
+// parenthesized) — comparisons against zero test sign, not bound.
+func isZeroLit(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		e = ast.Unparen(call.Args[0])
+	}
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloseIdempotent enforces the double-close rule from the serving
+// PR: a Close method that latches a closed flag must make the latch
+// race-free — sync.Once, an atomic CompareAndSwap, or a plain bool
+// checked and set under the same mutex. Two patterns are flagged:
+//
+//   - `c.closed = true` with no lock acquired first and no
+//     sync.Once/CAS in the method (two racing Closes both see
+//     "open" and free resources twice);
+//   - `if c.closed.Load() { return } ... c.closed.Store(true)` — the
+//     atomic check-then-store TOCTOU; both closers pass the Load.
+var CloseIdempotent = &Analyzer{
+	Name: "closeidempotent",
+	Doc: "Close methods must latch their closed flag with Once/CAS or under a lock\n\n" +
+		"Flags Close methods that assign true to a bool field without holding a\n" +
+		"mutex (and without sync.Once.Do or CompareAndSwap), and atomic closed\n" +
+		"flags used as Load-check-then-Store instead of CompareAndSwap.",
+	Run: runCloseIdempotent,
+}
+
+func runCloseIdempotent(pass *Pass) error {
+	info := pass.TypesInfo
+	funcsOf(pass.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if name != "Close" || decl.Recv == nil {
+			return
+		}
+		if closeUsesOnceOrCAS(info, body) {
+			return
+		}
+		// Pattern 1: plain bool flag assignment.
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			sel, ok := as.Lhs[0].(*ast.SelectorExpr)
+			if !ok || !isBoolField(info, sel) {
+				return true
+			}
+			if id, ok := as.Rhs[0].(*ast.Ident); !ok || id.Name != "true" {
+				return true
+			}
+			if lockedBefore(info, body, as.Pos()) {
+				return true
+			}
+			pass.Reportf(as.Pos(),
+				"Close sets %s without sync.Once, CompareAndSwap, or a lock-guarded check: two racing Closes both run the teardown",
+				exprString(sel))
+			return true
+		})
+		// Pattern 2: atomic Load-check then Store.
+		var loadChecked map[string]bool
+		ast.Inspect(body, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			if flag := atomicFlagCall(info, ifs.Cond, "Load"); flag != "" && terminates(ifs.Body.List) {
+				if loadChecked == nil {
+					loadChecked = map[string]bool{}
+				}
+				loadChecked[flag] = true
+			}
+			return true
+		})
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if flag := atomicFlagCall(info, call, "Store"); flag != "" && loadChecked[flag] {
+				pass.Reportf(call.Pos(),
+					"Close uses %s.Load() then %s.Store(true): racy check-then-store — use CompareAndSwap(false, true)",
+					flag, flag)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// closeUsesOnceOrCAS reports whether the body calls sync.Once.Do or
+// an atomic CompareAndSwap/Swap.
+func closeUsesOnceOrCAS(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(info, call)
+		if f == nil {
+			return true
+		}
+		switch f.Name() {
+		case "CompareAndSwap", "Swap":
+			if pkgOf(f) == "sync/atomic" {
+				found = true
+			}
+		case "Do":
+			if isMethodOn(f, "sync", "Do") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// atomicFlagCall matches `<expr>.<method>(...)` on a sync/atomic
+// value and returns the receiver's printed form, or "".
+func atomicFlagCall(info *types.Info, e ast.Expr, method string) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	f := calleeFunc(info, call)
+	if f == nil || f.Name() != method || pkgOf(f) != "sync/atomic" {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return exprString(sel.X)
+}
+
+// pkgOf returns the package path owning f's receiver type (or f
+// itself for plain functions).
+func pkgOf(f *types.Func) string {
+	if n := recvNamed(f); n != nil && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path()
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Path()
+	}
+	return ""
+}
+
+// isBoolField reports whether sel denotes a struct field of type
+// bool.
+func isBoolField(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	b, ok := s.Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// lockedBefore reports whether a sync mutex Lock/RLock call appears
+// in the body lexically before pos — the "checked and set under the
+// owner's lock" discipline. (Structural, not path-sensitive: the
+// lockdiscipline analyzer owns release correctness.)
+func lockedBefore(info *types.Info, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return !found
+		}
+		f := calleeFunc(info, call)
+		if f != nil && (isMethodOn(f, "sync", "Lock") || isMethodOn(f, "sync", "RLock")) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

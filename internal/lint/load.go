@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	GoFiles []string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPackage mirrors the subset of `go list -json` output the
+// loader consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") in dir via the go command and
+// type-checks every non-dependency package from source. Imports are
+// satisfied from the compiler export data `go list -export` leaves in
+// the build cache, so no network and no GOPATH layout is needed.
+// Test files are not analyzed: the invariants guard production code,
+// and the ctxpath exemption for tests falls out for free.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed)) // import path → export file
+	var targets []*listedPackage
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.DepOnly || lp.Standard || lp.Name == "" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		targets = append(targets, lp)
+	}
+	var pkgs []*Package
+	for _, lp := range targets {
+		files := make([]string, 0, len(lp.GoFiles)+len(lp.CgoFiles))
+		for _, f := range append(append([]string{}, lp.GoFiles...), lp.CgoFiles...) {
+			files = append(files, lp.Dir+string(os.PathSeparator)+f)
+		}
+		pkg, err := TypeCheck(lp.ImportPath, files, ExportLookup(exports))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -export -deps -json` and decodes the JSON
+// stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// ExportLookup adapts an import-path→export-file map to the lookup
+// function the gc importer wants.
+func ExportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// TypeCheck parses and type-checks one package from its source files,
+// resolving imports through lookup (normally ExportLookup over a
+// `go list -export` run).
+func TypeCheck(pkgPath string, files []string, lookup func(string) (io.ReadCloser, error)) (*Package, error) {
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		parsed = append(parsed, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var softErrs []error
+	conf := types.Config{
+		Importer:                 importer.ForCompiler(fset, "gc", lookup),
+		FakeImportC:              true,
+		DisableUnusedImportCheck: true,
+		Error: func(err error) {
+			softErrs = append(softErrs, err)
+		},
+	}
+	tpkg, err := conf.Check(pkgPath, fset, parsed, info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", pkgPath, err)
+	}
+	// Hard type errors make analysis unreliable; surface the first.
+	if len(softErrs) > 0 && strings.TrimSpace(softErrs[0].Error()) != "" && err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", pkgPath, softErrs[0])
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		GoFiles: files,
+		Fset:    fset,
+		Files:   parsed,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline enforces the two mutex rules the tracker/store races
+// kept violating:
+//
+//  1. a Lock must be released on every return path — either a
+//     `defer mu.Unlock()` right away or an explicit Unlock before each
+//     return;
+//  2. a held mutex must not span an operation that can block
+//     indefinitely: channel send/receive, select without default,
+//     sync.WaitGroup.Wait, or network/disk I/O. (sync.Cond.Wait is
+//     exempt — it requires the lock by contract. close() never
+//     blocks and is exempt too.)
+//
+// The analysis is structural, per function: it scans the statements
+// that follow each mu.Lock()/mu.RLock() until the matching release.
+// Goroutine bodies launched while the lock is held run on their own
+// stack and are not scanned.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "mutexes: release on every path, never hold across blocking ops\n\n" +
+		"Flags (a) return statements between mu.Lock() and its Unlock, and (b)\n" +
+		"channel operations, WaitGroup.Wait, selects without default, and\n" +
+		"net/os/io calls made while a sync.Mutex or RWMutex is held.",
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) error {
+	funcsOf(pass.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, st := range block.List {
+				lock, rlock := lockStmt(pass.TypesInfo, st)
+				if lock == "" {
+					continue
+				}
+				scan := &lockScan{pass: pass, lock: lock, rlock: rlock}
+				scan.stmts(block.List[i+1:])
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// lockStmt reports the receiver expression of a sync mutex Lock/RLock
+// call statement ("" otherwise).
+func lockStmt(info *types.Info, st ast.Stmt) (recv string, rlock bool) {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	f := calleeFunc(info, call)
+	if f == nil || !(isMethodOn(f, "sync", "Lock") || isMethodOn(f, "sync", "RLock")) {
+		return "", false
+	}
+	n := recvNamed(f)
+	if n.Obj().Name() != "Mutex" && n.Obj().Name() != "RWMutex" {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return exprString(sel.X), f.Name() == "RLock"
+}
+
+// lockScan walks the statements that follow one Lock call.
+type lockScan struct {
+	pass     *Pass
+	lock     string // exprString of the mutex receiver
+	rlock    bool
+	deferred bool // defer Unlock seen: returns are safe, lock held to func end
+	released bool // explicit Unlock hit on this path: stop scanning
+}
+
+func (s *lockScan) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		if s.released {
+			return
+		}
+		s.stmt(st)
+	}
+}
+
+func (s *lockScan) stmt(st ast.Stmt) {
+	switch x := st.(type) {
+	case *ast.ExprStmt:
+		if s.isUnlock(x.X) {
+			s.released = true
+			return
+		}
+		s.blocking(x.X)
+	case *ast.DeferStmt:
+		if s.isUnlock(x.Call) || s.literalUnlocks(x.Call) {
+			s.deferred = true
+			return
+		}
+	case *ast.ReturnStmt:
+		if !s.deferred {
+			s.pass.Reportf(x.Pos(), "return while %s is locked: unlock before returning or use defer %s.Unlock()", s.lock, s.lock)
+		}
+		for _, r := range x.Results {
+			s.blocking(r)
+		}
+		s.released = true
+	case *ast.SendStmt:
+		s.report(x.Pos(), "channel send")
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			s.blocking(r)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(x, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				s.blocking(e)
+				return false
+			}
+			return true
+		})
+	case *ast.IfStmt:
+		s.blocking(x.Cond)
+		body := s.branch(x.Body.List)
+		var elseRel bool
+		if x.Else != nil {
+			switch e := x.Else.(type) {
+			case *ast.BlockStmt:
+				elseRel = s.branch(e.List)
+			case *ast.IfStmt:
+				elseRel = s.branch([]ast.Stmt{e})
+			}
+		}
+		// A branch that unlocks and falls through leaves the
+		// straight-line state ambiguous; stop scanning rather than
+		// guess (conservative against false positives).
+		if body || elseRel {
+			s.released = true
+		}
+	case *ast.ForStmt:
+		if x.Cond != nil {
+			s.blocking(x.Cond)
+		}
+		if s.branch(x.Body.List) {
+			s.released = true
+		}
+	case *ast.RangeStmt:
+		if t, ok := s.pass.TypesInfo.Types[x.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				s.report(x.Pos(), "range over channel")
+			}
+		}
+		if s.branch(x.Body.List) {
+			s.released = true
+		}
+	case *ast.SwitchStmt:
+		if x.Tag != nil {
+			s.blocking(x.Tag)
+		}
+		rel := false
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				rel = s.branch(cc.Body) || rel
+			}
+		}
+		if rel {
+			s.released = true
+		}
+	case *ast.TypeSwitchStmt:
+		rel := false
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				rel = s.branch(cc.Body) || rel
+			}
+		}
+		if rel {
+			s.released = true
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			s.report(x.Pos(), "select without default")
+		}
+		rel := false
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				rel = s.branch(cc.Body) || rel
+			}
+		}
+		if rel {
+			s.released = true
+		}
+	case *ast.BlockStmt:
+		s.stmts(x.List)
+	case *ast.LabeledStmt:
+		s.stmt(x.Stmt)
+	case *ast.GoStmt:
+		// Spawning never blocks; the goroutine body runs on its own
+		// stack without this lock.
+	}
+}
+
+// branch scans a nested statement list with a copy of the state and
+// reports whether that branch released the lock without terminating
+// (so fall-through state is unknown).
+func (s *lockScan) branch(list []ast.Stmt) (releasedAndFellThrough bool) {
+	sub := *s
+	sub.stmts(list)
+	if sub.deferred {
+		s.deferred = true
+	}
+	return sub.released && !terminates(list)
+}
+
+// isUnlock matches `<lock>.Unlock()` / `<lock>.RUnlock()`.
+func (s *lockScan) isUnlock(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f := calleeFunc(s.pass.TypesInfo, call)
+	if f == nil || !(isMethodOn(f, "sync", "Unlock") || isMethodOn(f, "sync", "RUnlock")) {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && exprString(sel.X) == s.lock
+}
+
+// literalUnlocks matches `defer func() { ...; mu.Unlock(); ... }()`.
+func (s *lockScan) literalUnlocks(call *ast.CallExpr) bool {
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && s.isUnlock(c) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// blocking reports blocking operations inside an expression (channel
+// receives and known-blocking calls), skipping nested function
+// literals — they don't run here.
+func (s *lockScan) blocking(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				s.report(x.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			s.blockingCall(x)
+		}
+		return true
+	})
+}
+
+func (s *lockScan) blockingCall(call *ast.CallExpr) {
+	f := calleeFunc(s.pass.TypesInfo, call)
+	if f == nil {
+		return
+	}
+	if isMethodOn(f, "sync", "Wait") {
+		if n := recvNamed(f); n != nil && n.Obj().Name() == "WaitGroup" {
+			s.report(call.Pos(), "sync.WaitGroup.Wait")
+		}
+		return
+	}
+	if f.Pkg() != nil && f.Pkg().Path() == "io" {
+		switch f.Name() {
+		case "Copy", "CopyN", "ReadAll", "ReadFull":
+			s.report(call.Pos(), "io."+f.Name())
+		}
+		return
+	}
+	if n := recvNamed(f); n != nil && n.Obj().Pkg() != nil {
+		pkg := n.Obj().Pkg().Path()
+		if pkg == "net" || pkg == "os" {
+			switch f.Name() {
+			case "Read", "Write", "ReadAt", "WriteAt", "ReadFrom", "WriteTo", "Accept", "Sync":
+				s.report(call.Pos(), pkg+" I/O ("+n.Obj().Name()+"."+f.Name()+")")
+			}
+		}
+	}
+}
+
+func (s *lockScan) report(pos token.Pos, what string) {
+	s.pass.Reportf(pos, "%s while %s is held: a held mutex must not span a blocking operation", what, s.lock)
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MetricsAtomic guards the counter-field convention: fields that are
+// metrics (declared in a struct whose name ends in "Metrics", or
+// whose own comment contains the word "metric") are read by
+// monitoring endpoints off the hot path, so mutations must go through
+// sync/atomic types or happen with the owning mutex held. A plain
+// `m.Hits++` on shared state is a data race the moment anyone snapshots
+// the counters — the exact class -race kept catching in the
+// dispatcher.
+var MetricsAtomic = &Analyzer{
+	Name: "metricsatomic",
+	Doc: "metric counter fields must be mutated atomically or under their lock\n\n" +
+		"Flags ++/--/+=/-= on numeric fields of *Metrics structs (or fields whose\n" +
+		"comment marks them as metrics) when the field is reached through shared\n" +
+		"state and no mutex Lock appears earlier in the function. Fields of\n" +
+		"sync/atomic type can't be mutated this way and are inherently safe;\n" +
+		"function-local snapshot/aggregation structs are exempt.",
+	Run: runMetricsAtomic,
+}
+
+func runMetricsAtomic(pass *Pass) error {
+	metricFields := collectMetricFields(pass)
+	if len(metricFields) == 0 {
+		return nil
+	}
+	info := pass.TypesInfo
+	funcsOf(pass.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		check := func(sel *ast.SelectorExpr, pos token.Pos) {
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return
+			}
+			field, _ := s.Obj().(*types.Var)
+			if field == nil || !metricFields[field] {
+				return
+			}
+			if isFuncLocal(info, decl, sel) {
+				return
+			}
+			if lockedBefore(info, body, pos) {
+				return
+			}
+			pass.Reportf(pos,
+				"metric field %s mutated outside its owning lock/atomic: use an atomic type or hold the lock",
+				exprString(sel))
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.IncDecStmt:
+				if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+					check(sel, x.Pos())
+				}
+			case *ast.AssignStmt:
+				if x.Tok == token.ADD_ASSIGN || x.Tok == token.SUB_ASSIGN {
+					if sel, ok := ast.Unparen(x.Lhs[0]).(*ast.SelectorExpr); ok {
+						check(sel, x.Pos())
+					}
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// collectMetricFields gathers the *types.Var fields this package
+// declares that count as metrics: numeric, non-atomic, and either
+// living in a struct named ...Metrics or carrying a comment with the
+// word "metric" (which includes the explicit //shark:metric marker).
+func collectMetricFields(pass *Pass) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			structIsMetrics := strings.HasSuffix(ts.Name.Name, "Metrics")
+			for _, f := range st.Fields.List {
+				marked := structIsMetrics ||
+					commentMentionsMetric(f.Doc) || commentMentionsMetric(f.Comment)
+				if !marked {
+					continue
+				}
+				for _, name := range f.Names {
+					v, _ := pass.TypesInfo.Defs[name].(*types.Var)
+					if v == nil || !isPlainNumeric(v.Type()) {
+						continue
+					}
+					out[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func commentMentionsMetric(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.Contains(strings.ToLower(cg.Text()), "metric")
+}
+
+// isPlainNumeric reports whether t is a bare integer/float — atomic
+// wrappers (atomic.Int64 etc.) mutate through methods and can never
+// appear on the left of ++.
+func isPlainNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// isFuncLocal reports whether the selector's root is a variable
+// declared inside this function with a non-pointer type — a local
+// snapshot/aggregate no other goroutine can see.
+func isFuncLocal(info *types.Info, decl *ast.FuncDecl, sel *ast.SelectorExpr) bool {
+	root := rootIdent(sel.X)
+	if root == nil {
+		// Root is a call result or similar; assume shared.
+		return false
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		obj = info.Defs[root]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	// Declared within the function body (not a parameter or
+	// receiver)?
+	return decl.Body != nil && v.Pos() > decl.Body.Pos() && v.Pos() < decl.Body.End()
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"fmt"
+)
+
+// RunPackage runs the analyzers over one type-checked package,
+// applies //shark:lint-allow suppressions, and reports malformed or
+// unused allows. Diagnostics come back sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+	}
+	for i := range raw {
+		raw[i].position = pkg.Fset.Position(raw[i].Pos)
+	}
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, d := range raw {
+		if !suppressed(d, allows) {
+			out = append(out, d)
+		}
+	}
+	out = append(out, allowDiagnostics(pkg.Fset, allows)...)
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// Run loads patterns from dir and runs the analyzers over every
+// loaded package.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// AllowPrefix introduces a suppression comment:
+//
+//	//shark:lint-allow <analyzer> <reason>
+//
+// The comment silences diagnostics of exactly that analyzer on the
+// line it sits on — or, when the comment occupies its own line, on
+// the next line. The reason is mandatory, and an allow that silences
+// nothing is itself reported: stale suppressions must not outlive the
+// code they excused.
+const AllowPrefix = "//shark:lint-allow"
+
+// allow is one parsed suppression comment.
+type allow struct {
+	pos      token.Pos
+	file     string
+	line     int // line the comment sits on
+	ownLine  bool
+	analyzer string
+	reason   string
+	used     bool
+	bad      string // non-empty: malformed, message to report
+}
+
+// collectAllows parses every suppression comment in the files.
+func collectAllows(fset *token.FileSet, files []*ast.File) []*allow {
+	var out []*allow
+	lineCache := map[string][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				a := &allow{pos: c.Pos(), file: pos.Filename, line: pos.Line,
+					ownLine: standsAlone(lineCache, pos)}
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					// e.g. //shark:lint-allowance — not ours.
+					continue
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					a.bad = "malformed " + AllowPrefix + " comment: missing analyzer name and reason"
+				case len(fields) == 1:
+					a.bad = "malformed " + AllowPrefix + " comment: missing reason (want \"" + AllowPrefix + " <analyzer> <reason>\")"
+				default:
+					a.analyzer = fields[0]
+					a.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// standsAlone reports whether only whitespace precedes the comment on
+// its source line — such a comment covers the line below it, while a
+// trailing comment covers its own line only. Unreadable files fall
+// back to "trailing" (the conservative, narrower scope).
+func standsAlone(cache map[string][]string, pos token.Position) bool {
+	lines, ok := cache[pos.Filename]
+	if !ok {
+		src, err := os.ReadFile(pos.Filename)
+		if err == nil {
+			lines = strings.Split(string(src), "\n")
+		}
+		cache[pos.Filename] = lines
+	}
+	if pos.Line-1 >= len(lines) || pos.Column < 1 {
+		return false
+	}
+	line := lines[pos.Line-1]
+	if pos.Column-1 > len(line) {
+		return false
+	}
+	return strings.TrimSpace(line[:pos.Column-1]) == ""
+}
+
+// suppressed reports whether d is silenced by one of the allows,
+// marking the matching allow used.
+func suppressed(d Diagnostic, allows []*allow) bool {
+	hit := false
+	for _, a := range allows {
+		if a.bad != "" || a.analyzer != d.Analyzer || a.file != d.position.Filename {
+			continue
+		}
+		if a.line == d.position.Line || (a.ownLine && a.line+1 == d.position.Line) {
+			a.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// allowDiagnostics turns malformed and unused allows into findings of
+// the pseudo-analyzer "lint-allow".
+func allowDiagnostics(fset *token.FileSet, allows []*allow) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range allows {
+		switch {
+		case a.bad != "":
+			out = append(out, Diagnostic{Pos: a.pos, Analyzer: "lint-allow", Message: a.bad})
+		case !a.used:
+			out = append(out, Diagnostic{Pos: a.pos, Analyzer: "lint-allow",
+				Message: "unused " + AllowPrefix + " " + a.analyzer + " comment: it suppresses nothing — delete it"})
+		}
+	}
+	for i := range out {
+		out[i].position = fset.Position(out[i].Pos)
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"shark/internal/lint"
+	"shark/internal/lint/linttest"
+)
+
+// TestSuppression pins down the //shark:lint-allow contract on the
+// suppress fixture:
+//
+//   - a stand-alone allow silences exactly the next line, a trailing
+//     allow exactly its own line;
+//   - an allow silences exactly one diagnostic site — a second
+//     finding in the same function still fires;
+//   - an allow naming the wrong analyzer suppresses nothing and is
+//     reported as unused;
+//   - an allow with no reason is reported as malformed;
+//   - an allow that matches nothing is reported as unused.
+func TestSuppression(t *testing.T) {
+	_, diags := linttest.Diagnostics(t, lint.BoundedMake, fixture("suppress"))
+
+	byLine := map[int][]lint.Diagnostic{}
+	for _, d := range diags {
+		byLine[d.Position().Line] = append(byLine[d.Position().Line], d)
+	}
+	src := fixtureSource(t, "suppress", "suppress.go")
+
+	// The two allowed makes and the first make of silencesExactlyOne
+	// are silenced.
+	for _, marker := range []string{
+		"return make([]byte, n)\n", // allowedOwnLine
+		"x := make([]byte, n)",
+	} {
+		if line := lineOf(t, src, marker); len(byLine[line]) != 0 {
+			t.Errorf("line %d (%q) should be suppressed, got %v", line, strings.TrimSpace(marker), byLine[line])
+		}
+	}
+	if line := lineOf(t, src, "//shark:lint-allow boundedmake caller guarantees"); len(byLine[line+1]) != 0 {
+		t.Errorf("own-line allow did not cover the next line: %v", byLine[line+1])
+	}
+
+	// Exactly one diagnostic survives in silencesExactlyOne.
+	wantDiag(t, byLine, src, "y := make([]byte, n)", "boundedmake", "make sized by")
+
+	// wrongAnalyzer: the make still fires...
+	wantDiag(t, byLine, src, "//shark:lint-allow ctxpath not the analyzer", "boundedmake", "make sized by")
+	// ...and the mismatched allow is reported unused on its own line.
+	wantDiag(t, byLine, src, "//shark:lint-allow ctxpath not the analyzer", "lint-allow", "unused")
+
+	// unused allow reported.
+	wantDiag(t, byLine, src, "nothing to suppress on the next line", "lint-allow", "unused")
+
+	// missing reason reported as malformed.
+	wantDiag(t, byLine, src, "//shark:lint-allow boundedmake\n", "lint-allow", "missing reason")
+
+	// Nothing else fired.
+	var total int
+	for _, ds := range byLine {
+		total += len(ds)
+	}
+	if total != 5 {
+		t.Errorf("expected exactly 5 surviving diagnostics, got %d: %v", total, diags)
+	}
+}
+
+func fixtureSource(t *testing.T, dir, file string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(fixture(dir), file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// wantDiag asserts one diagnostic of the given analyzer whose message
+// contains msg, on the line where marker occurs (the allow-comment
+// markers locate the line the finding lands on or next to).
+func wantDiag(t *testing.T, byLine map[int][]lint.Diagnostic, src, marker, analyzer, msg string) {
+	t.Helper()
+	line := lineOf(t, src, marker)
+	// Allow-comment diagnostics land on the comment line; code
+	// diagnostics land where the code is. The wrongAnalyzer case has
+	// the make on the line after the comment. Search both.
+	for _, l := range []int{line, line + 1} {
+		for _, d := range byLine[l] {
+			if d.Analyzer == analyzer && strings.Contains(d.Message, msg) {
+				return
+			}
+		}
+	}
+	t.Errorf("expected %s diagnostic containing %q at/after line %d (%q)", analyzer, msg, line, strings.TrimSpace(marker))
+}
+
+func lineOf(t *testing.T, src, marker string) int {
+	t.Helper()
+	idx := strings.Index(src, marker)
+	if idx < 0 {
+		t.Fatalf("marker %q not found in fixture", marker)
+	}
+	return 1 + strings.Count(src[:idx], "\n")
+}

@@ -1,0 +1,106 @@
+// Fixture for the boundedmake analyzer: wire-decoded counts must be
+// bounded before sizing an allocation.
+package boundedmake
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// hostile is the true positive: n comes straight off the wire and
+// sizes an allocation with no bound check.
+func hostile(b []byte) ([]byte, error) {
+	n, hl := binary.Uvarint(b)
+	if hl <= 0 {
+		return nil, errors.New("short")
+	}
+	out := make([]byte, n) // want `make sized by "n", which comes from a wire decode`
+	copy(out, b[hl:])
+	return out, nil
+}
+
+// bounded is the near miss: the exact same shape, but the count is
+// checked against the remaining input before the make.
+func bounded(b []byte) ([]byte, error) {
+	n, hl := binary.Uvarint(b)
+	if hl <= 0 || n > uint64(len(b)-hl) {
+		return nil, errors.New("bad count")
+	}
+	out := make([]byte, n)
+	copy(out, b[hl:])
+	return out, nil
+}
+
+// boundedInBranch allocates inside the body of a small-enough check.
+func boundedInBranch(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	if n <= uint64(len(b)) {
+		return make([]byte, n)
+	}
+	return nil
+}
+
+// convTaint tracks the count through a conversion.
+func convTaint(b []byte) []int {
+	n, _ := binary.Uvarint(b)
+	m := int(n)
+	return make([]int, m) // want `make sized by "m", which comes from a wire decode`
+}
+
+// capGrow is the buffer-reuse shape: `cap(buf) < n` grows the buffer
+// but does NOT bound n — it must still be flagged.
+func capGrow(b []byte, buf []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	if cap(buf) < int(n) {
+		buf = make([]byte, n) // want `make sized by "n", which comes from a wire decode`
+	}
+	return buf[:n]
+}
+
+type dec struct{ b []byte }
+
+// uvarint is a local decoder helper; its results taint like the
+// stdlib ones.
+func (d *dec) uvarint() uint64 {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.b = nil
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) fields() []string {
+	n := d.uvarint()
+	out := make([]string, 0, n) // want `make sized by "n", which comes from a wire decode`
+	for i := uint64(0); i < n; i++ {
+		out = append(out, "")
+	}
+	return out
+}
+
+// fieldsBounded is the near miss for the helper path: every element
+// costs at least one byte, so the remaining-input check bounds n.
+func fieldsBounded(d *dec) []string {
+	n := d.uvarint()
+	if n > uint64(len(d.b)) {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, "")
+	}
+	return out
+}
+
+// mapCount covers the map form.
+func mapCount(b []byte) map[uint64]bool {
+	n, _ := binary.Uvarint(b)
+	return make(map[uint64]bool, n) // want `make sized by "n", which comes from a wire decode`
+}
+
+// unrelated makes never fire.
+func unrelated(k int) []byte {
+	return make([]byte, k)
+}

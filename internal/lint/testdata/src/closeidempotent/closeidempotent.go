@@ -1,0 +1,96 @@
+// Fixture for the closeidempotent analyzer: Close must latch its
+// closed flag exactly once.
+package closeidempotent
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Plain is the true positive: two racing Closes both see closed ==
+// false and run the teardown twice.
+type Plain struct {
+	closed bool
+	res    chan int
+}
+
+func (p *Plain) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true // want `Close sets p.closed without sync.Once, CompareAndSwap, or a lock-guarded check`
+	close(p.res)
+	return nil
+}
+
+// Locked is the near miss: check and set under the owning mutex.
+type Locked struct {
+	mu     sync.Mutex
+	closed bool
+	res    chan int
+}
+
+func (l *Locked) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	close(l.res)
+	return nil
+}
+
+// CAS latches with CompareAndSwap — the serving-layer convention.
+type CAS struct {
+	closed atomic.Bool
+	res    chan int
+}
+
+func (c *CAS) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(c.res)
+	return nil
+}
+
+// Racy is the atomic true positive: Load-check then Store is a
+// TOCTOU race.
+type Racy struct {
+	closed atomic.Bool
+	res    chan int
+}
+
+func (r *Racy) Close() error {
+	if r.closed.Load() {
+		return nil
+	}
+	r.closed.Store(true) // want `racy check-then-store`
+	close(r.res)
+	return nil
+}
+
+// OnceClose latches through sync.Once.
+type OnceClose struct {
+	once   sync.Once
+	closed bool
+	res    chan int
+}
+
+func (o *OnceClose) Close() error {
+	o.once.Do(func() {
+		o.closed = true
+		close(o.res)
+	})
+	return nil
+}
+
+// NotClose: the flag rules apply to Close methods only.
+type NotClose struct {
+	done bool
+}
+
+func (n *NotClose) Finish() {
+	n.done = true
+}

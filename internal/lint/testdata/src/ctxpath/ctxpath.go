@@ -1,0 +1,48 @@
+// Fixture for the ctxpath analyzer: library code must use the ...Ctx
+// variant of an operation when one exists.
+package ctxpath
+
+import "context"
+
+type Runner struct{}
+
+// Run is the context-free wrapper — its own delegation to RunCtx is
+// exempt.
+func (r *Runner) Run() error { return r.RunCtx(context.Background()) }
+
+// RunCtx is the cancellable variant.
+func (r *Runner) RunCtx(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// Other has no Ctx sibling and is never flagged.
+func (r *Runner) Other() error { return nil }
+
+// libraryPath is the true positive: calling the context-free variant
+// from library code detaches the work from cancellation.
+func libraryPath(r *Runner) error {
+	return r.Run() // want `call to Run bypasses cancellation: use RunCtx`
+}
+
+// okCtx is the near miss: same operation through the Ctx variant.
+func okCtx(ctx context.Context, r *Runner) error {
+	return r.RunCtx(ctx)
+}
+
+// okNoSibling is the other near miss: no Ctx sibling exists.
+func okNoSibling(r *Runner) error {
+	return r.Other()
+}
+
+// Load / LoadCtx cover the package-function form.
+func Load() error { return LoadCtx(context.Background()) }
+
+func LoadCtx(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+func callsLoad() error {
+	return Load() // want `call to Load bypasses cancellation: use LoadCtx`
+}

@@ -1,0 +1,11 @@
+package ctxpath
+
+// Test files may use the context-free conveniences freely: no
+// diagnostics expected anywhere in this file.
+
+func helperForTests(r *Runner) error {
+	if err := r.Run(); err != nil {
+		return err
+	}
+	return Load()
+}

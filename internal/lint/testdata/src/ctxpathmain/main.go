@@ -1,0 +1,15 @@
+// Fixture: package main owns the process lifetime, so the
+// context-free variants are the honest entry points — no diagnostics.
+package main
+
+import "context"
+
+type Runner struct{}
+
+func (r *Runner) Run() error                       { return r.RunCtx(context.Background()) }
+func (r *Runner) RunCtx(ctx context.Context) error { _ = ctx; return nil }
+
+func main() {
+	r := &Runner{}
+	_ = r.Run()
+}

@@ -1,0 +1,127 @@
+// Fixture for the lockdiscipline analyzer: every Lock released on
+// every path, and no blocking operation under a held mutex.
+package lockdiscipline
+
+import "sync"
+
+type S struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	ch   chan int
+	wg   sync.WaitGroup
+	v    int
+}
+
+// missingUnlock is the true positive for rule 1: the early return
+// leaks the lock.
+func (s *S) missingUnlock(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		return s.v // want `return while s.mu is locked`
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// deferOK is the near miss: defer releases on every path.
+func (s *S) deferOK(cond bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cond {
+		return s.v
+	}
+	return 0
+}
+
+// branchOK releases explicitly on each path.
+func (s *S) branchOK(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return 0
+	}
+	v := s.v
+	s.mu.Unlock()
+	return v
+}
+
+// sendHeld is the true positive for rule 2: a send can block forever
+// with the lock held.
+func (s *S) sendHeld() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while s.mu is held`
+	s.mu.Unlock()
+}
+
+// recvHeld blocks on receive under a defer-held lock.
+func (s *S) recvHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while s.mu is held`
+}
+
+// waitHeld parks on a WaitGroup with the lock held.
+func (s *S) waitHeld() {
+	s.mu.Lock()
+	s.wg.Wait() // want `sync.WaitGroup.Wait while s.mu is held`
+	s.mu.Unlock()
+}
+
+// selectHeld blocks in a default-less select.
+func (s *S) selectHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while s.mu is held`
+	case v := <-s.ch:
+		s.v = v
+	}
+}
+
+// sendAfterUnlock is the near miss: the send happens after release.
+func (s *S) sendAfterUnlock() {
+	s.mu.Lock()
+	v := s.v
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// condWaitOK: sync.Cond.Wait requires the lock by contract — exempt.
+func (s *S) condWaitOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.v == 0 {
+		s.cond.Wait()
+	}
+}
+
+// nonBlockingOK: select with default and close() never block.
+func (s *S) nonBlockingOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+	close(s.ch)
+}
+
+// goroutineOK: the spawned body runs on its own stack — spawning is
+// not blocking.
+func (s *S) goroutineOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}
+
+// rlockHeld covers RWMutex read locks too.
+func (s *S) rlockHeld(cond bool) int {
+	s.rw.RLock()
+	if cond {
+		return s.v // want `return while s.rw is locked`
+	}
+	s.rw.RUnlock()
+	return 0
+}

@@ -1,0 +1,68 @@
+// Fixture for the metricsatomic analyzer: metric counters mutate
+// atomically or under their owning lock.
+package metricsatomic
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ServerMetrics fields count as metrics by the struct-name rule.
+type ServerMetrics struct {
+	Hits   int64
+	Misses int64
+}
+
+type counters struct {
+	// requests is a metric counter scraped by the stats endpoint.
+	requests int64
+	// cursor tracks iteration state, not monitoring.
+	cursor int
+}
+
+type Owner struct {
+	mu sync.Mutex
+	m  ServerMetrics
+	c  counters
+	a  atomic.Int64
+}
+
+// bad is the true positive: a shared metric counter bumped with no
+// lock and no atomic.
+func (o *Owner) bad() {
+	o.m.Hits++ // want `metric field o.m.Hits mutated outside its owning lock/atomic`
+}
+
+func (o *Owner) badAdd(n int64) {
+	o.c.requests += n // want `metric field o.c.requests mutated outside its owning lock/atomic`
+}
+
+// lockedOK is the near miss: same mutation with the owning lock held.
+func (o *Owner) lockedOK() {
+	o.mu.Lock()
+	o.m.Misses++
+	o.mu.Unlock()
+}
+
+// atomicOK: atomic fields mutate through methods — inherently fine.
+func (o *Owner) atomicOK() {
+	o.a.Add(1)
+}
+
+// unmarkedOK: cursor's comment doesn't mark it as a metric.
+func (o *Owner) unmarkedOK() {
+	o.c.cursor++
+}
+
+// snapshotOK aggregates into a function-local value — invisible to
+// other goroutines, exempt.
+func snapshotOK(list []*Owner) ServerMetrics {
+	var agg ServerMetrics
+	for _, o := range list {
+		o.mu.Lock()
+		agg.Hits += o.m.Hits
+		agg.Misses += o.m.Misses
+		o.mu.Unlock()
+	}
+	return agg
+}

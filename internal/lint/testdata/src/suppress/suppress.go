@@ -1,0 +1,47 @@
+// Fixture for the //shark:lint-allow suppression mechanism, asserted
+// programmatically by suppress_test.go (want-comments can't describe
+// allow comments — the marker would swallow them).
+package suppress
+
+import "encoding/binary"
+
+// allowedOwnLine: a stand-alone allow covers the next line.
+func allowedOwnLine(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	//shark:lint-allow boundedmake caller guarantees a trusted, length-checked buffer
+	return make([]byte, n)
+}
+
+// allowedTrailing: a trailing allow covers its own line.
+func allowedTrailing(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	return make([]byte, n) //shark:lint-allow boundedmake caller guarantees a trusted, length-checked buffer
+}
+
+// silencesExactlyOne: the allow covers only the line it precedes; the
+// second make must still be reported.
+func silencesExactlyOne(b []byte) ([]byte, []byte) {
+	n, _ := binary.Uvarint(b)
+	//shark:lint-allow boundedmake first allocation is from a trusted header
+	x := make([]byte, n)
+	y := make([]byte, n) // still diagnosed
+	return x, y
+}
+
+// wrongAnalyzer: an allow for a different analyzer suppresses
+// nothing here — the make is reported AND the allow is unused.
+func wrongAnalyzer(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	//shark:lint-allow ctxpath not the analyzer that fires here
+	return make([]byte, n)
+}
+
+// unused: this allow silences nothing and must itself be reported.
+//
+//shark:lint-allow boundedmake nothing to suppress on the next line
+func unused() {}
+
+// missingReason: reason is mandatory.
+//
+//shark:lint-allow boundedmake
+func missingReason() {}

@@ -7,6 +7,7 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -138,6 +139,13 @@ func logisticGradient(grad, w Vector, p LabeledPoint) {
 // partials — exactly the §4.1 pipeline. Cache the input RDD to get
 // Shark's in-memory iteration speed.
 func LogisticRegression(points *rdd.RDD, dim, iters int, lr float64, timer *IterTimer) (Vector, error) {
+	return LogisticRegressionCtx(context.Background(), points, dim, iters, lr, timer)
+}
+
+// LogisticRegressionCtx is LogisticRegression under a caller context:
+// cancellation aborts the current per-iteration job between (or mid)
+// partitions.
+func LogisticRegressionCtx(ctx context.Context, points *rdd.RDD, dim, iters int, lr float64, timer *IterTimer) (Vector, error) {
 	w := InitWeights(dim, 42)
 	for it := 0; it < iters; it++ {
 		step := func() error {
@@ -152,7 +160,7 @@ func LogisticRegression(points *rdd.RDD, dim, iters int, lr float64, timer *Iter
 					logisticGradient(grad, wCur, v.(LabeledPoint))
 				}
 				return rdd.SliceIter([]any{grad})
-			}).Collect()
+			}).CollectCtx(ctx)
 			if err != nil {
 				return err
 			}
@@ -179,7 +187,12 @@ func LogisticRegression(points *rdd.RDD, dim, iters int, lr float64, timer *Iter
 // KMeans clusters an RDD of Vector into k clusters with Lloyd
 // iterations; initial centers are the first k points.
 func KMeans(points *rdd.RDD, k, iters int, timer *IterTimer) ([]Vector, error) {
-	seed, err := points.Take(k)
+	return KMeansCtx(context.Background(), points, k, iters, timer)
+}
+
+// KMeansCtx is KMeans under a caller context.
+func KMeansCtx(ctx context.Context, points *rdd.RDD, k, iters int, timer *IterTimer) ([]Vector, error) {
+	seed, err := points.TakeCtx(ctx, k)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +222,7 @@ func KMeans(points *rdd.RDD, k, iters int, timer *IterTimer) ([]Vector, error) {
 					counts[c]++
 				}
 				return rdd.SliceIter([]any{kmeansPartial{sums: sums, counts: counts}})
-			}).Collect()
+			}).CollectCtx(ctx)
 			if err != nil {
 				return err
 			}
@@ -268,8 +281,13 @@ func NearestCenter(x Vector, centers []Vector) int {
 // LinearRegression fits w minimizing Σ(w·x − y)² by gradient descent
 // over an RDD of LabeledPoint.
 func LinearRegression(points *rdd.RDD, dim, iters int, lr float64, timer *IterTimer) (Vector, error) {
+	return LinearRegressionCtx(context.Background(), points, dim, iters, lr, timer)
+}
+
+// LinearRegressionCtx is LinearRegression under a caller context.
+func LinearRegressionCtx(ctx context.Context, points *rdd.RDD, dim, iters int, lr float64, timer *IterTimer) (Vector, error) {
 	w := InitWeights(dim, 7)
-	n, err := points.Count()
+	n, err := points.CountCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +308,7 @@ func LinearRegression(points *rdd.RDD, dim, iters int, lr float64, timer *IterTi
 					grad.AddScaled(p.X, 2*(wCur.Dot(p.X)-p.Y))
 				}
 				return rdd.SliceIter([]any{grad})
-			}).Collect()
+			}).CollectCtx(ctx)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,8 @@
 package ml
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -316,5 +318,29 @@ func TestMLSurvivesWorkerFailure(t *testing.T) {
 	}
 	if acc := accuracy(w, pts); acc < 0.85 {
 		t.Errorf("post-failure accuracy = %.3f", acc)
+	}
+}
+
+// A cancelled context must abort training instead of running every
+// iteration's job to completion — the cancellation path the Ctx
+// variants exist for.
+func TestTrainingHonorsCancelledContext(t *testing.T) {
+	ctx := newCtx(t)
+	pts, _ := separablePoints(500, 5, 11)
+	data := make([]any, len(pts))
+	for i, p := range pts {
+		data[i] = p
+	}
+	rddPts := ctx.Parallelize(data, 8)
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := LogisticRegressionCtx(cctx, rddPts, 5, 10, 0.001, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("LogisticRegressionCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := KMeansCtx(cctx, rddPts, 2, 3, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("KMeansCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := LinearRegressionCtx(cctx, rddPts, 5, 3, 0.001, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("LinearRegressionCtx err = %v, want context.Canceled", err)
 	}
 }

@@ -406,7 +406,13 @@ func (r *RDD) CountCtx(gctx context.Context) (int64, error) {
 // Reduce folds all elements with f (which must be associative and
 // commutative). Returns an error when the RDD is empty.
 func (r *RDD) Reduce(f func(a, b any) any) (any, error) {
-	res, err := r.ctx.sched.RunJob(r, nil, func(tc *TaskContext, part int, it Iter) (any, error) {
+	return r.ReduceCtx(context.Background(), f)
+}
+
+// ReduceCtx is Reduce under a context: cancellation aborts the fold's
+// job.
+func (r *RDD) ReduceCtx(gctx context.Context, f func(a, b any) any) (any, error) {
+	res, err := r.ctx.sched.RunJobCtx(gctx, r, nil, func(tc *TaskContext, part int, it Iter) (any, error) {
 		var acc any
 		has := false
 		for {
@@ -473,7 +479,12 @@ func (r *RDD) TakeCtx(gctx context.Context, n int) ([]any, error) {
 // Foreach runs f over every element for its side effects (within
 // tasks; f must be thread-safe).
 func (r *RDD) Foreach(f func(any)) error {
-	_, err := r.ctx.sched.RunJob(r, nil, func(tc *TaskContext, part int, it Iter) (any, error) {
+	return r.ForeachCtx(context.Background(), f)
+}
+
+// ForeachCtx is Foreach under a context.
+func (r *RDD) ForeachCtx(gctx context.Context, f func(any)) error {
+	_, err := r.ctx.sched.RunJobCtx(gctx, r, nil, func(tc *TaskContext, part int, it Iter) (any, error) {
 		for {
 			v, ok := it.Next()
 			if !ok {
@@ -488,7 +499,12 @@ func (r *RDD) Foreach(f func(any)) error {
 // SortedCollect collects all elements and sorts them with less — used
 // for deterministic assertions in tests.
 func (r *RDD) SortedCollect(less func(a, b any) bool) ([]any, error) {
-	out, err := r.Collect()
+	return r.SortedCollectCtx(context.Background(), less)
+}
+
+// SortedCollectCtx is SortedCollect under a context.
+func (r *RDD) SortedCollectCtx(gctx context.Context, less func(a, b any) bool) ([]any, error) {
+	out, err := r.CollectCtx(gctx)
 	if err != nil {
 		return nil, err
 	}

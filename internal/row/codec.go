@@ -21,6 +21,13 @@ import (
 
 const textSep = '|'
 
+// MaxBinaryRowBytes caps one binary-encoded row when decoding from a
+// stream, where no remaining-bytes bound exists. Rows travel inside
+// 16MB wire frames and DFS blocks, so 64MB is far above any row the
+// engine can produce while still bounding what a corrupt length
+// prefix can allocate.
+const MaxBinaryRowBytes = 64 << 20
+
 // textNull is Hive's NULL sentinel. It is emitted unescaped, so it is
 // distinguishable from a literal "\N" string (which escapes to `\\N`).
 const textNull = `\N`
@@ -329,6 +336,12 @@ func (b *BinaryReader) Next() (Row, error) {
 	n, err := binary.ReadUvarint(b.r)
 	if err != nil {
 		return nil, err
+	}
+	// Streams have no "remaining bytes" to bound against, so a hard
+	// ceiling stands in: a corrupt or hostile length prefix must cost
+	// a parse error, never a multi-gigabyte allocation.
+	if n > MaxBinaryRowBytes {
+		return nil, fmt.Errorf("row: binary row length %d exceeds limit %d", n, int64(MaxBinaryRowBytes))
 	}
 	if cap(b.buf) < int(n) {
 		b.buf = make([]byte, n)

@@ -1,0 +1,49 @@
+package row
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// A corrupt or hostile row-length prefix on a stream must produce a
+// parse error, not a giant allocation: streams have no remaining-bytes
+// bound, so the MaxBinaryRowBytes ceiling is the only defense.
+func TestBinaryReaderHostileLength(t *testing.T) {
+	hostile := binary.AppendUvarint(nil, 1<<40)
+	r := NewBinaryReader(bytes.NewReader(hostile))
+	_, err := r.Next()
+	if err == nil {
+		t.Fatal("hostile length prefix decoded without error")
+	}
+	if !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("err = %v, want the length-limit error", err)
+	}
+}
+
+// A length at the ceiling on a truncated stream still fails on the
+// read, never on the allocation; a length just under real data works.
+func TestBinaryReaderLengthWithinLimit(t *testing.T) {
+	var buf []byte
+	buf = EncodeBinary(buf, Row{int64(7), "ok"})
+	r := NewBinaryReader(bytes.NewReader(buf))
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].(int64) != 7 || got[1].(string) != "ok" {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+// The in-memory decoder bounds the field count by the remaining bytes
+// before allocating the row.
+func TestDecodeBinaryHostileFieldCount(t *testing.T) {
+	body := binary.AppendUvarint(nil, 1<<40) // field count far beyond the payload
+	buf := binary.AppendUvarint(nil, uint64(len(body)))
+	buf = append(buf, body...)
+	if _, _, err := DecodeBinary(buf); err == nil {
+		t.Fatal("hostile field count decoded without error")
+	}
+}

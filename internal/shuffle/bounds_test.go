@@ -1,0 +1,36 @@
+package shuffle
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"shark/internal/row"
+)
+
+// A spill block whose element count exceeds the remaining payload must
+// fail fast instead of reserving capacity for the claimed count.
+func TestDecodeSpillHostileCount(t *testing.T) {
+	for _, kind := range []byte{spillPairs, spillSlice} {
+		data := append([]byte{kind}, binary.AppendUvarint(nil, 1<<40)...)
+		if _, err := (sparkSpillCodec{}).DecodeSpill(data); err == nil {
+			t.Fatalf("kind %q: hostile element count decoded without error", kind)
+		}
+	}
+}
+
+// A disk-shuffle row stream with a hostile length prefix errors at the
+// bound check, not at a multi-gigabyte allocation.
+func TestReadOneRowHostileLength(t *testing.T) {
+	hostile := binary.AppendUvarint(nil, uint64(row.MaxBinaryRowBytes)+1)
+	br := bufio.NewReader(bytes.NewReader(hostile))
+	_, err := readOneRow(br)
+	if err == nil {
+		t.Fatal("hostile row length decoded without error")
+	}
+	if !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("err = %v, want the length-limit error", err)
+	}
+}

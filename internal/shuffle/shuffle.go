@@ -290,6 +290,11 @@ func readOneRow(br *bufio.Reader) (row.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Shuffle streams cross the (simulated) network: bound the row
+	// length before allocating, same rule as row.BinaryReader.
+	if n > row.MaxBinaryRowBytes {
+		return nil, fmt.Errorf("shuffle: row length %d exceeds limit %d", n, int64(row.MaxBinaryRowBytes))
+	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(br, buf); err != nil {
 		return nil, err

@@ -87,6 +87,13 @@ func (sparkSpillCodec) DecodeSpill(data []byte) (out any, err error) {
 		return nil, io.ErrUnexpectedEOF
 	}
 	data = data[hl:]
+	// Every element costs at least one encoded byte, so the element
+	// count can never exceed the remaining payload: bound it before
+	// the capacity reservations below, the same hostile-count rule
+	// the wire codec follows.
+	if n > uint64(len(data)) {
+		return nil, io.ErrUnexpectedEOF
+	}
 	next := func() (row.Row, error) {
 		r, used, err := row.DecodeBinary(data)
 		if err != nil {

@@ -4,6 +4,8 @@
 package ml
 
 import (
+	"context"
+
 	"shark/internal/ml"
 	"shark/internal/rdd"
 )
@@ -33,15 +35,31 @@ func LogisticRegression(points *rdd.RDD, dim, iters int, lr float64, timer *Iter
 	return ml.LogisticRegression(points, dim, iters, lr, timer)
 }
 
+// LogisticRegressionCtx is LogisticRegression under a caller context:
+// cancellation aborts the in-flight iteration's job.
+func LogisticRegressionCtx(ctx context.Context, points *rdd.RDD, dim, iters int, lr float64, timer *IterTimer) (Vector, error) {
+	return ml.LogisticRegressionCtx(ctx, points, dim, iters, lr, timer)
+}
+
 // KMeans clusters an RDD of Vector with Lloyd iterations.
 func KMeans(points *rdd.RDD, k, iters int, timer *IterTimer) ([]Vector, error) {
 	return ml.KMeans(points, k, iters, timer)
+}
+
+// KMeansCtx is KMeans under a caller context.
+func KMeansCtx(ctx context.Context, points *rdd.RDD, k, iters int, timer *IterTimer) ([]Vector, error) {
+	return ml.KMeansCtx(ctx, points, k, iters, timer)
 }
 
 // LinearRegression fits least squares by gradient descent over an RDD
 // of LabeledPoint.
 func LinearRegression(points *rdd.RDD, dim, iters int, lr float64, timer *IterTimer) (Vector, error) {
 	return ml.LinearRegression(points, dim, iters, lr, timer)
+}
+
+// LinearRegressionCtx is LinearRegression under a caller context.
+func LinearRegressionCtx(ctx context.Context, points *rdd.RDD, dim, iters int, lr float64, timer *IterTimer) (Vector, error) {
+	return ml.LinearRegressionCtx(ctx, points, dim, iters, lr, timer)
 }
 
 // NearestCenter returns the closest center index to x.
