@@ -36,16 +36,19 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # Harness smoke: the dispatcher, memory-pressure, tiered-storage,
-# multi-tenant concurrency, weighted-priority, adaptive-execution and
-# network-serving ablations at CI scale, with a Markdown report plus a
-# JSON trajectory point (renamed BENCH_<sha>.json by CI) for the
-# artifact trail — the non-gating perf check comparing the spill-read
-# path against lineage recomputation, asserting the weighted p95
-# ordering, requiring the adaptive skewed join to beat the static
-# plan, and recording serving QPS/p95 for 100 concurrent driver
-# connections against an in-process shark-server.
+# multi-tenant concurrency, weighted-priority, adaptive-execution,
+# network-serving and observability ablations at CI scale, with a
+# Markdown report plus a JSON trajectory point (renamed
+# BENCH_<sha>.json by CI) for the artifact trail — the non-gating perf
+# check comparing the spill-read path against lineage recomputation,
+# asserting the weighted p95 ordering, requiring the adaptive skewed
+# join to beat the static plan, recording serving QPS/p95 for 100
+# concurrent driver connections against an in-process shark-server,
+# and gating statement-tracing overhead at p95 +5%. With
+# SHARK_OBS_ARTIFACT_DIR set, a live /metrics scrape, the /queries
+# trace log and an EXPLAIN ANALYZE plan land there for upload.
 bench-smoke:
-	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory,abl_storage,abl_concurrency,abl_priority,abl_pde,abl_serving -scale small -markdown bench-report.md -json bench-trajectory.json
+	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory,abl_storage,abl_concurrency,abl_priority,abl_pde,abl_serving,abl_obs -scale small -markdown bench-report.md -json bench-trajectory.json
 
 # Perf gate: compare the newest BENCH_<sha>.json against the previous
 # trajectory point and fail on >25% regressions of recorded experiment

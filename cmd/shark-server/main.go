@@ -6,11 +6,18 @@
 //
 //	shark-server -addr :7433 -workers 8
 //	shark-server -addr :7433 -token secret -max-conns 500 -demo
+//	shark-server -addr :7433 -obs-addr :7434 -slow-query 250ms
 //
 // One connection maps to one cluster session; disconnecting a client
 // cancels its in-flight statements cluster-wide. SIGTERM/SIGINT
 // drains gracefully: stop accepting, cancel in-flight jobs, close
 // sessions, then the cluster.
+//
+// -obs-addr serves the observability sidecar on a second listener,
+// kept off the client-facing wire port: /metrics (Prometheus text),
+// /queries (recent statement traces, newest first; -slow-query sets
+// the admission threshold and -query-log the ring size) and
+// /debug/pprof/*.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +47,9 @@ func main() {
 	maxConns := flag.Int("max-conns", 0, "connection limit (0 = unlimited)")
 	demo := flag.Bool("demo", false, "preload demo tables into the shared catalog")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /queries and /debug/pprof on this sidecar address")
+	slowQuery := flag.Duration("slow-query", 0, "record statements at least this slow in /queries (0 = all)")
+	queryLog := flag.Int("query-log", 0, "statements kept in the /queries ring (0 = default 64)")
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
@@ -48,13 +59,24 @@ func main() {
 			WorkerMemoryBytes: *memory,
 			WorkerDiskBytes:   *disk,
 		},
-		Token:    *token,
-		MaxConns: *maxConns,
-		Logf:     log.Printf,
+		Token:              *token,
+		MaxConns:           *maxConns,
+		SlowQueryThreshold: *slowQuery,
+		QueryLogSize:       *queryLog,
+		Logf:               log.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *obsAddr != "" {
+		go func() {
+			log.Printf("observability sidecar on %s (/metrics, /queries, /debug/pprof)", *obsAddr)
+			if err := http.ListenAndServe(*obsAddr, srv.ObsHandler()); err != nil {
+				log.Printf("obs sidecar: %v", err)
+			}
+		}()
 	}
 
 	if *demo {

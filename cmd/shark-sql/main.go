@@ -14,6 +14,11 @@
 // The -demo flag loads two Pavlo-benchmark tables (rankings,
 // uservisits) and caches them in the memstore as rankings_mem and
 // uservisits_mem.
+//
+// Prefix any SELECT with EXPLAIN to print its plan, or with EXPLAIN
+// ANALYZE to execute it and print the plan annotated with measured
+// per-operator wall time, row counts and the adaptive-execution
+// decisions taken (docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -94,7 +99,7 @@ func main() {
 	in.Buffer(make([]byte, 1<<16), 1<<20)
 	interactive := isTerminal()
 	if interactive {
-		fmt.Println("shark-sql — enter SQL statements, 'exit' to quit")
+		fmt.Println("shark-sql — enter SQL statements, 'exit' to quit; EXPLAIN ANALYZE <select> shows a measured plan")
 	}
 	var pending strings.Builder
 	for {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -278,5 +279,63 @@ func TestDriverCtxCancelMidExec(t *testing.T) {
 	}
 	if n != 20000 {
 		t.Errorf("post-cancel count = %d", n)
+	}
+}
+
+// TestDriverExplainAnalyze runs EXPLAIN ANALYZE through the
+// database/sql driver: the measured plan arrives as ordinary rows of
+// one "plan" column, annotated with wall times and row counts, and
+// the statement actually executed (the trace lands in the server's
+// query log with task attribution).
+func TestDriverExplainAnalyze(t *testing.T) {
+	srv, addr := startServer(t, server.Config{}, 4000)
+	db, err := sql.Open("shark", addr+"?catalog=shared&session=ea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	rows, err := db.Query(`EXPLAIN ANALYZE SELECT url, COUNT(*) FROM logs_mem WHERE status = 200 GROUP BY url`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 1 || cols[0] != "plan" {
+		t.Fatalf("columns = %v, want [plan]", cols)
+	}
+	var plan []string
+	for rows.Next() {
+		var line string
+		if err := rows.Scan(&line); err != nil {
+			t.Fatal(err)
+		}
+		plan = append(plan, line)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Join(plan, "\n")
+	for _, want := range []string{"Aggregate", "Scan", "wall=", "rows=", "-- statement:", "-- attributed:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("driver EXPLAIN ANALYZE missing %q:\n%s", want, text)
+		}
+	}
+
+	// The statement executed for real: its trace is in the query log
+	// with cluster tasks attributed.
+	snaps := srv.QueryLog().Snapshot()
+	if len(snaps) == 0 {
+		t.Fatal("query log empty after EXPLAIN ANALYZE")
+	}
+	tr := snaps[0]
+	if !strings.Contains(tr.SQL, "EXPLAIN ANALYZE") {
+		t.Errorf("latest trace SQL = %q", tr.SQL)
+	}
+	if tr.Tasks == 0 {
+		t.Errorf("EXPLAIN ANALYZE trace attributed no tasks")
 	}
 }

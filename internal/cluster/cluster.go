@@ -432,6 +432,10 @@ func (c *Cluster) TasksLaunched() int64 { return c.tasksLaunched.Load() }
 // Metrics returns the dispatcher counters.
 func (c *Cluster) Metrics() *DispatchMetrics { return &c.metrics }
 
+// Backlog returns the tasks currently queued or pending (not yet
+// running) — the dispatcher's instantaneous queue depth.
+func (c *Cluster) Backlog() int64 { return c.backlog.Load() }
+
 // WorkerMemoryBytes returns the per-worker block-store capacity
 // (0 = unbounded).
 func (c *Cluster) WorkerMemoryBytes() int64 { return c.cfg.WorkerMemoryBytes }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"shark/internal/exec"
+)
+
+// extractDur pulls the duration following marker out of a summary line
+// ("-- statement: wall=12.3ms rows=97" → 12.3ms for marker "wall=").
+func extractDur(t *testing.T, line, marker string) time.Duration {
+	t.Helper()
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("line %q missing %q", line, marker)
+	}
+	rest := line[i+len(marker):]
+	if j := strings.IndexAny(rest, " )"); j >= 0 {
+		rest = rest[:j]
+	}
+	d, err := time.ParseDuration(rest)
+	if err != nil {
+		t.Fatalf("bad duration in %q: %v", line, err)
+	}
+	return d
+}
+
+// TestExplainAnalyzeSkewedJoin runs EXPLAIN ANALYZE over the skewed
+// join workload and checks the contract the feature promises: an
+// annotated plan tree whose per-node wall times sum to within 10% of
+// the measured statement wall time, per-node row counts, and the PDE
+// decisions (skew split, adaptive coalesce) taken at run time.
+func TestExplainAnalyzeSkewedJoin(t *testing.T) {
+	e := newEnv(t, exec.Options{BroadcastThreshold: 1024, TargetPerReducerBytes: 8 << 10})
+	defer e.s.Close()
+	e.writeDFS(t, "fact", factSchema, genSkewedFact(8000))
+	e.writeDFS(t, "dim", dimSchema, genDim())
+
+	res := e.mustExec(t, `EXPLAIN ANALYZE SELECT dim.grp, COUNT(*), SUM(fact.val)
+		FROM fact JOIN dim ON fact.k = dim.k GROUP BY dim.grp`)
+	if len(res.Schema) != 1 || res.Schema[0].Name != "plan" {
+		t.Fatalf("schema = %v, want single plan column", res.Schema)
+	}
+	var lines []string
+	for _, r := range res.Rows {
+		lines = append(lines, r[0].(string))
+	}
+	text := strings.Join(lines, "\n")
+	t.Logf("EXPLAIN ANALYZE:\n%s", text)
+
+	// The tree: every operator line carries wall and rows annotations,
+	// and the join/aggregate carry their strategy notes.
+	for _, want := range []string{"Join", "Aggregate", "Scan", "wall=", "rows=",
+		"adaptive:shuffle-join", "reducers="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("plan tree missing %q:\n%s", want, text)
+		}
+	}
+
+	// The summary: attributed per-node time sums to within 10% of the
+	// measured statement wall.
+	var stmtLine, attrLine, taskLine, pdeLine string
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "-- statement:"):
+			stmtLine = l
+		case strings.HasPrefix(l, "-- attributed:"):
+			attrLine = l
+		case strings.HasPrefix(l, "-- tasks="):
+			taskLine = l
+		case strings.HasPrefix(l, "-- pde:"):
+			pdeLine = l
+		}
+	}
+	if stmtLine == "" || attrLine == "" || taskLine == "" || pdeLine == "" {
+		t.Fatalf("summary lines missing:\n%s", text)
+	}
+	wall := extractDur(t, stmtLine, "wall=")
+	attributed := extractDur(t, attrLine, "attributed: ")
+	if wall <= 0 {
+		t.Fatalf("statement wall not positive: %v", wall)
+	}
+	if ratio := float64(attributed) / float64(wall); ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("attributed %v vs wall %v: ratio %.2f outside [0.9, 1.1]\n%s",
+			attributed, wall, ratio, text)
+	}
+	if strings.Contains(taskLine, "tasks=0 ") {
+		t.Errorf("no tasks attributed: %q", taskLine)
+	}
+
+	// The PDE decisions the skewed workload must trigger.
+	for _, want := range []string{"skew-split", "adaptive-coalesce"} {
+		if !strings.Contains(pdeLine, want) {
+			t.Errorf("pde summary missing %q: %q", want, pdeLine)
+		}
+	}
+
+	// Plain EXPLAIN is unchanged: a plan tree with no measurements.
+	plain := e.mustExec(t, `EXPLAIN SELECT COUNT(*) FROM fact`)
+	for _, r := range plain.Rows {
+		if strings.Contains(r[0].(string), "wall=") {
+			t.Errorf("plain EXPLAIN carries measurements: %q", r[0])
+		}
+	}
+
+	// EXPLAIN ANALYZE is SELECT-only, like EXPLAIN.
+	if _, err := e.s.Exec(`EXPLAIN ANALYZE DROP TABLE fact`); err == nil {
+		t.Errorf("EXPLAIN ANALYZE DROP succeeded, want error")
+	}
+}

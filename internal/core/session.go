@@ -12,12 +12,14 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shark/internal/catalog"
 	"shark/internal/dfs"
 	"shark/internal/exec"
 	"shark/internal/expr"
 	"shark/internal/memtable"
+	"shark/internal/obs"
 	"shark/internal/plan"
 	"shark/internal/rdd"
 	"shark/internal/row"
@@ -260,7 +262,10 @@ func (s *Session) ExecContext(gctx context.Context, sql string) (*Result, error)
 	if err := s.checkOpen(); err != nil {
 		return nil, err
 	}
+	tr := obs.FromContext(gctx)
+	psp := tr.StartSpan("parse")
 	stmt, err := sqlparse.Parse(sql)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -285,21 +290,89 @@ func (s *Session) ExecContext(gctx context.Context, sql string) (*Result, error)
 		s.forgetCreated(t.Name)
 		return &Result{Message: fmt.Sprintf("dropped %s", t.Name)}, nil
 	case *sqlparse.ExplainStmt:
+		if t.Analyze {
+			return s.runExplainAnalyze(gctx, t)
+		}
 		return s.runExplain(t)
 	}
 	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 }
 
 func (s *Session) runSelect(gctx context.Context, sel *sqlparse.SelectStmt) (*Result, error) {
+	tr := obs.FromContext(gctx)
+	sp := tr.StartSpan("analyze/plan")
+	p, err := plan.Analyze(s.Cat, sel)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	esp := tr.StartSpan("execute")
+	res, err := s.Engine.RunCtx(gctx, p)
+	esp.End()
+	if err != nil {
+		return nil, err
+	}
+	esp.AddRows(int64(len(res.Rows)))
+	return &Result{Schema: res.Schema, Rows: res.Rows, Stats: res.Stats}, nil
+}
+
+// runExplainAnalyze executes the wrapped SELECT with per-node
+// profiling and returns the plan tree annotated with measured wall
+// time, row counts, cache traffic and PDE decisions. The per-node
+// wall times are the master's sequential blocking segments, so their
+// sum tracks the statement's wall time; the summary footer reports
+// both so the attribution quality is visible.
+func (s *Session) runExplainAnalyze(gctx context.Context, e *sqlparse.ExplainStmt) (*Result, error) {
+	sel, ok := e.Stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("core: EXPLAIN ANALYZE supports SELECT only")
+	}
+	// Profile under a local trace when the caller (embedded session)
+	// attached none, so task/fetch counts appear in the report either
+	// way. The server path shares the statement's existing trace.
+	tr := obs.FromContext(gctx)
+	if tr == nil {
+		tr = obs.NewTrace(s.Tag, "EXPLAIN ANALYZE")
+		gctx = obs.WithTrace(gctx, tr)
+	}
+	before := tr.Snapshot()
 	p, err := plan.Analyze(s.Cat, sel)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Engine.RunCtx(gctx, p)
+	start := time.Now()
+	res, ns, err := s.Engine.RunAnalyzeCtx(gctx, p)
+	wall := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schema: res.Schema, Rows: res.Rows, Stats: res.Stats}, nil
+	after := tr.Snapshot()
+
+	out := &Result{Schema: row.Schema{{Name: "plan", Type: row.TString}}}
+	add := func(line string) { out.Rows = append(out.Rows, row.Row{line}) }
+	for _, line := range ns.Render() {
+		add(line)
+	}
+	attributed := ns.TotalWall()
+	pct := 0.0
+	if wall > 0 {
+		pct = 100 * float64(attributed) / float64(wall)
+	}
+	add(fmt.Sprintf("-- statement: wall=%s rows=%d",
+		wall.Round(time.Microsecond), len(res.Rows)))
+	add(fmt.Sprintf("-- attributed: %s (%.0f%% of wall)",
+		attributed.Round(time.Microsecond), pct))
+	add(fmt.Sprintf("-- tasks=%d shuffle_fetches=%d (%d rows)",
+		after.Tasks-before.Tasks,
+		after.FetchCalls-before.FetchCalls,
+		after.FetchRows-before.FetchRows))
+	decisions := after.Decisions[len(before.Decisions):]
+	if len(decisions) == 0 {
+		add("-- pde: none")
+	} else {
+		add("-- pde: " + strings.Join(decisions, ", "))
+	}
+	return out, nil
 }
 
 func (s *Session) runExplain(e *sqlparse.ExplainStmt) (*Result, error) {

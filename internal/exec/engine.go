@@ -17,6 +17,7 @@ import (
 	"shark/internal/dfs"
 	"shark/internal/expr"
 	"shark/internal/memtable"
+	"shark/internal/obs"
 	"shark/internal/pde"
 	"shark/internal/plan"
 	"shark/internal/rdd"
@@ -144,7 +145,7 @@ func (e *Engine) CompileToRDD(n plan.Node) (*rdd.RDD, error) {
 // cancellation.
 func (e *Engine) CompileToRDDCtx(gctx context.Context, n plan.Node) (*rdd.RDD, error) {
 	stats := &QueryStats{}
-	return e.compile(gctx, n, stats)
+	return e.compile(gctx, n, stats, nil)
 }
 
 // Run executes a logical plan to completion.
@@ -157,21 +158,38 @@ func (e *Engine) Run(n plan.Node) (*Result, error) {
 // under the job attached by rdd.WithJob, and cancelling gctx aborts
 // the query with an error wrapping context.Canceled.
 func (e *Engine) RunCtx(gctx context.Context, n plan.Node) (*Result, error) {
+	return e.runCtx(gctx, n, nil)
+}
+
+// RunAnalyzeCtx is RunCtx with EXPLAIN ANALYZE profiling: it returns
+// the result plus the annotated per-node statistics tree. The
+// blocking-segment wall times recorded on the tree are sequential
+// master-side time, so their sum tracks the statement's wall time.
+func (e *Engine) RunAnalyzeCtx(gctx context.Context, n plan.Node) (*Result, *NodeStats, error) {
+	p := newProf(n)
+	res, err := e.runCtx(gctx, n, p)
+	return res, p.root, err
+}
+
+func (e *Engine) runCtx(gctx context.Context, n plan.Node, p *prof) (*Result, error) {
 	stats := &QueryStats{}
 
 	limit := int64(-1)
+	var limNS, sortNS *NodeStats
 	if l, ok := n.(*plan.Limit); ok {
 		limit = l.N
+		limNS = p.of(l)
 		n = l.Child
 	}
 	var sortKeys []plan.SortKey
 	if s, ok := n.(*plan.Sort); ok {
 		sortKeys = s.Keys
+		sortNS = p.of(s)
 		n = s.Child
 	}
 
 	schema := n.Schema()
-	r, err := e.compile(gctx, n, stats)
+	r, err := e.compile(gctx, n, stats, p)
 	if err != nil {
 		return nil, err
 	}
@@ -195,16 +213,19 @@ func (e *Engine) RunCtx(gctx context.Context, n plan.Node) (*Result, error) {
 		})
 	}
 
+	endCollect := p.of(n).beginSegment(gctx)
 	raw, err := r.CollectCtx(gctx)
 	if err != nil {
 		return nil, err
 	}
+	endCollect()
 	rows := make([]row.Row, len(raw))
 	for i, v := range raw {
 		rows[i] = v.(row.Row)
 	}
 
 	if sortKeys != nil {
+		endSort := sortNS.beginSegment(gctx)
 		keyFns := make([]expr.EvalFn, len(sortKeys))
 		for i, k := range sortKeys {
 			keyFns[i] = e.evalFn(k.Expr)
@@ -222,10 +243,13 @@ func (e *Engine) RunCtx(gctx context.Context, n plan.Node) (*Result, error) {
 			}
 			return false
 		})
+		endSort()
+		sortNS.AddRows(int64(len(rows)))
 	}
 	if limit >= 0 && int64(len(rows)) > limit {
 		rows = rows[:limit]
 	}
+	limNS.AddRows(int64(len(rows)))
 	return &Result{Schema: schema, Rows: rows, Stats: *stats}, nil
 }
 
@@ -265,6 +289,7 @@ func (e *Engine) fineBuckets() int {
 func (e *Engine) noteBroadcastConversion(gctx context.Context) {
 	e.Ctx.Scheduler().Metrics().BroadcastConversions.Add(1)
 	rdd.JobFrom(gctx).NoteBroadcastConversion()
+	obs.FromContext(gctx).Decision("broadcast-conversion")
 }
 
 func (e *Engine) noteSkewSplits(gctx context.Context, n int) {
@@ -273,29 +298,43 @@ func (e *Engine) noteSkewSplits(gctx context.Context, n int) {
 	}
 	e.Ctx.Scheduler().Metrics().SkewSplits.Add(int64(n))
 	rdd.JobFrom(gctx).NoteSkewSplits(int64(n))
+	obs.FromContext(gctx).Decision(fmt.Sprintf("skew-split x%d", n))
 }
 
 func (e *Engine) noteAdaptiveCoalesce(gctx context.Context) {
 	e.Ctx.Scheduler().Metrics().AdaptiveCoalesces.Add(1)
 	rdd.JobFrom(gctx).NoteAdaptiveCoalesce()
+	obs.FromContext(gctx).Decision("adaptive-coalesce")
 }
 
 // compile lowers a plan node to an RDD of row.Row. gctx scopes the
 // scheduler jobs some nodes run while compiling (PDE pre-shuffles,
-// subquery materializations).
-func (e *Engine) compile(gctx context.Context, n plan.Node, stats *QueryStats) (*rdd.RDD, error) {
+// subquery materializations). p is the EXPLAIN ANALYZE profile being
+// filled in, or nil (the untraced path: no wrapping, no counting).
+func (e *Engine) compile(gctx context.Context, n plan.Node, stats *QueryStats, p *prof) (*rdd.RDD, error) {
+	r, err := e.compileNode(gctx, n, stats, p)
+	if err != nil {
+		return nil, err
+	}
+	if ns := p.of(n); ns != nil {
+		r = profileRows(r, ns)
+	}
+	return r, nil
+}
+
+func (e *Engine) compileNode(gctx context.Context, n plan.Node, stats *QueryStats, p *prof) (*rdd.RDD, error) {
 	switch t := n.(type) {
 	case *plan.Scan:
 		return e.compileScan(t, stats)
 	case *plan.Filter:
-		child, err := e.compile(gctx, t.Child, stats)
+		child, err := e.compile(gctx, t.Child, stats, p)
 		if err != nil {
 			return nil, err
 		}
 		pred := e.evalFn(t.Cond)
 		return child.Filter(func(v any) bool { return row.Truth(pred(v.(row.Row))) }), nil
 	case *plan.Project:
-		child, err := e.compile(gctx, t.Child, stats)
+		child, err := e.compile(gctx, t.Child, stats, p)
 		if err != nil {
 			return nil, err
 		}
@@ -312,17 +351,18 @@ func (e *Engine) compile(gctx context.Context, n plan.Node, stats *QueryStats) (
 			return out
 		}), nil
 	case *plan.Aggregate:
-		return e.compileAggregate(gctx, t, stats)
+		return e.compileAggregate(gctx, t, stats, p)
 	case *plan.Join:
-		return e.compileJoin(gctx, t, stats)
+		return e.compileJoin(gctx, t, stats, p)
 	case *plan.Sort:
 		// Sort below the root (e.g. in a subquery): materialize and
 		// re-sort at the master; results at this position are small in
 		// every workload the paper evaluates.
-		child, err := e.compile(gctx, t.Child, stats)
+		child, err := e.compile(gctx, t.Child, stats, p)
 		if err != nil {
 			return nil, err
 		}
+		endSeg := p.of(n).beginSegment(gctx)
 		raw, err := child.CollectCtx(gctx)
 		if err != nil {
 			return nil, err
@@ -344,16 +384,19 @@ func (e *Engine) compile(gctx context.Context, n plan.Node, stats *QueryStats) (
 			}
 			return false
 		})
+		endSeg()
 		return e.Ctx.Parallelize(raw, e.Ctx.Cluster.TotalSlots()), nil
 	case *plan.Limit:
-		child, err := e.compile(gctx, t.Child, stats)
+		child, err := e.compile(gctx, t.Child, stats, p)
 		if err != nil {
 			return nil, err
 		}
+		endSeg := p.of(n).beginSegment(gctx)
 		raw, err := child.TakeCtx(gctx, int(t.N))
 		if err != nil {
 			return nil, err
 		}
+		endSeg()
 		return e.Ctx.Parallelize(raw, 1), nil
 	case plan.OneRow:
 		return e.Ctx.Parallelize([]any{row.Row{}}, 1), nil
@@ -457,8 +500,9 @@ func (e *Engine) dfsScan(s *plan.Scan) (*rdd.RDD, error) {
 // and PDE picks the reduce parallelism by bin-packing observed bucket
 // sizes.
 
-func (e *Engine) compileAggregate(gctx context.Context, a *plan.Aggregate, stats *QueryStats) (*rdd.RDD, error) {
-	child, err := e.compile(gctx, a.Child, stats)
+func (e *Engine) compileAggregate(gctx context.Context, a *plan.Aggregate, stats *QueryStats, p *prof) (*rdd.RDD, error) {
+	ns := p.of(a)
+	child, err := e.compile(gctx, a.Child, stats, p)
 	if err != nil {
 		return nil, err
 	}
@@ -508,15 +552,18 @@ func (e *Engine) compileAggregate(gctx context.Context, a *plan.Aggregate, stats
 		func(x, y any) any { return x.(*aggState).merge(y.(*aggState), specs) })
 
 	// PDE: materialize the map side, observe bucket sizes, coalesce.
+	endSeg := ns.beginSegment(gctx)
 	shufStats, err := e.Ctx.Scheduler().MaterializeShuffleCtx(gctx, dep)
 	if err != nil {
 		return nil, err
 	}
+	endSeg()
 	stats.ShuffleBytes += shufStats.TotalBytes
 	var groups [][]int
 	if e.opts.DisableCoalesce || e.opts.DisableAdaptiveExec {
 		groups = nil // identity: one reduce task per fine bucket
 		stats.ReducerCounts = append(stats.ReducerCounts, nBuckets)
+		ns.Notef("reducers=%d (static)", nBuckets)
 	} else {
 		// Adaptive reduce parallelism: the task count follows the
 		// observed map-output volume, not a static default. Aggregate
@@ -530,6 +577,8 @@ func (e *Engine) compileAggregate(gctx context.Context, a *plan.Aggregate, stats
 		groups = pde.Coalesce(shufStats.BucketBytes, target)
 		stats.ReducerCounts = append(stats.ReducerCounts, len(groups))
 		e.noteAdaptiveCoalesce(gctx)
+		ns.Notef("reducers=%d (adaptive coalesce, %d buckets, %d shuffle bytes)",
+			len(groups), nBuckets, shufStats.TotalBytes)
 	}
 
 	merged := e.Ctx.Shuffled(dep, groups, rdd.ReadCombine)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"shark/internal/expr"
+	"shark/internal/obs"
 	"shark/internal/pde"
 	"shark/internal/plan"
 	"shark/internal/rdd"
@@ -25,17 +26,18 @@ import (
 //
 // In adaptive modes the decision uses sizes observed by PDE after
 // running pre-shuffle map stages.
-func (e *Engine) compileJoin(gctx context.Context, j *plan.Join, stats *QueryStats) (*rdd.RDD, error) {
+func (e *Engine) compileJoin(gctx context.Context, j *plan.Join, stats *QueryStats, p *prof) (*rdd.RDD, error) {
 	// Co-partitioned fast path.
 	if r, ok, err := e.tryCopartitionedJoin(j, stats); err != nil || ok {
+		p.of(j).Notef("copartitioned map join")
 		return r, err
 	}
 
-	left, err := e.compile(gctx, j.Left, stats)
+	left, err := e.compile(gctx, j.Left, stats, p)
 	if err != nil {
 		return nil, err
 	}
-	right, err := e.compile(gctx, j.Right, stats)
+	right, err := e.compile(gctx, j.Right, stats, p)
 	if err != nil {
 		return nil, err
 	}
@@ -46,11 +48,11 @@ func (e *Engine) compileJoin(gctx context.Context, j *plan.Join, stats *QuerySta
 	case e.opts.JoinStrategy == StrategyStatic || e.opts.DisableAdaptiveExec:
 		// With adaptive execution disabled the strategy mode is moot:
 		// every join is planned purely from static estimates.
-		return e.staticJoin(gctx, j, left, right, lKey, rKey, stats)
+		return e.staticJoin(gctx, j, left, right, lKey, rKey, stats, p.of(j))
 	case e.opts.JoinStrategy == StrategyAdaptive:
-		return e.adaptiveJoin(gctx, j, left, right, lKey, rKey, stats)
+		return e.adaptiveJoin(gctx, j, left, right, lKey, rKey, stats, p.of(j))
 	default:
-		return e.staticAdaptiveJoin(gctx, j, left, right, lKey, rKey, stats)
+		return e.staticAdaptiveJoin(gctx, j, left, right, lKey, rKey, stats, p.of(j))
 	}
 }
 
@@ -131,36 +133,39 @@ func containsCall(e expr.Expr) bool {
 
 // staticJoin decides from estimates only: broadcast if an estimated
 // side is under threshold, else full shuffle join.
-func (e *Engine) staticJoin(gctx context.Context, j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
+func (e *Engine) staticJoin(gctx context.Context, j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats, ns *NodeStats) (*rdd.RDD, error) {
 	lEst, rEst := estimateSide(j.Left), estimateSide(j.Right)
 	switch pde.ChooseJoinStrategy(lEst, rEst, e.opts.BroadcastThreshold) {
 	case pde.MapJoinLeft:
 		stats.JoinStrategies = append(stats.JoinStrategies, "static:map-join(left)")
-		return e.broadcastJoin(gctx, left, right, lKey, rKey, true)
+		ns.Notef("static:map-join(left)")
+		return e.broadcastJoin(gctx, left, right, lKey, rKey, true, ns)
 	case pde.MapJoinRight:
 		stats.JoinStrategies = append(stats.JoinStrategies, "static:map-join(right)")
-		return e.broadcastJoin(gctx, right, left, rKey, lKey, false)
+		ns.Notef("static:map-join(right)")
+		return e.broadcastJoin(gctx, right, left, rKey, lKey, false, ns)
 	}
 	stats.JoinStrategies = append(stats.JoinStrategies, "static:shuffle-join")
-	lDep, lStats, err := e.preShuffle(gctx, left, lKey)
+	ns.Notef("static:shuffle-join")
+	lDep, lStats, err := e.preShuffle(gctx, left, lKey, ns)
 	if err != nil {
 		return nil, err
 	}
-	rDep, rStats, err := e.preShuffle(gctx, right, rKey)
+	rDep, rStats, err := e.preShuffle(gctx, right, rKey, ns)
 	if err != nil {
 		return nil, err
 	}
-	return e.shuffleJoinRead(gctx, lDep, rDep, lStats, rStats, stats), nil
+	return e.shuffleJoinRead(gctx, lDep, rDep, lStats, rStats, stats, ns), nil
 }
 
 // adaptiveJoin pre-shuffles both sides, then decides from observed
 // sizes (the paper's "Adaptive" bar in Fig. 8).
-func (e *Engine) adaptiveJoin(gctx context.Context, j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
-	lDep, lStats, err := e.preShuffle(gctx, left, lKey)
+func (e *Engine) adaptiveJoin(gctx context.Context, j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats, ns *NodeStats) (*rdd.RDD, error) {
+	lDep, lStats, err := e.preShuffle(gctx, left, lKey, ns)
 	if err != nil {
 		return nil, err
 	}
-	rDep, rStats, err := e.preShuffle(gctx, right, rKey)
+	rDep, rStats, err := e.preShuffle(gctx, right, rKey, ns)
 	if err != nil {
 		return nil, err
 	}
@@ -177,19 +182,22 @@ func (e *Engine) adaptiveJoin(gctx context.Context, j *plan.Join, left, right *r
 	switch choice {
 	case pde.MapJoinLeft:
 		stats.JoinStrategies = append(stats.JoinStrategies, "adaptive:map-join(left)")
-		return e.broadcastJoinFromShuffle(lDep, right, rKey, true)
+		ns.Notef("adaptive:map-join(left)")
+		return e.broadcastJoinFromShuffle(gctx, lDep, right, rKey, true, ns)
 	case pde.MapJoinRight:
 		stats.JoinStrategies = append(stats.JoinStrategies, "adaptive:map-join(right)")
-		return e.broadcastJoinFromShuffle(rDep, left, lKey, false)
+		ns.Notef("adaptive:map-join(right)")
+		return e.broadcastJoinFromShuffle(gctx, rDep, left, lKey, false, ns)
 	}
 	stats.JoinStrategies = append(stats.JoinStrategies, "adaptive:shuffle-join")
-	return e.shuffleJoinRead(gctx, lDep, rDep, lStats, rStats, stats), nil
+	ns.Notef("adaptive:shuffle-join")
+	return e.shuffleJoinRead(gctx, lDep, rDep, lStats, rStats, stats, ns), nil
 }
 
 // staticAdaptiveJoin uses the static prior to pick the likely-small
 // side, pre-shuffles only that side, and avoids ever shuffling the big
 // side when the observation confirms the prior (Fig. 8's best plan).
-func (e *Engine) staticAdaptiveJoin(gctx context.Context, j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats) (*rdd.RDD, error) {
+func (e *Engine) staticAdaptiveJoin(gctx context.Context, j *plan.Join, left, right *rdd.RDD, lKey, rKey expr.EvalFn, stats *QueryStats, ns *NodeStats) (*rdd.RDD, error) {
 	lEst, rEst := estimateSide(j.Left), estimateSide(j.Right)
 	probeLeft := lEst <= rEst // side more likely to be small
 	var smallSide, bigSide *rdd.RDD
@@ -199,7 +207,7 @@ func (e *Engine) staticAdaptiveJoin(gctx context.Context, j *plan.Join, left, ri
 	} else {
 		smallSide, bigSide, smallKey, bigKey = right, left, rKey, lKey
 	}
-	smallDep, smallStats, err := e.preShuffle(gctx, smallSide, smallKey)
+	smallDep, smallStats, err := e.preShuffle(gctx, smallSide, smallKey, ns)
 	if err != nil {
 		return nil, err
 	}
@@ -217,32 +225,36 @@ func (e *Engine) staticAdaptiveJoin(gctx context.Context, j *plan.Join, left, ri
 		}
 		stats.JoinStrategies = append(stats.JoinStrategies,
 			fmt.Sprintf("static+adaptive:map-join(%s)", side))
-		return e.broadcastJoinFromShuffle(smallDep, bigSide, bigKey, probeLeft)
+		ns.Notef("static+adaptive:map-join(%s)", side)
+		return e.broadcastJoinFromShuffle(gctx, smallDep, bigSide, bigKey, probeLeft, ns)
 	}
 	// Prior was wrong: fall back to a full shuffle join.
 	stats.JoinStrategies = append(stats.JoinStrategies, "static+adaptive:shuffle-join")
-	bigDep, bigStats, err := e.preShuffle(gctx, bigSide, bigKey)
+	ns.Notef("static+adaptive:shuffle-join")
+	bigDep, bigStats, err := e.preShuffle(gctx, bigSide, bigKey, ns)
 	if err != nil {
 		return nil, err
 	}
 	if probeLeft {
-		return e.shuffleJoinRead(gctx, smallDep, bigDep, smallStats, bigStats, stats), nil
+		return e.shuffleJoinRead(gctx, smallDep, bigDep, smallStats, bigStats, stats, ns), nil
 	}
-	return e.shuffleJoinRead(gctx, bigDep, smallDep, bigStats, smallStats, stats), nil
+	return e.shuffleJoinRead(gctx, bigDep, smallDep, bigStats, smallStats, stats, ns), nil
 }
 
 // preShuffle materializes the map side of a shuffle keyed by keyFn and
 // returns the dependency plus observed statistics (the PDE primitive).
-func (e *Engine) preShuffle(gctx context.Context, r *rdd.RDD, keyFn expr.EvalFn) (*rdd.ShuffleDep, *pde.StageStats, error) {
+func (e *Engine) preShuffle(gctx context.Context, r *rdd.RDD, keyFn expr.EvalFn, ns *NodeStats) (*rdd.ShuffleDep, *pde.StageStats, error) {
 	pairs := r.Map(func(v any) any {
 		rr := v.(row.Row)
 		return shuffle.Pair{K: normalizeGroupKey(keyFn(rr)), V: rr}
 	})
 	dep := e.Ctx.NewShuffleDep(pairs, shuffle.HashPartitioner{N: e.fineBuckets()}, nil)
+	endSeg := ns.beginSegment(gctx)
 	st, err := e.Ctx.Scheduler().MaterializeShuffleCtx(gctx, dep)
 	if err != nil {
 		return nil, nil, err
 	}
+	endSeg()
 	return dep, st, nil
 }
 
@@ -255,7 +267,7 @@ func (e *Engine) preShuffle(gctx context.Context, r *rdd.RDD, keyFn expr.EvalFn)
 // bucket's join result. Within each whole bucket the hash table is
 // built over whichever input is locally smaller (run-time choice,
 // §3.1.1).
-func (e *Engine) shuffleJoinRead(gctx context.Context, lDep, rDep *rdd.ShuffleDep, lStats, rStats *pde.StageStats, stats *QueryStats) *rdd.RDD {
+func (e *Engine) shuffleJoinRead(gctx context.Context, lDep, rDep *rdd.ShuffleDep, lStats, rStats *pde.StageStats, stats *QueryStats, ns *NodeStats) *rdd.RDD {
 	n := lDep.Partitioner.NumPartitions()
 	combined := make([]int64, n)
 	for i := 0; i < n; i++ {
@@ -279,6 +291,7 @@ func (e *Engine) shuffleJoinRead(gctx context.Context, lDep, rDep *rdd.ShuffleDe
 			tasks[i] = []joinSlice{{bucket: i}}
 		}
 		stats.ReducerCounts = append(stats.ReducerCounts, n)
+		ns.Notef("reducers=%d (static)", n)
 		return joinSource(e.Ctx, lDep, rDep, tasks, lRecs, rRecs)
 	}
 
@@ -306,6 +319,8 @@ func (e *Engine) shuffleJoinRead(gctx context.Context, lDep, rDep *rdd.ShuffleDe
 	e.noteAdaptiveCoalesce(gctx)
 	e.noteSkewSplits(gctx, len(plan.SplitBuckets))
 	stats.ReducerCounts = append(stats.ReducerCounts, len(tasks))
+	ns.Notef("reducers=%d (adaptive, %d skew splits, %d shuffle bytes)",
+		len(tasks), len(plan.SplitBuckets), total)
 	return joinSource(e.Ctx, lDep, rDep, tasks, lRecs, rRecs)
 }
 
@@ -367,6 +382,7 @@ func fetchBucket(tc *rdd.TaskContext, dep *rdd.ShuffleDep, bucket int) []shuffle
 	if err != nil {
 		rdd.Fail(err)
 	}
+	obs.FromContext(tc.Gctx).AddFetch(int64(len(pairs)))
 	return pairs
 }
 
@@ -378,6 +394,7 @@ func fetchBucketMaps(tc *rdd.TaskContext, dep *rdd.ShuffleDep, bucket int, maps 
 	if err != nil {
 		rdd.Fail(err)
 	}
+	obs.FromContext(tc.Gctx).AddFetch(int64(len(pairs)))
 	return pairs
 }
 
@@ -413,11 +430,13 @@ func concatRows(a, b row.Row) row.Row {
 // broadcastJoin collects the small side (an ordinary job), builds a
 // hash table, and probes it from map tasks over the big side — no
 // shuffle of the big side.
-func (e *Engine) broadcastJoin(gctx context.Context, small, big *rdd.RDD, smallKey, bigKey expr.EvalFn, smallIsLeft bool) (*rdd.RDD, error) {
+func (e *Engine) broadcastJoin(gctx context.Context, small, big *rdd.RDD, smallKey, bigKey expr.EvalFn, smallIsLeft bool, ns *NodeStats) (*rdd.RDD, error) {
+	endSeg := ns.beginSegment(gctx)
 	rows, err := small.CollectCtx(gctx)
 	if err != nil {
 		return nil, err
 	}
+	endSeg()
 	ht := make(map[any][]row.Row, len(rows))
 	for _, v := range rows {
 		r := v.(row.Row)
@@ -430,18 +449,22 @@ func (e *Engine) broadcastJoin(gctx context.Context, small, big *rdd.RDD, smallK
 // broadcastJoinFromShuffle is broadcastJoin where the small side was
 // already materialized as shuffle map output: its rows are fetched
 // from the buckets instead of recomputed.
-func (e *Engine) broadcastJoinFromShuffle(smallDep *rdd.ShuffleDep, big *rdd.RDD, bigKey expr.EvalFn, smallIsLeft bool) (*rdd.RDD, error) {
+func (e *Engine) broadcastJoinFromShuffle(gctx context.Context, smallDep *rdd.ShuffleDep, big *rdd.RDD, bigKey expr.EvalFn, smallIsLeft bool, ns *NodeStats) (*rdd.RDD, error) {
 	locs := e.Ctx.Tracker().Locations(smallDep.ID)
 	ht := make(map[any][]row.Row)
+	endSeg := ns.beginSegment(gctx)
+	tr := obs.FromContext(gctx)
 	for b := 0; b < smallDep.Partitioner.NumPartitions(); b++ {
 		pairs, err := e.Ctx.Shuffle.Fetch(smallDep.ID, b, locs)
 		if err != nil {
 			return nil, err
 		}
+		tr.AddFetch(int64(len(pairs)))
 		for _, p := range pairs {
 			ht[p.K] = append(ht[p.K], p.V.(row.Row))
 		}
 	}
+	endSeg()
 	return e.probeBroadcast(ht, big, bigKey, smallIsLeft), nil
 }
 

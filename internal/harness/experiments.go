@@ -44,6 +44,7 @@ var experiments = map[string]func(context.Context, Scale, *Report) error{
 	"abl_storage":     runStorage,
 	"abl_concurrency": runConcurrency,
 	"abl_priority":    runPriority,
+	"abl_obs":         runObs,
 	"abl_pde":         runPDE,
 	"abl_serving":     runServing,
 	"pruning":         runPruning,

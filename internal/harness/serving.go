@@ -3,13 +3,20 @@ package harness
 import (
 	"context"
 	"database/sql"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"shark"
+	"shark/internal/obs"
 	"shark/internal/row"
 	"shark/internal/server"
 	"shark/internal/wire"
@@ -84,6 +91,17 @@ func runServing(ctx context.Context, sc Scale, r *Report) error {
 	go srv.Serve(ln)
 	addr := ln.Addr().String()
 
+	// The observability sidecar, exactly as shark-server -obs-addr
+	// serves it: Phase B reads the statement counters and the query
+	// log through it, and CI archives a scrape.
+	obsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer obsLn.Close()
+	go http.Serve(obsLn, srv.ObsHandler())
+	obsURL := "http://" + obsLn.Addr().String()
+
 	db, err := sql.Open("shark", addr+"?catalog=shared&session=bench")
 	if err != nil {
 		return err
@@ -147,37 +165,90 @@ func runServing(ctx context.Context, sc Scale, r *Report) error {
 		fmt.Sprintf("%d concurrent connections x %d rounds in %.2fs", servingConns, rounds, elapsed))
 
 	// Phase B: abrupt client death mid-query cancels cluster-side
-	// work (dropped queued tasks or mid-partition aborts).
+	// work (dropped queued tasks or mid-partition aborts). The kill
+	// races the query — a fast statement can complete before the
+	// disconnect lands — so each attempt watches for EITHER the
+	// cancellation counters moving OR the statement finishing: a
+	// finish with an error recorded in its trace means cancellation
+	// landed between stages (counts), a clean finish means the query
+	// outran the kill (retry with a fresh connection). No outcome is
+	// inferred from sleeps; every wait is deadline-bound.
 	cancelsSeen := func() int64 {
 		return srv.Cluster().Metrics().CancelledTasks.Load() +
 			srv.Cluster().SchedulerMetrics().CancelledMidPartition.Load()
 	}
-	base := cancelsSeen()
-	wc, err := wire.Dial(addr, 5*time.Second)
-	if err != nil {
-		return err
-	}
-	if _, err := wc.RoundtripCtx(ctx, wire.Hello{Version: wire.Version}); err != nil {
-		return err
-	}
-	if _, err := wc.RoundtripCtx(ctx, wire.Attach{SharedCatalog: true}); err != nil {
-		return err
-	}
-	launched := srv.Cluster().TasksLaunched()
-	wc.Send(wire.Exec{SQL: `SELECT a.grp, COUNT(*) FROM events_mem a JOIN events_mem b ON a.grp = b.grp GROUP BY a.grp`})
+	const killSQL = `SELECT a.grp, COUNT(*) FROM events_mem a JOIN events_mem b ON a.grp = b.grp GROUP BY a.grp`
 	killDeadline := time.Now().Add(time.Minute)
-	for srv.Cluster().TasksLaunched() == launched && time.Now().Before(killDeadline) {
-		time.Sleep(time.Millisecond)
-	}
-	wc.Kill()
-	for cancelsSeen() == base {
-		if time.Now().After(killDeadline) {
-			return fmt.Errorf("serving: no cancellation observed after killing a client mid-query")
+	var killCancels int64 = -1
+	for attempt := 0; attempt < 5 && killCancels < 0; attempt++ {
+		base := cancelsSeen()
+		baseFinished, err := scrapeObsCounter(obsURL, "shark_server_statements_finished_total")
+		if err != nil {
+			return err
 		}
-		time.Sleep(5 * time.Millisecond)
+		wc, err := wire.Dial(addr, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		if _, err := wc.RoundtripCtx(ctx, wire.Hello{Version: wire.Version}); err != nil {
+			return err
+		}
+		if _, err := wc.RoundtripCtx(ctx, wire.Attach{SharedCatalog: true}); err != nil {
+			return err
+		}
+		launched := srv.Cluster().TasksLaunched()
+		wc.Send(wire.Exec{SQL: killSQL})
+		for srv.Cluster().TasksLaunched() == launched && time.Now().Before(killDeadline) {
+			time.Sleep(time.Millisecond)
+		}
+		wc.Kill()
+		for {
+			if n := cancelsSeen() - base; n > 0 {
+				killCancels = n
+				break
+			}
+			finished, err := scrapeObsCounter(obsURL, "shark_server_statements_finished_total")
+			if err != nil {
+				return err
+			}
+			if finished > baseFinished {
+				tr, err := latestObsTrace(obsURL)
+				if err != nil {
+					return err
+				}
+				if tr.SQL == killSQL && tr.Error != "" {
+					killCancels = cancelsSeen() - base // may be 0: cancelled between stages
+				}
+				break // clean completion: retry
+			}
+			if time.Now().After(killDeadline) {
+				return fmt.Errorf("serving: no cancellation observed after killing a client mid-query")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
 	}
-	r.AddValue(exp, "kill-conn cancellations", float64(cancelsSeen()-base),
-		"cluster-side tasks cancelled after an abrupt client disconnect mid-join")
+	if killCancels < 0 {
+		return fmt.Errorf("serving: statement completed cleanly on every kill attempt; cancellation never observed")
+	}
+	r.AddValue(exp, "kill-conn cancellations", float64(killCancels),
+		"cluster-side tasks cancelled after an abrupt client disconnect mid-join (0 = aborted between stages)")
+
+	// CI artifacts: a live /metrics scrape and the /queries trace log
+	// (which now ends with the killed statement's errored trace).
+	if dir := os.Getenv("SHARK_OBS_ARTIFACT_DIR"); dir != "" {
+		for _, a := range []struct{ path, name string }{
+			{"/metrics", "metrics.prom"},
+			{"/queries", "queries.json"},
+		} {
+			body, err := scrapeObs(obsURL + a.path)
+			if err != nil {
+				return err
+			}
+			if err := writeArtifact(dir, a.name, body); err != nil {
+				return err
+			}
+		}
+	}
 
 	// Phase C: graceful drain under load. Statements the clients saw
 	// complete stay correct; the server settles within the deadline.
@@ -253,6 +324,53 @@ func fetchGroupsDB(db *sql.DB, query string, minVal int64) ([]string, error) {
 		out = append(out, fmt.Sprintf("%s|%d|%d", grp, cnt, sum))
 	}
 	return out, rows.Err()
+}
+
+// scrapeObs fetches one observability endpoint's body.
+func scrapeObs(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return string(body), nil
+}
+
+// scrapeObsCounter reads one counter's current value off /metrics.
+func scrapeObsCounter(baseURL, name string) (float64, error) {
+	body, err := scrapeObs(baseURL + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found in /metrics scrape", name)
+}
+
+// latestObsTrace returns the newest trace in the /queries log.
+func latestObsTrace(baseURL string) (obs.TraceSnapshot, error) {
+	body, err := scrapeObs(baseURL + "/queries")
+	if err != nil {
+		return obs.TraceSnapshot{}, err
+	}
+	var snaps []obs.TraceSnapshot
+	if err := json.Unmarshal([]byte(body), &snaps); err != nil {
+		return obs.TraceSnapshot{}, err
+	}
+	if len(snaps) == 0 {
+		return obs.TraceSnapshot{}, fmt.Errorf("/queries returned no traces")
+	}
+	return snaps[0], nil
 }
 
 // sameAsEmbedded checks a driver-fetched result against the embedded

@@ -8,21 +8,23 @@ import (
 )
 
 // MetricsAtomic guards the counter-field convention: fields that are
-// metrics (declared in a struct whose name ends in "Metrics", or
-// whose own comment contains the word "metric") are read by
-// monitoring endpoints off the hot path, so mutations must go through
-// sync/atomic types or happen with the owning mutex held. A plain
-// `m.Hits++` on shared state is a data race the moment anyone snapshots
-// the counters — the exact class -race kept catching in the
-// dispatcher.
+// metrics (declared in a struct whose name ends in "Metrics",
+// "Trace" or "Span", or whose own comment contains the word
+// "metric") are read by monitoring endpoints off the hot path, so
+// mutations must go through sync/atomic types or happen with the
+// owning mutex held. A plain `m.Hits++` on shared state is a data
+// race the moment anyone snapshots the counters — the exact class
+// -race kept catching in the dispatcher. Traces and spans are the
+// same shape of state: bumped by task and fetch goroutines while
+// /queries and EXPLAIN ANALYZE snapshot them live.
 var MetricsAtomic = &Analyzer{
 	Name: "metricsatomic",
 	Doc: "metric counter fields must be mutated atomically or under their lock\n\n" +
-		"Flags ++/--/+=/-= on numeric fields of *Metrics structs (or fields whose\n" +
-		"comment marks them as metrics) when the field is reached through shared\n" +
-		"state and no mutex Lock appears earlier in the function. Fields of\n" +
-		"sync/atomic type can't be mutated this way and are inherently safe;\n" +
-		"function-local snapshot/aggregation structs are exempt.",
+		"Flags ++/--/+=/-= on numeric fields of *Metrics, *Trace and *Span structs\n" +
+		"(or fields whose comment marks them as metrics) when the field is reached\n" +
+		"through shared state and no mutex Lock appears earlier in the function.\n" +
+		"Fields of sync/atomic type can't be mutated this way and are inherently\n" +
+		"safe; function-local snapshot/aggregation structs are exempt.",
 	Run: runMetricsAtomic,
 }
 
@@ -73,8 +75,11 @@ func runMetricsAtomic(pass *Pass) error {
 
 // collectMetricFields gathers the *types.Var fields this package
 // declares that count as metrics: numeric, non-atomic, and either
-// living in a struct named ...Metrics or carrying a comment with the
-// word "metric" (which includes the explicit //shark:metric marker).
+// living in a struct named ...Metrics / ...Trace / ...Span (traces
+// and spans are scraped concurrently by /queries and EXPLAIN ANALYZE
+// while execution goroutines bump them) or carrying a comment with
+// the word "metric" (which includes the explicit //shark:metric
+// marker).
 func collectMetricFields(pass *Pass) map[*types.Var]bool {
 	out := map[*types.Var]bool{}
 	for _, file := range pass.Files {
@@ -87,7 +92,9 @@ func collectMetricFields(pass *Pass) map[*types.Var]bool {
 			if !ok {
 				return true
 			}
-			structIsMetrics := strings.HasSuffix(ts.Name.Name, "Metrics")
+			structIsMetrics := strings.HasSuffix(ts.Name.Name, "Metrics") ||
+				strings.HasSuffix(ts.Name.Name, "Trace") ||
+				strings.HasSuffix(ts.Name.Name, "Span")
 			for _, f := range st.Fields.List {
 				marked := structIsMetrics ||
 					commentMentionsMetric(f.Doc) || commentMentionsMetric(f.Comment)

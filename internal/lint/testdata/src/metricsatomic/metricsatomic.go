@@ -66,3 +66,48 @@ func snapshotOK(list []*Owner) ServerMetrics {
 	}
 	return agg
 }
+
+// StmtTrace / OpSpan fields count as metrics by the Trace/Span
+// struct-name rule: execution goroutines bump them while /queries
+// and EXPLAIN ANALYZE snapshot them live.
+type StmtTrace struct {
+	Tasks int64
+}
+
+type OpSpan struct {
+	rows int64
+}
+
+type tracer struct {
+	mu sync.Mutex
+	t  StmtTrace
+	s  OpSpan
+	n  atomic.Int64
+}
+
+// badTrace is the true positive: a shared trace counter bumped with
+// no lock and no atomic.
+func (tr *tracer) badTrace() {
+	tr.t.Tasks++ // want `metric field tr.t.Tasks mutated outside its owning lock/atomic`
+}
+
+func (tr *tracer) badSpan(n int64) {
+	tr.s.rows += n // want `metric field tr.s.rows mutated outside its owning lock/atomic`
+}
+
+// spanLockedOK is the near miss: the same span mutation under the
+// owning lock.
+func (tr *tracer) spanLockedOK(n int64) {
+	tr.mu.Lock()
+	tr.s.rows += n
+	tr.mu.Unlock()
+}
+
+// spanSnapshotOK: a function-local span copy is a snapshot, exempt.
+func (tr *tracer) spanSnapshotOK() OpSpan {
+	var local OpSpan
+	tr.mu.Lock()
+	local.rows += tr.s.rows
+	tr.mu.Unlock()
+	return local
+}

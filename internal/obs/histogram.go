@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bound latency histogram with atomic buckets —
+// lock-free on the observe path, quantile-summarizable on the read
+// path, and exportable in Prometheus text exposition format through
+// Registry.Histogram.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of each bucket, in
+	// seconds, ascending; counts has one extra slot for +Inf.
+	bounds []float64
+	counts []atomic.Int64
+	count  atomic.Int64
+	sumNS  atomic.Int64
+}
+
+// NewLatencyHistogram builds an exponential histogram suited to both
+// task service times and statement latencies: 20 buckets doubling
+// from 100µs to ~52s.
+func NewLatencyHistogram() *Histogram {
+	bounds := make([]float64, 20)
+	b := 100e-6
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return NewHistogram(bounds)
+}
+
+// NewHistogram builds a histogram over explicit ascending upper
+// bounds (seconds).
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in seconds by linear
+// interpolation within the bucket where the quantile falls; 0 with no
+// observations. The +Inf bucket reports its lower bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i >= len(h.bounds) {
+				return lo // open-ended bucket
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the observability surface:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/queries        slow-query log as JSON, newest first
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// Mounted by shark-server's -obs-addr sidecar listener; reg or qlog
+// may be nil, disabling the corresponding endpoint.
+func Handler(reg *Registry, qlog *QueryLog) http.Handler {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WriteProm(w)
+		})
+	}
+	if qlog != nil {
+		mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(qlog.Snapshot())
+		})
+	}
+	// The pprof handlers are registered on a private mux (never the
+	// DefaultServeMux) so importing this package does not leak
+	// profiling endpoints onto unrelated listeners.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// QueryLog is the ring-buffer slow-query log behind /queries: the
+// last N statement traces whose wall time met the slow threshold,
+// newest first, as JSON-ready snapshots.
+type QueryLog struct {
+	mu      sync.Mutex
+	entries []TraceSnapshot // ring, entries[next] is the oldest slot
+	next    int
+	filled  bool
+	slow    time.Duration
+}
+
+// NewQueryLog builds a log keeping the most recent n qualifying
+// traces. slow is the admission threshold: statements faster than it
+// are not recorded (0 records everything).
+func NewQueryLog(n int, slow time.Duration) *QueryLog {
+	if n <= 0 {
+		n = 64
+	}
+	return &QueryLog{entries: make([]TraceSnapshot, n), slow: slow}
+}
+
+// Record admits a finished (or abandoned) trace if it met the slow
+// threshold. Nil traces are ignored.
+func (l *QueryLog) Record(t *Trace) {
+	if l == nil || t == nil {
+		return
+	}
+	if t.Duration() < l.slow {
+		return
+	}
+	snap := t.Snapshot()
+	l.mu.Lock()
+	l.entries[l.next] = snap
+	l.next++
+	if l.next == len(l.entries) {
+		l.next = 0
+		l.filled = true
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot returns the recorded traces, newest first.
+func (l *QueryLog) Snapshot() []TraceSnapshot {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.filled {
+		n = len(l.entries)
+	}
+	out := make([]TraceSnapshot, 0, n)
+	for i := 1; i <= n; i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (l.next - i + len(l.entries)) % len(l.entries)
+		out = append(out, l.entries[idx])
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Registry is the cluster metrics registry: one place that snapshots
+// counters and gauges (read through closures, so the registry never
+// imports the packages it observes) and histograms, and writes them
+// all in Prometheus text exposition format.
+type Registry struct {
+	mu    sync.Mutex
+	items []metricItem
+}
+
+type metricItem struct {
+	name string
+	help string
+	kind string // "counter" | "gauge" | "histogram"
+	fn   func() float64
+	hist *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a monotonically increasing metric read through
+// fn at scrape time. By convention name ends in _total.
+func (r *Registry) Counter(name, help string, fn func() float64) {
+	r.add(metricItem{name: name, help: help, kind: "counter", fn: fn})
+}
+
+// Gauge registers a point-in-time metric read through fn at scrape
+// time.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.add(metricItem{name: name, help: help, kind: "gauge", fn: fn})
+}
+
+// Histogram registers a latency histogram.
+func (r *Registry) Histogram(name, help string, h *Histogram) {
+	r.add(metricItem{name: name, help: help, kind: "histogram", hist: h})
+}
+
+func (r *Registry) add(it metricItem) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.items {
+		if r.items[i].name == it.name {
+			r.items[i] = it // re-registration replaces
+			return
+		}
+	}
+	r.items = append(r.items, it)
+}
+
+// WriteProm writes every registered metric in Prometheus text
+// exposition format, sorted by name for a stable scrape.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	items := append([]metricItem(nil), r.items...)
+	r.mu.Unlock()
+	sort.Slice(items, func(i, j int) bool { return items[i].name < items[j].name })
+	for _, it := range items {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", it.name, it.help, it.name, it.kind); err != nil {
+			return err
+		}
+		if it.kind == "histogram" {
+			if err := writePromHistogram(w, it.name, it.hist); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", it.name, formatFloat(it.fn())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		name, formatFloat(h.Sum().Seconds()), name, h.Count())
+	return err
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

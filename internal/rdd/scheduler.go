@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"shark/internal/cluster"
+	"shark/internal/obs"
 	"shark/internal/pde"
 	"shark/internal/shuffle"
 )
@@ -24,6 +25,25 @@ type Scheduler struct {
 	opts Options
 
 	metrics Metrics
+
+	// taskObs holds an optional func(time.Duration) fed every
+	// completed task attempt's service time (the per-task latency
+	// histogram on shark-server). Atomic so observers can attach to a
+	// running scheduler without a lock on the hot path.
+	taskObs atomic.Value
+}
+
+// SetTaskObserver installs fn to receive the wall-clock duration of
+// every successfully completed task attempt. Pass nil-op behaviour by
+// never calling this; there is no way to detach.
+func (s *Scheduler) SetTaskObserver(fn func(time.Duration)) {
+	s.taskObs.Store(fn)
+}
+
+func (s *Scheduler) observeTask(d time.Duration) {
+	if fn, ok := s.taskObs.Load().(func(time.Duration)); ok && fn != nil {
+		fn(d)
+	}
 }
 
 // Metrics counts scheduler activity (observable by tests and the
@@ -101,7 +121,7 @@ func (s *Scheduler) RunJobCtx(gctx context.Context, r *RDD, parts []int, fn Resu
 	for i, p := range parts {
 		idxOf[p] = i
 	}
-	err := s.runTaskSet(gctx, job, parts, func(part int) *cluster.Task {
+	err := s.runTaskSet(gctx, job, "stage:result", parts, func(part int) *cluster.Task {
 		return &cluster.Task{
 			JobID:     job.ID,
 			Weight:    job.Weight,
@@ -204,7 +224,7 @@ func (s *Scheduler) ensureShuffle(gctx context.Context, job *Job, dep *ShuffleDe
 	// the statement that owns the job can unregister them once no live
 	// RDD depends on the shuffle.
 	job.noteShuffle(dep)
-	return s.runTaskSet(gctx, job, missing, func(part int) *cluster.Task {
+	return s.runTaskSet(gctx, job, fmt.Sprintf("stage:map(shuffle %d)", dep.ID), missing, func(part int) *cluster.Task {
 		return &cluster.Task{
 			JobID:     job.ID,
 			Weight:    job.Weight,
@@ -286,7 +306,10 @@ func (s *Scheduler) runMapTask(gctx context.Context, job *Job, dep *ShuffleDep, 
 // failures (by regenerating parent shuffle outputs), speculation, and
 // context cancellation (queued tasks dropped via the job ID, running
 // tasks left to finish their partition).
-func (s *Scheduler) runTaskSet(gctx context.Context, job *Job, parts []int, mkTask func(part int) *cluster.Task, onSuccess func(part int, value any)) error {
+func (s *Scheduler) runTaskSet(gctx context.Context, job *Job, stage string, parts []int, mkTask func(part int) *cluster.Task, onSuccess func(part int, value any)) error {
+	tr := obs.FromContext(gctx)
+	sp := tr.StartSpan(stage)
+	defer sp.End()
 	type event struct {
 		part    int
 		started time.Time
@@ -313,6 +336,8 @@ func (s *Scheduler) runTaskSet(gctx context.Context, job *Job, parts []int, mkTa
 		inflight[part] = t
 		s.metrics.TasksLaunched.Add(1)
 		job.noteLaunch()
+		tr.AddTask()
+		sp.AddTasks(1)
 		ch := s.ctx.Cluster.Submit(t)
 		go func() {
 			r := <-ch
@@ -370,6 +395,7 @@ func (s *Scheduler) runTaskSet(gctx context.Context, job *Job, parts []int, mkTa
 				d := time.Since(ev.started)
 				durations = append(durations, d)
 				job.noteTaskDone(d)
+				s.observeTask(d)
 				onSuccess(ev.part, ev.res.Value)
 				remaining--
 				continue

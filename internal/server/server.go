@@ -22,6 +22,7 @@ import (
 	"shark"
 	"shark/internal/cluster"
 	"shark/internal/core"
+	"shark/internal/obs"
 	"shark/internal/rdd"
 	"shark/internal/row"
 	"shark/internal/wire"
@@ -43,12 +44,18 @@ type Config struct {
 	HandshakeTimeout time.Duration
 	// Logf receives serving-layer events (nil = silent).
 	Logf func(format string, args ...any)
+	// SlowQueryThreshold admits only statements at least this slow to
+	// the /queries slow-query log (0 = record every statement).
+	SlowQueryThreshold time.Duration
+	// QueryLogSize bounds the slow-query ring buffer (default 64).
+	QueryLogSize int
 }
 
 // Server owns the cluster and the listener.
 type Server struct {
 	cfg     Config
 	cluster *shark.Cluster
+	obs     *observer
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -64,7 +71,9 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, cluster: cl, conns: make(map[*conn]struct{})}, nil
+	s := &Server{cfg: cfg, cluster: cl, obs: newObserver(cl, cfg), conns: make(map[*conn]struct{})}
+	s.connGauge()
+	return s, nil
 }
 
 // Cluster exposes the shared substrate — the owner preloads shared-
@@ -161,10 +170,21 @@ func (s *Server) startConn(nc net.Conn) {
 }
 
 // refuse answers a connection the server will not serve, then closes
-// it.
+// it. After writing the error it lingers, draining the client's
+// in-flight bytes until the client hangs up (or a short deadline):
+// closing immediately can RST the connection while the client's Hello
+// is still in flight, destroying the queued error frame and turning a
+// clean refusal into a broken-pipe race.
 func refuse(nc net.Conn, code uint64, msg string) {
 	nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
 	wire.WriteMessage(nc, 0, wire.Error{Code: code, Msg: msg})
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		if _, err := nc.Read(buf); err != nil {
+			break
+		}
+	}
 	nc.Close()
 }
 
@@ -400,7 +420,16 @@ func (h *conn) onExec(id uint64, m wire.Exec) {
 			h.send(id, wire.Error{Code: wire.CodeSQL, Msg: err.Error()})
 			return
 		}
-		res, err := h.sess.ExecContext(sctx, sql)
+		// Trace the statement: spans and counters accumulate on the
+		// context's trace as execution descends through core, exec and
+		// the scheduler; the finished trace lands in the slow-query log
+		// and latency histogram before any response is sent, so metrics
+		// are complete even when the client is gone.
+		tr := obs.NewTrace(h.sess.Tag, sql)
+		h.srv.obs.stmtStarted.Add(1)
+		res, err := h.sess.ExecContext(obs.WithTrace(sctx, tr), sql)
+		tr.Finish(err)
+		h.srv.obs.statementDone(tr, err)
 		if err != nil {
 			h.send(id, wire.Error{Code: errCode(err), Msg: err.Error()})
 			return

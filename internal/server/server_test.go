@@ -2,14 +2,21 @@ package server_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"shark"
+	"shark/internal/obs"
 	"shark/internal/server"
 	"shark/internal/wire"
 )
@@ -223,32 +230,222 @@ func TestAuthAndConnLimit(t *testing.T) {
 // TestKillConnMidQueryCancelsJob covers the serving layer's core
 // cleanup promise: abruptly dropping the TCP connection while a
 // statement runs cancels its job cluster-wide.
+//
+// The kill races the statement: it may land while tasks are queued
+// (CancelledTasks moves), while a task body runs
+// (CancelledMidPartition moves), between stages (neither counter
+// moves but the statement's trace finishes with a cancellation
+// error), or after the statement already completed cleanly. The last
+// case proves nothing, so the scenario retries instead of hanging on
+// a counter that will never move — the source of this test's old
+// timing flake. Every observation is event-based on server state
+// (counters, the statement trace), never a fixed sleep.
 func TestKillConnMidQueryCancelsJob(t *testing.T) {
 	srv, addr := start(t, server.Config{Cluster: shark.ClusterConfig{Workers: 2, SlotsPerWorker: 1}}, 40000)
+	web := httptest.NewServer(srv.ObsHandler())
+	defer web.Close()
 
-	// A kill mid-query shows up as dropped queued tasks
-	// (CancelledTasks) and/or task bodies aborted mid-partition
-	// (CancelledMidPartition), depending on where the job was.
 	cancelsSeen := func() int64 {
 		return srv.Cluster().Metrics().CancelledTasks.Load() +
 			srv.Cluster().SchedulerMetrics().CancelledMidPartition.Load()
 	}
-	base := cancelsSeen()
-	c := attach(t, addr)
-	launched := srv.Cluster().TasksLaunched()
-	// Fire a heavy self-join and sever the connection once its tasks
-	// are actually on workers.
-	c.Send(wire.Exec{SQL: `SELECT a.url, COUNT(*) FROM logs_mem a JOIN logs_mem b ON a.url = b.url GROUP BY a.url`})
-	deadline := time.Now().Add(30 * time.Second)
-	for srv.Cluster().TasksLaunched() == launched && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	finishedStmts := func() float64 {
+		return scrapeMetrics(t, web.URL)["shark_server_statements_finished_total"]
 	}
-	c.Kill()
-	for cancelsSeen() == base {
-		if time.Now().After(deadline) {
-			t.Fatal("no cancellation observed after killing the connection")
+
+	const attempts = 5
+	for attempt := 0; attempt < attempts; attempt++ {
+		base := cancelsSeen()
+		baseFinished := finishedStmts()
+		c := attach(t, addr)
+		launched := srv.Cluster().TasksLaunched()
+		// Fire a heavy self-join and sever the connection once its
+		// tasks are actually on workers.
+		c.Send(wire.Exec{SQL: `SELECT a.url, COUNT(*) FROM logs_mem a JOIN logs_mem b ON a.url = b.url GROUP BY a.url`})
+		deadline := time.Now().Add(30 * time.Second)
+		for srv.Cluster().TasksLaunched() == launched && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
 		}
-		time.Sleep(5 * time.Millisecond)
+		c.Kill()
+		for time.Now().Before(deadline) {
+			if cancelsSeen() > base {
+				return // cluster-wide cancellation observed
+			}
+			if finishedStmts() > baseFinished {
+				// The statement is done; its trace says how it ended.
+				if latestTrace(t, web.URL).Error != "" {
+					return // cancelled between stages: no counter, but the kill took
+				}
+				break // completed cleanly before the kill landed: retry
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no cancellation and no completion observed after killing the connection")
+		}
+		t.Logf("attempt %d: statement completed before the kill, retrying", attempt)
+	}
+	t.Fatalf("statement completed cleanly before the kill in all %d attempts", attempts)
+}
+
+// scrapeMetrics fetches /metrics and returns every sample keyed by
+// its full name (including any label set), validating the exposition
+// format line by line.
+func scrapeMetrics(t *testing.T, baseURL string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("scrape content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	out := make(map[string]float64)
+	typed := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, valStr, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		family := name
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		family = strings.TrimSuffix(family, "_bucket")
+		family = strings.TrimSuffix(family, "_sum")
+		family = strings.TrimSuffix(family, "_count")
+		if !typed[family] {
+			t.Fatalf("sample %q precedes its TYPE declaration", line)
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// latestTrace fetches /queries and returns the newest recorded
+// statement trace.
+func latestTrace(t *testing.T, baseURL string) obs.TraceSnapshot {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/queries")
+	if err != nil {
+		t.Fatalf("queries: %v", err)
+	}
+	defer resp.Body.Close()
+	var snaps []obs.TraceSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		t.Fatalf("queries decode: %v", err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("queries: empty log")
+	}
+	return snaps[0]
+}
+
+// TestMetricsUnderConcurrentLoad scrapes /metrics while clients hammer
+// the server, checking the exposition stays valid, the statement and
+// task counters only ever move up, and the final counts reconcile with
+// the cluster's own counters.
+func TestMetricsUnderConcurrentLoad(t *testing.T) {
+	srv, addr := start(t, server.Config{}, 2000)
+	web := httptest.NewServer(srv.ObsHandler())
+	defer web.Close()
+
+	const clients, perClient = 4, 6
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		prevStmt, prevTask := -1.0, -1.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m := scrapeMetrics(t, web.URL)
+			stmt := m["shark_server_statements_finished_total"]
+			task := m["shark_scheduler_tasks_launched_total"]
+			if stmt < prevStmt || task < prevTask {
+				t.Errorf("counter went backwards: statements %v->%v tasks %v->%v",
+					prevStmt, stmt, prevTask, task)
+				return
+			}
+			prevStmt, prevTask = stmt, task
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := attach(t, addr)
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				id, _, err := c.RoundtripID(context.Background(),
+					wire.Exec{SQL: `SELECT status, COUNT(*) FROM logs_mem GROUP BY status`})
+				if err != nil {
+					t.Errorf("exec: %v", err)
+					return
+				}
+				if _, err := fetchAll(c, id); err != nil {
+					t.Errorf("fetch: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+
+	m := scrapeMetrics(t, web.URL)
+	if got := m["shark_server_statements_finished_total"]; got != clients*perClient {
+		t.Errorf("statements_finished = %v, want %d", got, clients*perClient)
+	}
+	if got := m["shark_server_statements_started_total"]; got != clients*perClient {
+		t.Errorf("statements_started = %v, want %d", got, clients*perClient)
+	}
+	if got := m["shark_server_statement_errors_total"]; got != 0 {
+		t.Errorf("statement_errors = %v, want 0", got)
+	}
+	// The histogram saw every statement.
+	if got := m["shark_server_statement_seconds_count"]; got != clients*perClient {
+		t.Errorf("statement_seconds_count = %v, want %d", got, clients*perClient)
+	}
+	// Scrape-side counters reconcile with the cluster's own state.
+	if got, want := m["shark_scheduler_tasks_launched_total"],
+		float64(srv.Cluster().SchedulerMetrics().TasksLaunched.Load()); got != want {
+		t.Errorf("tasks_launched = %v, cluster says %v", got, want)
+	}
+	if got := m["shark_task_seconds_count"]; got <= 0 {
+		t.Errorf("task_seconds_count = %v, want > 0", got)
+	}
+	// The query log captured the workload.
+	if tr := latestTrace(t, web.URL); tr.SQL == "" || tr.Tasks <= 0 {
+		t.Errorf("latest trace incomplete: %+v", tr)
 	}
 }
 

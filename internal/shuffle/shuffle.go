@@ -79,10 +79,27 @@ type Service struct {
 	nextID  atomic.Int64
 	cluster *cluster.Cluster
 
+	metrics ServiceMetrics
+
 	mu sync.Mutex
 	// diskFiles tracks files per (shuffle,map,worker) for cleanup.
 	diskFiles map[string][]string
 }
+
+// ServiceMetrics counts reduce-side shuffle traffic (scraped by the
+// cluster metrics registry).
+type ServiceMetrics struct {
+	// FetchCalls counts bucket fetches (Fetch + FetchPartial);
+	// FetchedPairs counts the pairs they returned.
+	FetchCalls   atomic.Int64
+	FetchedPairs atomic.Int64
+	// SpilledReads counts bucket reads served from a producer's disk
+	// spill tier rather than its in-memory block store.
+	SpilledReads atomic.Int64
+}
+
+// Metrics returns the service's counters.
+func (s *Service) Metrics() *ServiceMetrics { return &s.metrics }
 
 // NewService creates a shuffle service. dir is required for Disk mode.
 func NewService(c *cluster.Cluster, mode Mode, dir string) *Service {
@@ -224,6 +241,7 @@ func (s *Service) FetchPartial(shuffleID, bucket int, locations map[int]int, map
 }
 
 func (s *Service) fetchParts(shuffleID, bucket int, locations map[int]int, parts []int) ([]Pair, error) {
+	s.metrics.FetchCalls.Add(1)
 	var out []Pair
 	var missing []int
 	for _, mapPart := range parts {
@@ -238,7 +256,9 @@ func (s *Service) fetchParts(shuffleID, bucket int, locations map[int]int, parts
 		if !ok {
 			// A bucket the shuffle budget pushed to the producer's disk
 			// tier is still that worker's output — read it back.
-			v, ok = w.Store().GetSpilled(key)
+			if v, ok = w.Store().GetSpilled(key); ok {
+				s.metrics.SpilledReads.Add(1)
+			}
 		}
 		if !ok || !w.Alive() {
 			missing = append(missing, mapPart)
@@ -258,6 +278,7 @@ func (s *Service) fetchParts(shuffleID, bucket int, locations map[int]int, parts
 	if len(missing) > 0 {
 		return nil, &FetchError{ShuffleID: shuffleID, MapParts: missing}
 	}
+	s.metrics.FetchedPairs.Add(int64(len(out)))
 	return out, nil
 }
 

@@ -93,8 +93,13 @@ type DropTableStmt struct {
 
 func (*DropTableStmt) stmtNode() {}
 
-// ExplainStmt wraps a statement for plan display.
-type ExplainStmt struct{ Stmt Statement }
+// ExplainStmt wraps a statement for plan display. Analyze marks
+// EXPLAIN ANALYZE: execute the statement and annotate the plan with
+// measured per-node wall time, row counts and PDE decisions.
+type ExplainStmt struct {
+	Stmt    Statement
+	Analyze bool
+}
 
 func (*ExplainStmt) stmtNode() {}
 

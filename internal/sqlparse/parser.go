@@ -112,11 +112,16 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDrop()
 	case p.peekKeyword("EXPLAIN"):
 		p.next()
+		analyze := false
+		if p.peekKeyword("ANALYZE") {
+			p.next()
+			analyze = true
+		}
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Stmt: inner}, nil
+		return &ExplainStmt{Stmt: inner, Analyze: analyze}, nil
 	}
 	return nil, p.errf("expected SELECT, CREATE, DROP or EXPLAIN, found %q", p.peek().text)
 }

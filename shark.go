@@ -373,6 +373,22 @@ func (c *Cluster) SchedulerMetrics() *rdd.Metrics { return c.rddCtx.Scheduler().
 // blocks/bytes, disk hits, disk evictions).
 func (c *Cluster) DiskStats() DiskTierStats { return c.cl.DiskTierStats() }
 
+// ShuffleMetrics returns the shuffle service counters (fetch calls,
+// fetched pairs, spilled-bucket reads).
+func (c *Cluster) ShuffleMetrics() *shuffle.ServiceMetrics { return c.svc.Metrics() }
+
+// Backlog returns the dispatcher's instantaneous queue depth: tasks
+// queued or pending, not yet running.
+func (c *Cluster) Backlog() int64 { return c.cl.Backlog() }
+
+// SetTaskObserver installs fn to be called with every successful
+// task's service time — the feed for per-task latency histograms.
+// Pass nil to remove. The observer runs on scheduler goroutines and
+// must be fast and non-blocking.
+func (c *Cluster) SetTaskObserver(fn func(time.Duration)) {
+	c.rddCtx.Scheduler().SetTaskObserver(fn)
+}
+
 // Kill simulates a node failure, wiping the worker's local state and
 // notifying the scheduler's bookkeeping.
 func (c *Cluster) Kill(id int) {
