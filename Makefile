@@ -44,11 +44,13 @@ bench:
 # asserting the weighted p95 ordering, requiring the adaptive skewed
 # join to beat the static plan, recording serving QPS/p95 for 100
 # concurrent driver connections against an in-process shark-server,
-# and gating statement-tracing overhead at p95 +5%. With
+# gating statement-tracing overhead at p95 +5%, and gating the
+# plan/result caches: abl_qps fails unless cached QPS strictly beats
+# uncached with byte-identical results. With
 # SHARK_OBS_ARTIFACT_DIR set, a live /metrics scrape, the /queries
 # trace log and an EXPLAIN ANALYZE plan land there for upload.
 bench-smoke:
-	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory,abl_storage,abl_concurrency,abl_priority,abl_pde,abl_serving,abl_obs -scale small -markdown bench-report.md -json bench-trajectory.json
+	$(GO) run ./cmd/shark-bench -run abl_dispatch,abl_memory,abl_storage,abl_concurrency,abl_priority,abl_pde,abl_serving,abl_obs,abl_qps -scale small -markdown bench-report.md -json bench-trajectory.json
 
 # Perf gate: compare the newest BENCH_<sha>.json against the previous
 # trajectory point and fail on >25% regressions of recorded experiment

@@ -18,12 +18,19 @@
 //	storage   default storage level: MEMORY_ONLY | MEMORY_AND_DISK | DISK_ONLY
 //	catalog   shared | private (default private)
 //	timeout   dial timeout (Go duration, default 10s)
+//	rescache  per-session result-cache byte quota (0 = off, the default)
+//	plancache on | off (default on): set off to disable plan caching
 //
-// Statements use '?' placeholders. Supported argument types are the
-// engine's value model (nil, int64/ints, float64, bool, string,
-// []byte as string) plus time.Time, which binds as the engine's DATE
-// representation (days since the Unix epoch); DATE result columns
-// scan back as time.Time. Transactions are not supported.
+// Statements use '?' placeholders and bind natively: Prepare creates
+// a real server-side statement handle, and arguments travel as typed
+// wire values that are bound into the parsed tree — never
+// interpolated into the statement text. Supported argument types are
+// nil, ints, float64, bool, string, []byte (bound as a string whose
+// bytes pass through verbatim) and time.Time, which binds as the
+// engine's DATE representation (days since the Unix epoch); DATE
+// result columns scan back as time.Time. Statements the native
+// binder cannot take fall back transparently to the legacy
+// interpolation path. Transactions are not supported.
 package driver
 
 import (
@@ -72,14 +79,16 @@ func (d Driver) OpenConnector(dsn string) (sqldriver.Connector, error) {
 
 // config is a parsed DSN.
 type config struct {
-	addr          string
-	token         string
-	session       string
-	priority      int
-	maxJobs       int
-	storage       rdd.StorageLevel
-	sharedCatalog bool
-	dialTimeout   time.Duration
+	addr             string
+	token            string
+	session          string
+	priority         int
+	maxJobs          int
+	storage          rdd.StorageLevel
+	sharedCatalog    bool
+	dialTimeout      time.Duration
+	resultCacheBytes uint64
+	disablePlanCache bool
 }
 
 func parseDSN(dsn string) (config, error) {
@@ -128,6 +137,19 @@ func parseDSN(dsn string) (config, error) {
 			if cfg.dialTimeout, err = time.ParseDuration(v); err != nil {
 				return cfg, fmt.Errorf("shark driver: bad timeout %q", v)
 			}
+		case "rescache":
+			if cfg.resultCacheBytes, err = strconv.ParseUint(v, 10, 63); err != nil {
+				return cfg, fmt.Errorf("shark driver: bad rescache %q", v)
+			}
+		case "plancache":
+			switch v {
+			case "on", "":
+				cfg.disablePlanCache = false
+			case "off":
+				cfg.disablePlanCache = true
+			default:
+				return cfg, fmt.Errorf("shark driver: plancache must be on or off, got %q", v)
+			}
 		default:
 			return cfg, fmt.Errorf("shark driver: unknown DSN option %q", k)
 		}
@@ -161,6 +183,8 @@ func (cn *connector) Connect(ctx context.Context) (sqldriver.Conn, error) {
 		MaxConcurrentJobs: uint64(cn.cfg.maxJobs),
 		StorageLevel:      byte(cn.cfg.storage),
 		SharedCatalog:     cn.cfg.sharedCatalog,
+		ResultCacheBytes:  cn.cfg.resultCacheBytes,
+		DisablePlanCache:  cn.cfg.disablePlanCache,
 	})
 	if err != nil {
 		cl.Close()
@@ -184,18 +208,41 @@ type conn struct {
 }
 
 var (
-	_ sqldriver.QueryerContext    = (*conn)(nil)
-	_ sqldriver.ExecerContext     = (*conn)(nil)
-	_ sqldriver.Pinger            = (*conn)(nil)
-	_ sqldriver.Validator         = (*conn)(nil)
-	_ sqldriver.NamedValueChecker = (*conn)(nil)
+	_ sqldriver.QueryerContext     = (*conn)(nil)
+	_ sqldriver.ExecerContext      = (*conn)(nil)
+	_ sqldriver.ConnPrepareContext = (*conn)(nil)
+	_ sqldriver.Pinger             = (*conn)(nil)
+	_ sqldriver.Validator          = (*conn)(nil)
+	_ sqldriver.NamedValueChecker  = (*conn)(nil)
 )
 
 // Session reports the server-assigned session name.
 func (c *conn) Session() string { return c.session }
 
 func (c *conn) Prepare(query string) (sqldriver.Stmt, error) {
-	return &stmt{c: c, query: query, numInput: wire.CountPlaceholders(query)}, nil
+	return c.PrepareContext(context.Background(), query)
+}
+
+// PrepareContext creates a real server-side statement handle. When
+// the server's native grammar rejects the text (e.g. `LIMIT ?`, which
+// only the legacy interpolation path supports), it degrades to a
+// client-side statement whose executions ride the legacy Exec
+// message — preserving the old driver's behavior, where Prepare never
+// validated and errors surfaced at execution.
+func (c *conn) PrepareContext(ctx context.Context, query string) (sqldriver.Stmt, error) {
+	resp, err := c.c.RoundtripCtx(ctx, wire.Prepare{SQL: query})
+	if err != nil {
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) && (remote.Code == wire.CodeSQL || remote.Code == wire.CodeBind) {
+			return &stmt{c: c, query: query, numInput: wire.CountPlaceholders(query)}, nil
+		}
+		return nil, c.mapErr(ctx, err)
+	}
+	ok, isOK := resp.(wire.PrepareOK)
+	if !isOK {
+		return nil, fmt.Errorf("shark driver: unexpected prepare response %T", resp)
+	}
+	return &stmt{c: c, query: query, handle: ok.Handle, numInput: int(ok.NumParams)}, nil
 }
 
 func (c *conn) Close() error { return c.c.Close() }
@@ -214,20 +261,17 @@ func (c *conn) Ping(ctx context.Context) error {
 
 func (c *conn) IsValid() bool { return c.c.Alive() }
 
-// CheckNamedValue normalizes arguments to the engine's value model.
+// CheckNamedValue admits arguments the typed wire codec can carry.
+// []byte and time.Time pass through untouched — the old coercions to
+// string and int64 here were lossy (a []byte with quote or comment
+// bytes went through the interpolator as text) and are exactly what
+// native binding exists to kill.
 func (c *conn) CheckNamedValue(nv *sqldriver.NamedValue) error {
 	if nv.Name != "" {
 		return errors.New("shark driver: named parameters are not supported")
 	}
-	switch v := nv.Value.(type) {
-	case nil, int64, float64, bool, string:
-		return nil
-	case []byte:
-		nv.Value = string(v)
-		return nil
-	case time.Time:
-		// DATE is days since the Unix epoch in the engine.
-		nv.Value = v.UTC().Unix() / 86400
+	switch nv.Value.(type) {
+	case nil, int64, float64, bool, string, []byte, time.Time:
 		return nil
 	}
 	v, err := sqldriver.DefaultParameterConverter.ConvertValue(nv.Value)
@@ -235,17 +279,61 @@ func (c *conn) CheckNamedValue(nv *sqldriver.NamedValue) error {
 		return fmt.Errorf("shark driver: unsupported arg type %T", nv.Value)
 	}
 	nv.Value = v
-	if b, ok := v.([]byte); ok {
-		nv.Value = string(b)
-	}
 	return nil
 }
 
-// exec runs one statement and returns its open cursor.
-func (c *conn) exec(ctx context.Context, query string, args []sqldriver.NamedValue) (uint64, wire.ResultSet, error) {
+// wireArgs converts checked arguments to typed wire values. time.Time
+// becomes wire.Date (days since the Unix epoch) so a date crosses the
+// wire as a date; everything else is already a wire-native type.
+func wireArgs(args []sqldriver.NamedValue) []any {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]any, len(args))
+	for i, a := range args {
+		if t, ok := a.Value.(time.Time); ok {
+			out[i] = wire.Date(t.UTC().Unix() / 86400)
+		} else {
+			out[i] = a.Value
+		}
+	}
+	return out
+}
+
+// exec runs one statement natively — by prepared handle, or one-shot
+// with inline text — and returns its open cursor. A one-shot the
+// server's native binder rejects retries on the legacy path.
+func (c *conn) exec(ctx context.Context, handle uint64, query string, args []sqldriver.NamedValue) (uint64, wire.ResultSet, error) {
+	id, resp, err := c.c.RoundtripID(ctx, wire.ExecPrepared{Handle: handle, SQL: query, Args: wireArgs(args)})
+	if err != nil {
+		var remote *wire.RemoteError
+		if handle == 0 && errors.As(err, &remote) && remote.Code == wire.CodeBind {
+			return c.execLegacy(ctx, query, args)
+		}
+		return 0, wire.ResultSet{}, c.mapErr(ctx, err)
+	}
+	rs, ok := resp.(wire.ResultSet)
+	if !ok {
+		return 0, wire.ResultSet{}, fmt.Errorf("shark driver: unexpected exec response %T", resp)
+	}
+	return id, rs, nil
+}
+
+// execLegacy is the compatibility path for statements the native
+// binder cannot take: the legacy Exec message, which the server
+// answers by interpolating. Arguments decay to the legacy value model
+// ([]byte to string, time.Time to epoch days).
+func (c *conn) execLegacy(ctx context.Context, query string, args []sqldriver.NamedValue) (uint64, wire.ResultSet, error) {
 	bound := make(row.Row, len(args))
 	for i, a := range args {
-		bound[i] = a.Value
+		switch v := a.Value.(type) {
+		case []byte:
+			bound[i] = string(v)
+		case time.Time:
+			bound[i] = v.UTC().Unix() / 86400
+		default:
+			bound[i] = a.Value
+		}
 	}
 	id, resp, err := c.c.RoundtripID(ctx, wire.Exec{SQL: query, Args: bound})
 	if err != nil {
@@ -282,7 +370,7 @@ func (c *conn) mapErr(ctx context.Context, err error) error {
 }
 
 func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
-	cursor, rs, err := c.exec(ctx, query, args)
+	cursor, rs, err := c.exec(ctx, 0, query, args)
 	if err != nil {
 		return nil, err
 	}
@@ -290,12 +378,17 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.
 }
 
 func (c *conn) ExecContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
-	cursor, rs, err := c.exec(ctx, query, args)
+	cursor, rs, err := c.exec(ctx, 0, query, args)
 	if err != nil {
 		return nil, err
 	}
-	// Exec discards the rows; free the cursor server-side.
-	c.c.Send(wire.CloseStmt{Cursor: cursor})
+	// Exec discards the rows; free the cursor server-side. A send
+	// failure is surfaced — a silently leaked cursor pins the result
+	// until the server's idle expiry — except ErrConnClosed: the
+	// connection is already dead and IsValid poisons it for the pool.
+	if err := c.c.Send(wire.CloseStmt{Cursor: cursor}); err != nil && !errors.Is(err, wire.ErrConnClosed) {
+		return nil, err
+	}
 	return result{rows: int64(rs.NumRows)}, nil
 }
 
@@ -306,12 +399,18 @@ func (result) LastInsertId() (int64, error) {
 }
 func (r result) RowsAffected() (int64, error) { return r.rows, nil }
 
-// stmt is a client-side prepared statement (text + placeholder
-// count); binding happens on the server per execution.
+// stmt is a prepared statement. handle != 0 names a server-side
+// parsed statement executed with typed argument binding; handle == 0
+// is the legacy degradation for text the native grammar rejects,
+// where each execution rides the interpolating Exec message.
 type stmt struct {
 	c        *conn
 	query    string
+	handle   uint64
 	numInput int
+
+	mu     sync.Mutex
+	closed bool
 }
 
 var (
@@ -319,7 +418,24 @@ var (
 	_ sqldriver.StmtExecContext  = (*stmt)(nil)
 )
 
-func (s *stmt) Close() error  { return nil }
+// Close releases the server-side handle. The release must reach the
+// server — a connection silently leaking handles hits the per-conn
+// handle cap — so the send error is checked; ErrConnClosed is fine,
+// a dead connection's handles died with it.
+func (s *stmt) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.handle == 0 {
+		s.closed = true
+		return nil
+	}
+	s.closed = true
+	if err := s.c.c.Send(wire.ClosePrepared{Handle: s.handle}); err != nil && !errors.Is(err, wire.ErrConnClosed) {
+		return err
+	}
+	return nil
+}
+
 func (s *stmt) NumInput() int { return s.numInput }
 
 func (s *stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
@@ -331,11 +447,28 @@ func (s *stmt) Query(args []sqldriver.Value) (sqldriver.Rows, error) {
 }
 
 func (s *stmt) ExecContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Result, error) {
-	return s.c.ExecContext(ctx, s.query, args)
+	if s.handle == 0 {
+		return s.c.ExecContext(ctx, s.query, args)
+	}
+	cursor, rs, err := s.c.exec(ctx, s.handle, "", args)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.c.c.Send(wire.CloseStmt{Cursor: cursor}); err != nil && !errors.Is(err, wire.ErrConnClosed) {
+		return nil, err
+	}
+	return result{rows: int64(rs.NumRows)}, nil
 }
 
 func (s *stmt) QueryContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
-	return s.c.QueryContext(ctx, s.query, args)
+	if s.handle == 0 {
+		return s.c.QueryContext(ctx, s.query, args)
+	}
+	cursor, rs, err := s.c.exec(ctx, s.handle, "", args)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{conn: s.c, ctx: ctx, cursor: cursor, schema: rs.Schema, remaining: rs.NumRows}, nil
 }
 
 func namedValues(args []sqldriver.Value) []sqldriver.NamedValue {
@@ -391,7 +524,10 @@ func (r *rows) ColumnTypeDatabaseTypeName(i int) string {
 }
 
 // Close frees the server-side cursor. database/sql may call it
-// concurrently with Next when a query context is cancelled.
+// concurrently with Next when a query context is cancelled. The
+// close must reach the server or the cursor pins its result until
+// idle expiry, so the send error is checked; ErrConnClosed is fine,
+// a dead connection's cursors died with it.
 func (r *rows) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -400,7 +536,9 @@ func (r *rows) Close() error {
 	}
 	r.closed = true
 	if !r.done {
-		r.conn.c.Send(wire.CloseStmt{Cursor: r.cursor})
+		if err := r.conn.c.Send(wire.CloseStmt{Cursor: r.cursor}); err != nil && !errors.Is(err, wire.ErrConnClosed) {
+			return err
+		}
 	}
 	return nil
 }

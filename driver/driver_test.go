@@ -339,3 +339,87 @@ func TestDriverExplainAnalyze(t *testing.T) {
 		t.Errorf("EXPLAIN ANALYZE trace attributed no tasks")
 	}
 }
+
+// TestDriverBytesAndHostileArgs: a []byte argument full of SQL syntax
+// binds as data and matches nothing — regression for the old driver,
+// which coerced []byte to string and shipped it through the
+// interpolator, where quote, backslash and comment bytes could be
+// read as SQL text.
+func TestDriverBytesAndHostileArgs(t *testing.T) {
+	_, addr := startServer(t, server.Config{}, 100)
+	db, err := sql.Open("shark", addr+"?catalog=shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	for _, hostile := range []string{
+		`' OR '1'='1' -- `,
+		`quote ' backslash \ comment --`,
+		"\x00binary\xff",
+	} {
+		var n int64
+		if err := db.QueryRow(`SELECT COUNT(*) FROM logs_mem WHERE url = ?`, []byte(hostile)).Scan(&n); err != nil {
+			t.Fatalf("hostile []byte %q: %v", hostile, err)
+		}
+		if n != 0 {
+			t.Errorf("hostile []byte %q matched %d rows, want 0", hostile, n)
+		}
+	}
+	// The same []byte path matches real data byte-for-byte.
+	var n int64
+	if err := db.QueryRow(`SELECT COUNT(*) FROM logs_mem WHERE url = ?`, []byte("/p/1")).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("[]byte arg matched no rows, want > 0")
+	}
+	// The connection survived every hostile bind.
+	if err := db.Ping(); err != nil {
+		t.Errorf("connection dead after hostile args: %v", err)
+	}
+}
+
+// TestDriverLegacyFallback: `LIMIT ?` is outside the native binder's
+// grammar; the driver must degrade transparently to the legacy
+// interpolation path, both one-shot and through Prepare.
+func TestDriverLegacyFallback(t *testing.T) {
+	_, addr := startServer(t, server.Config{}, 100)
+	db, err := sql.Open("shark", addr+"?catalog=shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	countRows := func(rows *sql.Rows, err error) int {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		n := 0
+		for rows.Next() {
+			var url string
+			if err := rows.Scan(&url); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	if n := countRows(db.Query(`SELECT url FROM logs_mem LIMIT ?`, 7)); n != 7 {
+		t.Errorf("one-shot LIMIT ? returned %d rows, want 7", n)
+	}
+	stmt, err := db.Prepare(`SELECT url FROM logs_mem LIMIT ?`)
+	if err != nil {
+		t.Fatalf("Prepare must degrade to the legacy path, got %v", err)
+	}
+	defer stmt.Close()
+	if n := countRows(stmt.Query(3)); n != 3 {
+		t.Errorf("prepared LIMIT ? returned %d rows, want 3", n)
+	}
+}

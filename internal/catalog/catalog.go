@@ -48,18 +48,53 @@ type Table struct {
 func (t *Table) Cached() bool { return t.Mem != nil }
 
 // Catalog is a concurrency-safe table and UDF registry.
+//
+// Every metadata mutation (register, replace, drop, UDF install)
+// advances a monotonic catalog version, and each table carries the
+// version at which it last changed. Plan and result caches key on
+// these versions: a DDL anywhere bumps the global version
+// (invalidating cached plans for every session sharing the catalog),
+// and per-table versions let result caches invalidate only statements
+// that read the mutated table.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	udfs   map[string]*expr.UDF
+	mu        sync.RWMutex
+	tables    map[string]*Table
+	udfs      map[string]*expr.UDF
+	version   int64
+	tableVers map[string]int64 // entries survive Drop so re-creates get fresh versions
 }
 
 // New creates an empty catalog.
 func New() *Catalog {
 	return &Catalog{
-		tables: make(map[string]*Table),
-		udfs:   make(map[string]*expr.UDF),
+		tables:    make(map[string]*Table),
+		udfs:      make(map[string]*expr.UDF),
+		tableVers: make(map[string]int64),
 	}
+}
+
+// bump advances the catalog version; callers hold c.mu.
+func (c *Catalog) bump(tableKey string) {
+	c.version++
+	if tableKey != "" {
+		c.tableVers[tableKey] = c.version
+	}
+}
+
+// Version returns the global catalog version, advanced by every
+// metadata mutation.
+func (c *Catalog) Version() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// TableVersion returns the version at which the named table last
+// changed (including its drop); 0 if the name was never registered.
+func (c *Catalog) TableVersion(name string) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tableVers[key(name)]
 }
 
 func key(name string) string { return strings.ToLower(name) }
@@ -76,6 +111,7 @@ func (c *Catalog) Register(t *Table) error {
 		t.Props = map[string]string{}
 	}
 	c.tables[k] = t
+	c.bump(k)
 	return nil
 }
 
@@ -87,6 +123,7 @@ func (c *Catalog) Replace(t *Table) {
 		t.Props = map[string]string{}
 	}
 	c.tables[key(t.Name)] = t
+	c.bump(key(t.Name))
 }
 
 // Get looks a table up (case-insensitive).
@@ -114,6 +151,9 @@ func (c *Catalog) Drop(name string) bool {
 	c.mu.Lock()
 	t, ok := c.tables[key(name)]
 	delete(c.tables, key(name))
+	if ok {
+		c.bump(key(name))
+	}
 	c.mu.Unlock()
 	if ok && t.Mem != nil {
 		t.Mem.Drop()
@@ -134,6 +174,7 @@ func (c *Catalog) DropOwned(name, owner string) bool {
 		return false
 	}
 	delete(c.tables, key(name))
+	c.bump(key(name))
 	c.mu.Unlock()
 	if t.Mem != nil {
 		t.Mem.Drop()
@@ -166,6 +207,7 @@ func (c *Catalog) RegisterUDF(f *expr.UDF) error {
 		return fmt.Errorf("catalog: UDF %q already registered", f.Name)
 	}
 	c.udfs[k] = f
+	c.bump("")
 	return nil
 }
 

@@ -82,3 +82,48 @@ func TestCachedFlag(t *testing.T) {
 		t.Error("file-backed table is not cached")
 	}
 }
+
+func TestVersioning(t *testing.T) {
+	c := New()
+	if c.Version() != 0 || c.TableVersion("logs") != 0 {
+		t.Fatal("fresh catalog must be at version 0")
+	}
+	if err := c.Register(testTable("logs")); err != nil {
+		t.Fatal(err)
+	}
+	v1, tv1 := c.Version(), c.TableVersion("logs")
+	if v1 == 0 || tv1 != v1 {
+		t.Fatalf("register must bump versions: global=%d table=%d", v1, tv1)
+	}
+	c.Replace(testTable("logs"))
+	if c.Version() <= v1 || c.TableVersion("LOGS") <= tv1 {
+		t.Fatal("replace must bump global and table versions (case-insensitive)")
+	}
+	v2 := c.Version()
+	if !c.Drop("logs") {
+		t.Fatal("drop failed")
+	}
+	if c.Version() <= v2 || c.TableVersion("logs") <= v2 {
+		t.Fatal("drop must bump versions so cached results over the old table invalidate")
+	}
+	// Re-creating gets a fresh version, never a reused one.
+	v3 := c.Version()
+	if err := c.Register(testTable("logs")); err != nil {
+		t.Fatal(err)
+	}
+	if c.TableVersion("logs") <= v3 {
+		t.Fatal("re-create must produce a fresh table version")
+	}
+	// Dropping a missing table is not a mutation.
+	v4 := c.Version()
+	if c.Drop("nope") || c.Version() != v4 {
+		t.Fatal("no-op drop must not bump the version")
+	}
+	// UDF registration changes name resolution: global bump only.
+	if err := c.RegisterUDF(&expr.UDF{Name: "myfn", Fn: func(args []any) any { return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() <= v4 {
+		t.Fatal("RegisterUDF must bump the global version")
+	}
+}

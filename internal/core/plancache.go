@@ -1,0 +1,128 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"shark/internal/plan"
+	"shark/internal/sqlparse"
+)
+
+// PlanCache memoizes the SQL front-end for the high-QPS repeated-query
+// path: normalized statement text maps to its parsed AST, and for
+// parameterless SELECTs also to the analyzed plan, so a dashboard
+// re-running the same statements skips lex/parse (and usually
+// analyze/optimize) entirely.
+//
+// Keys are built by Session from (normalized SQL with parameter
+// slots, engine-options fingerprint, catalog version) — see
+// Session.planKey. Because the catalog version changes on every DDL,
+// invalidation is free: stale entries simply stop being looked up and
+// age out of the LRU. A cache may be shared by every session attached
+// to a shared catalog; all methods are concurrency-safe, and cached
+// ASTs/plans are never mutated (binding copies, analysis and
+// compilation read).
+type PlanCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type planEntry struct {
+	key       string
+	stmt      sqlparse.Statement
+	numParams int
+	plan      plan.Node // non-nil only for parameterless SELECTs
+}
+
+// DefaultPlanCacheSize bounds a session's plan cache when the caller
+// does not size it explicitly.
+const DefaultPlanCacheSize = 256
+
+// NewPlanCache creates a plan cache holding at most max statements
+// (<=0 uses DefaultPlanCacheSize).
+func NewPlanCache(max int) *PlanCache {
+	if max <= 0 {
+		max = DefaultPlanCacheSize
+	}
+	return &PlanCache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// lookup returns the cached entry for key, promoting it.
+func (c *PlanCache) lookup(key string) (*planEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*planEntry), true
+}
+
+// insert stores an entry, evicting the least-recently-used statement
+// at capacity. An existing entry for the key is only upgraded (a
+// racing insert without a plan never erases one with it).
+func (c *PlanCache) insert(e *planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		old := el.Value.(*planEntry)
+		if old.plan == nil && e.plan != nil {
+			el.Value = e
+		}
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[e.key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*planEntry).key)
+	}
+}
+
+// Len reports how many statements are cached.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats reports cumulative hits and misses.
+func (c *PlanCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// optsFingerprint renders the session's effective engine options into
+// the cache key, so sessions sharing a PlanCache but running with
+// different knobs (join strategy, PDE toggles, ...) never share plans.
+func (s *Session) optsFingerprint() string {
+	s.mu.Lock()
+	if s.optsFP == "" {
+		s.optsFP = fmt.Sprintf("%+v", s.Engine.Options())
+	}
+	fp := s.optsFP
+	s.mu.Unlock()
+	return fp
+}
+
+// planKey builds the cache key for a statement: normalized text
+// (parameter slots intact), engine options, catalog version. Any DDL
+// bumps the version, so every session keying against the shared
+// catalog switches to fresh entries immediately.
+func (s *Session) planKey(norm string) string {
+	return fmt.Sprintf("%s\x00%s\x00%d", norm, s.optsFingerprint(), s.Cat.Version())
+}

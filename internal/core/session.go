@@ -67,10 +67,24 @@ type Session struct {
 	// (or "DISK_ONLY"), or a separate "shark.storageLevel" property.
 	DefaultStorageLevel rdd.StorageLevel
 
-	// mu guards created: the tables this session registered, in
-	// order. Close drops exactly these — never another session's.
+	// Plans caches parsed (and, for parameterless SELECTs, analyzed)
+	// statements keyed on normalized text + engine options + catalog
+	// version. Sessions attached to a shared catalog share one
+	// instance so invalidation-by-version covers all of them. nil
+	// disables plan caching.
+	Plans *PlanCache
+
+	// Results, when non-nil, caches whole results of deterministic
+	// read-only statements in the cluster's block stores under a
+	// per-session byte quota. Opt-in.
+	Results *ResultCache
+
+	// mu guards created — the tables this session registered, in
+	// order; Close drops exactly these, never another session's —
+	// and optsFP, the lazily rendered engine-options fingerprint.
 	mu      sync.Mutex
 	created []string
+	optsFP  string
 
 	// closed latches on the first Close; later statements fail fast
 	// with ErrClosed instead of racing the teardown.
@@ -102,6 +116,7 @@ func NewSessionNamed(ctx *rdd.Context, fs *dfs.FS, cat *catalog.Catalog, tag str
 		Cat:    cat,
 		Tag:    tag,
 		Engine: exec.New(ctx, cat, fs, opts),
+		Plans:  NewPlanCache(0),
 	}
 }
 
@@ -264,11 +279,24 @@ func (s *Session) ExecContext(gctx context.Context, sql string) (*Result, error)
 	}
 	tr := obs.FromContext(gctx)
 	psp := tr.StartSpan("parse")
-	stmt, err := sqlparse.Parse(sql)
+	norm := sqlparse.Normalize(sql)
+	stmt, err := s.parseCached(sql, norm)
 	psp.End()
 	if err != nil {
 		return nil, err
 	}
+	p := &Prepared{SQL: sql, norm: norm, stmt: stmt, numParams: sqlparse.NumParams(stmt)}
+	if p.numParams > 0 {
+		return nil, fmt.Errorf("core: statement has %d unbound parameter(s); use ExecArgsCtx or a prepared statement", p.numParams)
+	}
+	return s.execPrepared(gctx, p, nil)
+}
+
+// execStatement runs one fully bound statement as a scheduler job. p
+// carries the statement's cache identity when it came through the
+// parse cache (nil for internal callers), letting runSelect reuse and
+// publish analyzed plans.
+func (s *Session) execStatement(gctx context.Context, stmt sqlparse.Statement, p *Prepared) (*Result, error) {
 	job, err := s.startJob(gctx)
 	if err != nil {
 		return nil, err
@@ -280,7 +308,7 @@ func (s *Session) ExecContext(gctx context.Context, sql string) (*Result, error)
 	gctx = rdd.WithJob(gctx, job)
 	switch t := stmt.(type) {
 	case *sqlparse.SelectStmt:
-		return s.runSelect(gctx, t)
+		return s.runSelect(gctx, t, p)
 	case *sqlparse.CreateTableStmt:
 		return s.runCreate(gctx, t)
 	case *sqlparse.DropTableStmt:
@@ -298,14 +326,33 @@ func (s *Session) ExecContext(gctx context.Context, sql string) (*Result, error)
 	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 }
 
-func (s *Session) runSelect(gctx context.Context, sel *sqlparse.SelectStmt) (*Result, error) {
+func (s *Session) runSelect(gctx context.Context, sel *sqlparse.SelectStmt, prep *Prepared) (*Result, error) {
 	tr := obs.FromContext(gctx)
+	// Parameterless SELECTs can reuse the analyzed plan: analysis
+	// reads the AST and compilation reads the plan, so one cached
+	// plan serves concurrent executions. Parameterized statements
+	// bind a fresh tree per execution and re-analyze (the AST reuse
+	// already skipped lex/parse).
+	var cacheKey string
+	if s.Plans != nil && prep != nil && prep.numParams == 0 {
+		cacheKey = s.planKey(prep.norm)
+		if e, ok := s.Plans.lookup(cacheKey); ok && e.plan != nil {
+			return s.runPlan(gctx, tr, e.plan)
+		}
+	}
 	sp := tr.StartSpan("analyze/plan")
 	p, err := plan.Analyze(s.Cat, sel)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	if cacheKey != "" {
+		s.Plans.insert(&planEntry{key: cacheKey, stmt: sel, plan: p})
+	}
+	return s.runPlan(gctx, tr, p)
+}
+
+func (s *Session) runPlan(gctx context.Context, tr *obs.Trace, p plan.Node) (*Result, error) {
 	esp := tr.StartSpan("execute")
 	res, err := s.Engine.RunCtx(gctx, p)
 	esp.End()

@@ -47,6 +47,7 @@ var experiments = map[string]func(context.Context, Scale, *Report) error{
 	"abl_obs":         runObs,
 	"abl_pde":         runPDE,
 	"abl_serving":     runServing,
+	"abl_qps":         runQPS,
 	"pruning":         runPruning,
 }
 

@@ -49,6 +49,15 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// QueryLogSize bounds the slow-query ring buffer (default 64).
 	QueryLogSize int
+	// MaxCursorsPerConn bounds open result cursors per connection
+	// (default 64). At the cap the oldest-idle cursor is evicted to
+	// admit the new result, so a client that executes but never
+	// fetches or closes cannot pin unbounded result memory.
+	MaxCursorsPerConn int
+	// CursorIdleTimeout expires cursors nobody has fetched from
+	// (default 5m). Expiry is enforced as messages are handled — no
+	// background goroutine.
+	CursorIdleTimeout time.Duration
 }
 
 // Server owns the cluster and the listener.
@@ -98,6 +107,20 @@ func (s *Server) handshakeTimeout() time.Duration {
 		return s.cfg.HandshakeTimeout
 	}
 	return 10 * time.Second
+}
+
+func (s *Server) maxCursors() int {
+	if s.cfg.MaxCursorsPerConn > 0 {
+		return s.cfg.MaxCursorsPerConn
+	}
+	return 64
+}
+
+func (s *Server) cursorIdle() time.Duration {
+	if s.cfg.CursorIdleTimeout > 0 {
+		return s.cfg.CursorIdleTimeout
+	}
+	return 5 * time.Minute
 }
 
 // ListenAndServe listens on addr and serves until Shutdown.
@@ -151,6 +174,7 @@ func (s *Server) startConn(nc net.Conn) {
 	h.ctx, h.cancel = context.WithCancel(context.Background())
 	h.stmts = make(map[uint64]context.CancelFunc)
 	h.cursors = make(map[uint64]*cursor)
+	h.prepared = make(map[uint64]*core.Prepared)
 
 	s.mu.Lock()
 	if s.draining {
@@ -252,18 +276,27 @@ type conn struct {
 
 	sess *shark.Session // nil until Attach
 
-	mu       sync.Mutex
-	stmts    map[uint64]context.CancelFunc // in-flight Execs by request id
-	cursors  map[uint64]*cursor            // fetchable results by Exec id
-	draining bool
+	mu         sync.Mutex
+	stmts      map[uint64]context.CancelFunc // in-flight Execs by request id
+	cursors    map[uint64]*cursor            // fetchable results by Exec id
+	prepared   map[uint64]*core.Prepared     // statement handles by Prepare
+	nextHandle uint64
+	draining   bool
 
 	execWG sync.WaitGroup
 }
 
-// cursor is a materialized statement result mid-fetch.
+// maxPreparedPerConn bounds statement handles per connection; a
+// client needing more is leaking them.
+const maxPreparedPerConn = 256
+
+// cursor is a materialized statement result mid-fetch. lastUsed
+// drives the idle-expiry and at-cap eviction that keep a misbehaving
+// client from pinning results forever.
 type cursor struct {
-	res *core.Result
-	off int
+	res      *core.Result
+	off      int
+	lastUsed time.Time
 }
 
 // send frames and writes one response; write failures are terminal
@@ -329,6 +362,14 @@ func (h *conn) handle() {
 			h.onAttach(id, m)
 		case wire.Exec:
 			h.onExec(id, m)
+		case wire.Prepare:
+			h.onPrepare(id, m)
+		case wire.ExecPrepared:
+			h.onExecPrepared(id, m)
+		case wire.ClosePrepared:
+			h.mu.Lock()
+			delete(h.prepared, m.Handle)
+			h.mu.Unlock()
 		case wire.Fetch:
 			h.onFetch(id, m)
 		case wire.Cancel:
@@ -367,6 +408,8 @@ func (h *conn) onAttach(id uint64, m wire.Attach) {
 		Priority:          int(m.Priority),
 		MaxConcurrentJobs: int(m.MaxConcurrentJobs),
 		StorageLevel:      level,
+		ResultCacheBytes:  int64(m.ResultCacheBytes),
+		DisablePlanCache:  m.DisablePlanCache,
 	})
 	if err != nil {
 		h.send(id, wire.Error{Code: errCode(err), Msg: err.Error()})
@@ -376,7 +419,12 @@ func (h *conn) onAttach(id uint64, m wire.Attach) {
 	h.send(id, wire.AttachOK{Name: sess.Tag})
 }
 
-func (h *conn) onExec(id uint64, m wire.Exec) {
+// runStatement admits one statement under the request id, executes
+// run off the read loop (so Cancel frames and disconnects still get
+// through), registers the result cursor, and replies. sqlText is what
+// the slow-query log records — for parameterized statements it is the
+// template text, so argument values never leak into observability.
+func (h *conn) runStatement(id uint64, sqlText string, run func(context.Context) (*core.Result, error)) {
 	if h.sess == nil {
 		h.send(id, wire.Error{Code: wire.CodeProtocol, Msg: "attach a session first"})
 		return
@@ -396,8 +444,6 @@ func (h *conn) onExec(id uint64, m wire.Exec) {
 	h.stmts[id] = cancel
 	h.mu.Unlock()
 
-	// Execute off the read loop so Cancel frames (and disconnects)
-	// still get through while the statement runs.
 	h.execWG.Add(1)
 	go func() {
 		defer h.execWG.Done()
@@ -415,44 +461,173 @@ func (h *conn) onExec(id uint64, m wire.Exec) {
 				h.send(id, wire.Error{Code: wire.CodeInternal, Msg: fmt.Sprintf("internal error: %v", r)})
 			}
 		}()
-		sql, err := wire.Interpolate(m.SQL, m.Args)
-		if err != nil {
-			h.send(id, wire.Error{Code: wire.CodeSQL, Msg: err.Error()})
-			return
-		}
 		// Trace the statement: spans and counters accumulate on the
 		// context's trace as execution descends through core, exec and
 		// the scheduler; the finished trace lands in the slow-query log
 		// and latency histogram before any response is sent, so metrics
 		// are complete even when the client is gone.
-		tr := obs.NewTrace(h.sess.Tag, sql)
+		tr := obs.NewTrace(h.sess.Tag, sqlText)
 		h.srv.obs.stmtStarted.Add(1)
-		res, err := h.sess.ExecContext(obs.WithTrace(sctx, tr), sql)
+		res, err := run(obs.WithTrace(sctx, tr))
 		tr.Finish(err)
 		h.srv.obs.statementDone(tr, err)
 		if err != nil {
 			h.send(id, wire.Error{Code: errCode(err), Msg: err.Error()})
 			return
 		}
-		h.mu.Lock()
-		h.cursors[id] = &cursor{res: res}
-		h.mu.Unlock()
+		h.registerCursor(id, res)
 		h.send(id, wire.ResultSet{Schema: res.Schema, Message: res.Message, NumRows: uint64(len(res.Rows))})
 	}()
+}
+
+func (h *conn) onExec(id uint64, m wire.Exec) {
+	h.runStatement(id, m.SQL, func(ctx context.Context) (*core.Result, error) {
+		if len(m.Args) == 0 {
+			return h.sess.ExecContext(ctx, m.SQL)
+		}
+		res, err := h.sess.ExecArgsCtx(ctx, m.SQL, m.Args)
+		if err != nil && errors.Is(err, core.ErrBind) {
+			// Legacy fallback for old clients: statements the native
+			// binder cannot take (e.g. LIMIT ?) are interpolated the
+			// old way. New clients speak ExecPrepared and never land
+			// here.
+			sql, ierr := wire.Interpolate(m.SQL, m.Args)
+			if ierr != nil {
+				return nil, ierr
+			}
+			return h.sess.ExecContext(ctx, sql)
+		}
+		return res, err
+	})
+}
+
+// onPrepare parses a statement into a connection-scoped handle. Parse
+// is fast and touches no scheduler state, so it runs on the read loop.
+func (h *conn) onPrepare(id uint64, m wire.Prepare) {
+	if h.sess == nil {
+		h.send(id, wire.Error{Code: wire.CodeProtocol, Msg: "attach a session first"})
+		return
+	}
+	p, err := h.sess.Prepare(m.SQL)
+	if err != nil {
+		h.send(id, wire.Error{Code: errCode(err), Msg: err.Error()})
+		return
+	}
+	h.mu.Lock()
+	if len(h.prepared) >= maxPreparedPerConn {
+		h.mu.Unlock()
+		h.send(id, wire.Error{Code: wire.CodeProtocol, Msg: "too many prepared statements; close some"})
+		return
+	}
+	h.nextHandle++
+	handle := h.nextHandle
+	h.prepared[handle] = p
+	h.mu.Unlock()
+	h.send(id, wire.PrepareOK{Handle: handle, NumParams: uint64(p.NumParams())})
+}
+
+// onExecPrepared executes with typed arguments bound into the parsed
+// tree — no interpolation, ever. Handle != 0 names a prior Prepare;
+// Handle == 0 carries the text inline as a one-shot.
+func (h *conn) onExecPrepared(id uint64, m wire.ExecPrepared) {
+	if h.sess == nil {
+		h.send(id, wire.Error{Code: wire.CodeProtocol, Msg: "attach a session first"})
+		return
+	}
+	var p *core.Prepared
+	if m.Handle != 0 {
+		h.mu.Lock()
+		p = h.prepared[m.Handle]
+		h.mu.Unlock()
+		if p == nil {
+			h.send(id, wire.Error{Code: wire.CodeProtocol, Msg: "unknown prepared statement handle"})
+			return
+		}
+	}
+	sqlText := m.SQL
+	if p != nil {
+		sqlText = p.SQL
+	}
+	args := nativeArgs(m.Args)
+	h.runStatement(id, sqlText, func(ctx context.Context) (*core.Result, error) {
+		if p != nil {
+			return h.sess.ExecPreparedCtx(ctx, p, args)
+		}
+		return h.sess.ExecArgsCtx(ctx, m.SQL, args)
+	})
+}
+
+// nativeArgs converts decoded wire arguments to the engine's value
+// model: []byte binds as a string whose bytes pass through verbatim
+// (they are never re-lexed, so quotes and comment markers stay data),
+// and Date binds as its epoch-day int64 — the engine's DATE carrier.
+func nativeArgs(in []any) row.Row {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(row.Row, len(in))
+	for i, a := range in {
+		switch v := a.(type) {
+		case []byte:
+			out[i] = string(v)
+		case wire.Date:
+			out[i] = int64(v)
+		default:
+			out[i] = a
+		}
+	}
+	return out
+}
+
+// registerCursor files a result for fetching under the connection's
+// cursor budget: idle-expired cursors are pruned first, then at the
+// cap the oldest-idle cursor is evicted to admit the new result.
+func (h *conn) registerCursor(id uint64, res *core.Result) {
+	now := time.Now()
+	h.mu.Lock()
+	h.pruneCursorsLocked(now)
+	if len(h.cursors) >= h.srv.maxCursors() {
+		var victim uint64
+		var oldest time.Time
+		first := true
+		for cid, c := range h.cursors {
+			if first || c.lastUsed.Before(oldest) {
+				first, oldest, victim = false, c.lastUsed, cid
+			}
+		}
+		delete(h.cursors, victim)
+	}
+	h.cursors[id] = &cursor{res: res, lastUsed: now}
+	h.mu.Unlock()
+}
+
+// pruneCursorsLocked drops cursors idle past the timeout. Caller
+// holds h.mu.
+func (h *conn) pruneCursorsLocked(now time.Time) {
+	idle := h.srv.cursorIdle()
+	for cid, c := range h.cursors {
+		if now.Sub(c.lastUsed) > idle {
+			delete(h.cursors, cid)
+		}
+	}
 }
 
 // onFetch streams the next batch of a cursor, bounded by row count
 // and a soft byte budget so one batch stays well under MaxFrame.
 func (h *conn) onFetch(id uint64, m wire.Fetch) {
+	now := time.Now()
 	h.mu.Lock()
+	h.pruneCursorsLocked(now)
 	cur, ok := h.cursors[m.Cursor]
 	if !ok {
 		h.mu.Unlock()
-		// Unknown cursor: already exhausted or closed — answer "done"
-		// rather than erroring a benign race.
+		// Unknown cursor: already exhausted, closed, or reclaimed by
+		// the cursor budget — answer "done" rather than erroring a
+		// benign race.
 		h.send(id, wire.Rows{Done: true})
 		return
 	}
+	cur.lastUsed = now
 	maxRows := h.srv.batchRows()
 	if m.MaxRows > 0 && int(m.MaxRows) < maxRows {
 		maxRows = int(m.MaxRows)
@@ -507,6 +682,11 @@ func errCode(err error) uint64 {
 		return wire.CodeCancelled
 	case errors.Is(err, shark.ErrClosed) || errors.Is(err, cluster.ErrClosed):
 		return wire.CodeClosed
+	case errors.Is(err, core.ErrBind):
+		// Distinct code so the driver can tell "the native binder
+		// can't take this statement" from a plain SQL error and fall
+		// back to the legacy path.
+		return wire.CodeBind
 	default:
 		return wire.CodeSQL
 	}

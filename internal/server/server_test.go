@@ -548,3 +548,133 @@ func TestGracefulDrain(t *testing.T) {
 		t.Errorf("NewSession after drain = %v, want ErrClosed", err)
 	}
 }
+
+// TestCursorBudgetEvictsIdleCursors: a client that executes but never
+// fetches or closes cannot pin unbounded result memory — past
+// MaxCursorsPerConn the oldest-idle cursor is reclaimed, and fetching
+// it answers an immediate empty Done.
+func TestCursorBudgetEvictsIdleCursors(t *testing.T) {
+	_, addr := start(t, server.Config{MaxCursorsPerConn: 4}, 50)
+	c := attach(t, addr)
+	defer c.Close()
+
+	ids := make([]uint64, 0, 8)
+	for i := 0; i < 8; i++ {
+		id, resp, err := c.RoundtripID(context.Background(), wire.Exec{SQL: `SELECT url, status FROM logs_mem`})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs, ok := resp.(wire.ResultSet); !ok || rs.NumRows != 50 {
+			t.Fatalf("exec %d: unexpected response %#v", i, resp)
+		}
+		ids = append(ids, id)
+	}
+	// The oldest four cursors were evicted by the budget.
+	for _, id := range ids[:4] {
+		n, err := fetchAll(c, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 0 {
+			t.Fatalf("evicted cursor %d still served %d rows", id, n)
+		}
+	}
+	// The newest four survived and still serve their full results.
+	for _, id := range ids[4:] {
+		n, err := fetchAll(c, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 50 {
+			t.Fatalf("cursor %d served %d rows, want 50", id, n)
+		}
+	}
+}
+
+// TestCursorIdleExpiry: a cursor nobody fetches from expires after
+// CursorIdleTimeout and no longer serves rows.
+func TestCursorIdleExpiry(t *testing.T) {
+	_, addr := start(t, server.Config{CursorIdleTimeout: 50 * time.Millisecond}, 10)
+	c := attach(t, addr)
+	defer c.Close()
+	id, _, err := c.RoundtripID(context.Background(), wire.Exec{SQL: `SELECT * FROM logs_mem`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	n, err := fetchAll(c, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("idle-expired cursor still served %d rows", n)
+	}
+}
+
+// TestPreparedWire drives the native prepared-statement protocol end
+// to end: Prepare/ExecPrepared by handle, a one-shot ExecPrepared
+// with a hostile []byte argument that must bind as data, and handle
+// lifecycle via ClosePrepared.
+func TestPreparedWire(t *testing.T) {
+	_, addr := start(t, server.Config{}, 20)
+	c := attach(t, addr)
+	defer c.Close()
+
+	resp, err := c.Roundtrip(wire.Prepare{SQL: `SELECT COUNT(*) FROM logs_mem WHERE status = ?`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pok, ok := resp.(wire.PrepareOK)
+	if !ok || pok.Handle == 0 || pok.NumParams != 1 {
+		t.Fatalf("unexpected PrepareOK %#v", resp)
+	}
+
+	count := func(id uint64) int64 {
+		t.Helper()
+		resp, err := c.Roundtrip(wire.Fetch{Cursor: id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := resp.(wire.Rows)
+		if len(rows.Rows) != 1 {
+			t.Fatalf("want one count row, got %#v", rows.Rows)
+		}
+		return rows.Rows[0][0].(int64)
+	}
+
+	id, resp, err := c.RoundtripID(context.Background(), wire.ExecPrepared{Handle: pok.Handle, Args: []any{int64(200)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs, ok := resp.(wire.ResultSet); !ok || rs.NumRows != 1 {
+		t.Fatalf("unexpected ExecPrepared response %#v", resp)
+	}
+	if got := count(id); got != 10 {
+		t.Fatalf("status=200 count = %d, want 10", got)
+	}
+
+	// One-shot: inline SQL, no Prepare, and an argument full of SQL
+	// syntax — quotes, a comment marker, a trailing backslash — that
+	// must match zero rows because it binds as data, never as text.
+	hostile := []byte(`' OR '1'='1' -- \`)
+	id, resp, err = c.RoundtripID(context.Background(), wire.ExecPrepared{SQL: `SELECT COUNT(*) FROM logs_mem WHERE url = ?`, Args: []any{hostile}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.(wire.ResultSet); !ok {
+		t.Fatalf("unexpected one-shot response %#v", resp)
+	}
+	if got := count(id); got != 0 {
+		t.Fatalf("hostile []byte arg matched %d rows, want 0", got)
+	}
+
+	// Closing the handle makes further executions a protocol error.
+	if err := c.Send(wire.ClosePrepared{Handle: pok.Handle}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Roundtrip(wire.ExecPrepared{Handle: pok.Handle, Args: []any{int64(200)}})
+	var re *wire.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeProtocol {
+		t.Fatalf("exec on closed handle = %v, want protocol error", err)
+	}
+}

@@ -125,6 +125,16 @@ func (l *Literal) String() string {
 	return row.FormatValue(l.Value)
 }
 
+// ParamExpr is a `?` placeholder. Idx is the zero-based position of
+// the placeholder in lexical order; Bind replaces it with a typed
+// Literal before analysis, so plan/expr never see one.
+type ParamExpr struct{ Idx int }
+
+func (*ParamExpr) exprNode() {}
+
+// String renders the placeholder.
+func (*ParamExpr) String() string { return "?" }
+
 // ColRef references a column, optionally qualified by table binding.
 type ColRef struct{ Table, Name string }
 

@@ -164,7 +164,7 @@ func (l *lexer) lexPunct(start int) error {
 	}
 	c := l.src[l.pos]
 	switch c {
-	case '(', ')', ',', '.', '+', '-', '*', '/', '%', '=', '<', '>', ';':
+	case '(', ')', ',', '.', '+', '-', '*', '/', '%', '=', '<', '>', ';', '?':
 		l.pos++
 		l.tokens = append(l.tokens, token{kind: tokPunct, text: string(c), pos: start})
 		return nil

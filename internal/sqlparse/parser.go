@@ -49,6 +49,9 @@ type parser struct {
 	tokens []token
 	i      int
 	src    string
+	// nparams counts `?` placeholders in lexical order; each becomes a
+	// ParamExpr with a zero-based index for Bind.
+	nparams int
 }
 
 func (p *parser) peek() token { return p.tokens[p.i] }
@@ -703,6 +706,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if err := p.expect(")"); err != nil {
 				return nil, err
 			}
+			return e, nil
+		}
+		if t.text == "?" {
+			e := &ParamExpr{Idx: p.nparams}
+			p.nparams++
 			return e, nil
 		}
 		return nil, p.errf("unexpected %q", t.text)

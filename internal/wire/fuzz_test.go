@@ -56,3 +56,49 @@ func FuzzReadFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPreparedMessages: the prepared-statement codec (typed argument
+// lists with []byte and Date values) never panics on malformed input
+// and, like every other message, re-encodes canonically.
+func FuzzPreparedMessages(f *testing.F) {
+	seeds := []Msg{
+		Prepare{SQL: "SELECT a FROM t WHERE b = ?"},
+		PrepareOK{Handle: 1, NumParams: 1},
+		ExecPrepared{Handle: 1, Args: []any{
+			int64(-1), 0.5, "s", true, false, nil, []byte("'--\\"), Date(-7),
+		}},
+		ExecPrepared{SQL: "SELECT ?", Args: []any{[]byte{}}},
+		ClosePrepared{Handle: 1},
+	}
+	for i, m := range seeds {
+		f.Add(AppendMessage(nil, uint64(i), m))
+	}
+	// Hostile shapes: huge arg count, truncated bytes arg, bad tag.
+	f.Add([]byte{TypeExecPrepared, 0x01, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add([]byte{TypeExecPrepared, 0x01, 0x00, 0x00, 0x01, 0x06, 0xFF, 0x7F})
+	f.Add([]byte{TypeExecPrepared, 0x01, 0x00, 0x00, 0x01, 0x63})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) == 0 {
+			return
+		}
+		switch payload[0] {
+		case TypePrepare, TypePrepareOK, TypeExecPrepared, TypeClosePrepared:
+		default:
+			// Steer mutations at the prepared-statement types; other
+			// payloads are FuzzParseMessage's job.
+			payload = append([]byte{TypeExecPrepared}, payload...)
+		}
+		id, m, err := ParseMessage(payload)
+		if err != nil {
+			return
+		}
+		re := AppendMessage(nil, id, m)
+		id2, m2, err := ParseMessage(re)
+		if err != nil {
+			t.Fatalf("re-encoded payload failed to parse: %v", err)
+		}
+		if id2 != id || !reflect.DeepEqual(m2, m) {
+			t.Fatalf("round-trip changed message: %#v -> %#v", m, m2)
+		}
+	})
+}

@@ -9,12 +9,19 @@ import (
 	"shark/internal/row"
 )
 
-// Parameter binding for the wire protocol: Exec carries the SQL text
-// with '?' placeholders plus the bound values, and the server splices
-// literals in before parsing (the engine has no native binds yet —
-// the plan-cache roadmap item moves binding below the parser).
-// Placeholders inside string literals ('...' or "...", with doubled
-// quotes and backslash escapes) and -- comments are left alone.
+// Legacy parameter binding for the wire protocol: Exec carries the
+// SQL text with '?' placeholders plus the bound values, and the
+// server splices literals in before parsing. Placeholders inside
+// string literals ('...' or "...", with doubled quotes and backslash
+// escapes) and -- comments are left alone.
+//
+// Deprecated: interpolation is the compatibility fallback for old
+// clients only. New code prepares statements (Prepare/ExecPrepared),
+// which bind typed values below the parser — the text is never
+// re-lexed with rendered literals, so argument bytes cannot be
+// confused with SQL syntax and []byte/DATE survive exactly. The
+// server keeps accepting Exec-with-args and falls back to
+// Interpolate only for statements its native binder cannot take.
 
 // CountPlaceholders reports how many '?' parameters the statement
 // takes — driver.Stmt.NumInput.

@@ -60,6 +60,11 @@ const (
 	TypePong      byte = 12 // server → client
 	TypeClose     byte = 13 // client → server: clean goodbye
 	TypeError     byte = 14 // server → client: coded failure
+
+	TypePrepare       byte = 15 // client → server: parse SQL into a statement handle
+	TypePrepareOK     byte = 16 // server → client: handle + parameter count
+	TypeExecPrepared  byte = 17 // client → server: execute a handle (or one-shot SQL) with typed args
+	TypeClosePrepared byte = 18 // client → server: discard a statement handle
 )
 
 // Error codes carried by Error messages.
@@ -71,6 +76,7 @@ const (
 	CodeCancelled uint64 = 5 // statement cancelled (client Cancel, disconnect, drain)
 	CodeClosed    uint64 = 6 // session or cluster is closed / draining
 	CodeConnLimit uint64 = 7 // server at its connection limit
+	CodeBind      uint64 = 8 // native binder rejected the statement/args
 )
 
 // Msg is one protocol message. Concrete types are plain structs;
@@ -95,12 +101,17 @@ type HelloOK struct {
 // session knobs the public API exposes: fair-share Priority,
 // MaxConcurrentJobs admission cap and default StorageLevel, plus the
 // shared-catalog flag. Name empty = auto-generated.
+// ResultCacheBytes > 0 opts the session into the result cache with
+// that byte quota; DisablePlanCache turns plan caching off (ablation
+// and debugging).
 type Attach struct {
 	Name              string
 	Priority          uint64
 	MaxConcurrentJobs uint64
 	StorageLevel      byte
 	SharedCatalog     bool
+	ResultCacheBytes  uint64
+	DisablePlanCache  bool
 }
 
 // AttachOK reports the assigned session name.
@@ -279,7 +290,9 @@ func (m Attach) appendBody(buf []byte) []byte {
 	buf = appendUvarint(buf, m.Priority)
 	buf = appendUvarint(buf, m.MaxConcurrentJobs)
 	buf = append(buf, m.StorageLevel)
-	return appendBool(buf, m.SharedCatalog)
+	buf = appendBool(buf, m.SharedCatalog)
+	buf = appendUvarint(buf, m.ResultCacheBytes)
+	return appendBool(buf, m.DisablePlanCache)
 }
 
 func (m AttachOK) appendBody(buf []byte) []byte {
@@ -357,6 +370,8 @@ func ParseMessage(payload []byte) (id uint64, m Msg, err error) {
 		msg.MaxConcurrentJobs = d.uvarint()
 		msg.StorageLevel = d.byte()
 		msg.SharedCatalog = d.bool()
+		msg.ResultCacheBytes = d.uvarint()
+		msg.DisablePlanCache = d.bool()
 		m = msg
 	case TypeAttachOK:
 		m = AttachOK{Name: d.str()}
@@ -391,6 +406,19 @@ func ParseMessage(payload []byte) (id uint64, m Msg, err error) {
 		msg := Error{Code: d.uvarint()}
 		msg.Msg = d.str()
 		m = msg
+	case TypePrepare:
+		m = Prepare{SQL: d.str()}
+	case TypePrepareOK:
+		msg := PrepareOK{Handle: d.uvarint()}
+		msg.NumParams = d.uvarint()
+		m = msg
+	case TypeExecPrepared:
+		msg := ExecPrepared{Handle: d.uvarint()}
+		msg.SQL = d.str()
+		msg.Args = d.args()
+		m = msg
+	case TypeClosePrepared:
+		m = ClosePrepared{Handle: d.uvarint()}
 	default:
 		return 0, nil, fmt.Errorf("wire: unknown message type %d", typ)
 	}

@@ -18,7 +18,8 @@ func sampleMessages() []Msg {
 	return []Msg{
 		Hello{Version: Version, Token: "secret"},
 		HelloOK{Version: Version},
-		Attach{Name: "dash", Priority: 4, MaxConcurrentJobs: 2, StorageLevel: 1, SharedCatalog: true},
+		Attach{Name: "dash", Priority: 4, MaxConcurrentJobs: 2, StorageLevel: 1, SharedCatalog: true,
+			ResultCacheBytes: 1 << 20, DisablePlanCache: true},
 		AttachOK{Name: "dash"},
 		Exec{SQL: "SELECT * FROM t WHERE a = ?", Args: row.Row{int64(7), "x", 1.5, true, nil}},
 		ResultSet{
@@ -34,6 +35,15 @@ func sampleMessages() []Msg {
 		Pong{},
 		Close{},
 		Error{Code: CodeSQL, Msg: "unknown table"},
+		Prepare{SQL: "SELECT * FROM t WHERE a = ? AND b = ?"},
+		PrepareOK{Handle: 3, NumParams: 2},
+		ExecPrepared{Handle: 3, Args: []any{
+			int64(-42), 1.5, "it's", true, false, nil,
+			[]byte{0x00, '\'', '\\', '-', '-', 0xFF},
+			Date(20310),
+		}},
+		ExecPrepared{SQL: "SELECT 1", Args: nil},
+		ClosePrepared{Handle: 3},
 	}
 }
 

@@ -191,6 +191,18 @@ type Cluster struct {
 	shared *catalog.Catalog
 	tmpDir string
 
+	// sharedPlans is the plan cache shared by every shared-catalog
+	// session: one session's parse warms its peers, and the catalog
+	// version in each key makes any session's DDL invalidate all of
+	// them at once. Private-catalog sessions get private caches.
+	sharedPlans *core.PlanCache
+
+	// resultCaches routes cluster block-store evictions back to the
+	// owning session's result-cache accounting, keyed by block-key
+	// prefix.
+	rcMu         sync.RWMutex
+	resultCaches map[string]*core.ResultCache
+
 	mu          sync.Mutex
 	closed      bool
 	nextSession int
@@ -242,15 +254,34 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	svc := shuffle.NewService(cl, mode, dir+"/shuffle")
 	rddCtx := rdd.NewContext(cl, svc, rdd.Options{Speculation: cfg.Speculation})
-	return &Cluster{
+	c := &Cluster{
 		cl:           cl,
 		fs:           fs,
 		svc:          svc,
 		rddCtx:       rddCtx,
 		shared:       catalog.New(),
 		tmpDir:       tmp,
+		sharedPlans:  core.NewPlanCache(0),
+		resultCaches: make(map[string]*core.ResultCache),
 		sessionNames: make(map[string]bool),
-	}, nil
+	}
+	// When the store LRU reclaims a session's cached result for
+	// hotter data, credit the bytes back to that session's quota.
+	cl.SetEvictionObserver(func(_ int, key string, _ int64, spilled bool) {
+		c.rcMu.RLock()
+		var rc *core.ResultCache
+		for prefix, cache := range c.resultCaches {
+			if strings.HasPrefix(key, prefix) {
+				rc = cache
+				break
+			}
+		}
+		c.rcMu.RUnlock()
+		if rc != nil {
+			rc.ReleaseEvicted(key, spilled)
+		}
+	})
+	return c, nil
 }
 
 // SessionConfig shapes one session's view of a shared cluster.
@@ -284,6 +315,15 @@ type SessionConfig struct {
 	// session caches with "shark.cache"="true" (per-table
 	// TBLPROPERTIES levels override it).
 	StorageLevel StorageLevel
+	// ResultCacheBytes > 0 opts the session into the result cache:
+	// deterministic read-only statements cache their whole results as
+	// evictable blocks in the cluster's tiered stores, up to this
+	// many bytes, keyed on (statement, args, engine options,
+	// input-table versions) so any write to an input invalidates.
+	ResultCacheBytes int64
+	// DisablePlanCache turns statement plan caching off for this
+	// session (ablation and debugging; default on).
+	DisablePlanCache bool
 }
 
 // NewSession attaches a session to the shared cluster. Closing the
@@ -326,6 +366,19 @@ func (c *Cluster) NewSession(cfg SessionConfig) (*Session, error) {
 	cs.DefaultStorageLevel = cfg.StorageLevel
 	cs.Priority = cfg.Priority
 	cs.MaxConcurrentJobs = cfg.MaxConcurrentJobs
+	switch {
+	case cfg.DisablePlanCache:
+		cs.Plans = nil
+	case cfg.SharedCatalog:
+		cs.Plans = c.sharedPlans
+	}
+	if cfg.ResultCacheBytes > 0 {
+		rc := core.NewResultCache(c.cl, name, cfg.ResultCacheBytes)
+		cs.Results = rc
+		c.rcMu.Lock()
+		c.resultCaches[rc.BlockKeyPrefix()] = rc
+		c.rcMu.Unlock()
+	}
 	return &Session{Session: cs, Cluster: c}, nil
 }
 
@@ -505,6 +558,12 @@ func (s *Session) Close() {
 		return
 	}
 	s.Session.Close()
+	if rc := s.Session.Results; rc != nil {
+		s.Cluster.rcMu.Lock()
+		delete(s.Cluster.resultCaches, rc.BlockKeyPrefix())
+		s.Cluster.rcMu.Unlock()
+		rc.Close()
+	}
 	s.Cluster.mu.Lock()
 	delete(s.Cluster.sessionNames, strings.ToLower(s.Tag))
 	s.Cluster.mu.Unlock()
